@@ -1,0 +1,602 @@
+(* gdp — command-line interface to the gracefully-degradable pipeline
+   network library.
+
+   Subcommands:
+     build     construct an instance, print its summary, optionally emit DOT
+     solve     reconfigure around a fault set and print the pipeline
+     verify    exhaustively or randomly verify k-graceful-degradability
+     table     print a theorem degree table
+     compare   run the prior-work comparison (E12)
+     simulate  stream a workload through the network under fault injection
+     figure    regenerate a paper figure as a DOT file
+     impossibility  run the Lemma 3.14 machine check *)
+
+open Cmdliner
+open Gdpn_core
+module Faultsim = Gdpn_faultsim
+module Compare = Gdpn_baselines.Compare
+module Hayes = Gdpn_baselines.Hayes
+module Spares = Gdpn_baselines.Spares
+
+let pf = Format.printf
+
+(* -------------------- shared arguments -------------------- *)
+
+let n_arg =
+  Arg.(required & opt (some int) None & info [ "n" ] ~docv:"N"
+         ~doc:"Guaranteed pipeline length (number of processors).")
+
+let k_arg =
+  Arg.(required & opt (some int) None & info [ "k" ] ~docv:"K"
+         ~doc:"Fault tolerance (maximum number of faults).")
+
+let merged_arg =
+  Arg.(value & flag & info [ "merged" ]
+         ~doc:"Apply the merged-terminal transform (fault-free I/O model).")
+
+let faults_arg =
+  Arg.(value & opt (list int) [] & info [ "faults" ] ~docv:"IDS"
+         ~doc:"Comma-separated faulty node ids.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+         ~doc:"Write DOT output to $(docv).")
+
+let build_instance n k merged =
+  let inst = Family.build ~n ~k in
+  if merged then Merge.apply inst else inst
+
+(* -------------------- build -------------------- *)
+
+let build_cmd =
+  let run n k merged out =
+    let inst = build_instance n k merged in
+    pf "%a@." Instance.pp inst;
+    pf "standard: %b   node-optimal: %b   degree-optimal: %b@."
+      (Instance.is_standard inst)
+      (Instance.is_node_optimal inst)
+      (Bounds.is_degree_optimal inst);
+    (match out with
+    | Some path ->
+      Gdpn_graph.Dot.save ~path (Instance.to_dot inst);
+      pf "wrote %s@." path
+    | None -> ());
+    0
+  in
+  Cmd.v (Cmd.info "build" ~doc:"Construct a solution graph.")
+    Term.(const run $ n_arg $ k_arg $ merged_arg $ out_arg)
+
+(* -------------------- solve -------------------- *)
+
+let solve_cmd =
+  let run n k merged faults out =
+    let inst = build_instance n k merged in
+    match Reconfig.solve_list inst ~faults with
+    | Reconfig.Pipeline p ->
+      let p = Pipeline.normalise inst p in
+      pf "pipeline: %a@." Pipeline.pp p;
+      pf "processors used: %d (all healthy processors)@."
+        (Pipeline.processor_count p);
+      (match out with
+      | Some path ->
+        Gdpn_graph.Dot.save ~path
+          (Instance.to_dot ~faults ~pipeline:p.Pipeline.nodes inst);
+        pf "wrote %s@." path
+      | None -> ());
+      0
+    | Reconfig.No_pipeline ->
+      pf "no pipeline exists for this fault set@.";
+      1
+    | Reconfig.Gave_up ->
+      pf "solver budget exhausted@.";
+      2
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Reconfigure around a fault set.")
+    Term.(const run $ n_arg $ k_arg $ merged_arg $ faults_arg $ out_arg)
+
+(* -------------------- verify -------------------- *)
+
+let verify_cmd =
+  let sample_arg =
+    Arg.(value & opt (some int) None & info [ "sample" ] ~docv:"TRIALS"
+           ~doc:"Random sampling instead of exhaustive enumeration.")
+  in
+  let domains_arg =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"D"
+           ~doc:"Exhaust in parallel over $(docv) OCaml domains.")
+  in
+  let run n k merged sample domains seed =
+    let inst = build_instance n k merged in
+    pf "%a@." Instance.pp inst;
+    let universe =
+      if merged then Some (Instance.processors inst) else None
+    in
+    let report =
+      match (sample, domains) with
+      | Some trials, _ ->
+        Verify.sampled ~rng:(Random.State.make [| seed |]) ~trials inst
+      | None, Some d when not merged -> Verify.exhaustive_parallel ~domains:d inst
+      | None, _ -> Verify.exhaustive ?universe inst
+    in
+    pf "%a@." Verify.pp_report report;
+    if Verify.is_k_gd report then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Verify k-graceful-degradability.")
+    Term.(const run $ n_arg $ k_arg $ merged_arg $ sample_arg $ domains_arg
+          $ seed_arg)
+
+(* -------------------- table -------------------- *)
+
+let table_cmd =
+  let max_n_arg =
+    Arg.(value & opt int 14 & info [ "max-n" ] ~docv:"N" ~doc:"Largest n.")
+  in
+  let run k max_n =
+    pf "%-4s %-9s %-9s %-30s@." "n" "max-deg" "optimal" "construction";
+    for n = 1 to max_n do
+      match Family.build ~n ~k with
+      | inst ->
+        pf "%-4d %-9d %-9b %-30s@." n
+          (Instance.max_processor_degree inst)
+          (Bounds.is_degree_optimal inst)
+          inst.Instance.name
+      | exception Family.Unsupported msg -> pf "%-4d %s@." n msg
+    done;
+    0
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Print the degree table for a given k.")
+    Term.(const run $ k_arg $ max_n_arg)
+
+(* -------------------- compare -------------------- *)
+
+let compare_cmd =
+  let sample_arg =
+    Arg.(value & opt (some int) None & info [ "sample" ] ~docv:"TRIALS"
+           ~doc:"Sampled evaluation (default: exhaustive).")
+  in
+  let run n k sample seed =
+    let sample = Option.map (fun t -> (t, seed)) sample in
+    List.iter (fun r -> pf "%a@." Compare.pp_row r)
+      (Compare.table ?sample ~n ~k ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare against prior-work baselines (E12).")
+    Term.(const run $ n_arg $ k_arg $ sample_arg $ seed_arg)
+
+(* -------------------- simulate -------------------- *)
+
+let simulate_cmd =
+  let stages_arg =
+    Arg.(value & opt string "video" & info [ "stages" ] ~docv:"CHAIN"
+           ~doc:"Workload: a preset (video, ct, firbankN) or a chain like sub2|fir5|rle.")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 100 & info [ "rounds" ] ~docv:"R" ~doc:"Rounds.")
+  in
+  let count_arg =
+    Arg.(value & opt int 0 & info [ "inject" ] ~docv:"F"
+           ~doc:"Number of random faults to inject during the run.")
+  in
+  let run n k stages rounds inject seed =
+    let inst = Family.build ~n ~k in
+    let stage_chain =
+      match Faultsim.Workload.parse stages with
+      | Ok chain -> chain
+      | Error e -> failwith e
+    in
+    let machine = Faultsim.Machine.create inst in
+    let rng = Faultsim.Stream.Prng.create seed in
+    let schedule =
+      if inject = 0 then []
+      else Faultsim.Injector.random ~rng inst ~count:inject ~rounds
+    in
+    let metrics =
+      Faultsim.Runner.run ~machine ~stages:stage_chain
+        ~source:(Faultsim.Stream.Sine_mixture [ (0.013, 1.0); (0.05, 0.3) ])
+        ~frame_length:256 ~rounds ~schedule ~seed ()
+    in
+    pf "%a@." Faultsim.Runner.pp_metrics metrics;
+    if metrics.Faultsim.Runner.pipeline_lost then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Stream a workload under fault injection.")
+    Term.(const run $ n_arg $ k_arg $ stages_arg $ rounds_arg $ count_arg
+          $ seed_arg)
+
+(* -------------------- figure -------------------- *)
+
+let figure_cmd =
+  let name_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FIGURE"
+           ~doc:"Figure name (fig2..fig15); omit to list all.")
+  in
+  let run name out =
+    match name with
+    | None ->
+      List.iter
+        (fun e -> pf "%-8s %s@." e.Figures.id e.Figures.description)
+        Figures.all;
+      0
+    | Some id -> (
+      match Figures.find id with
+      | None ->
+        pf "unknown figure %s@." id;
+        1
+      | Some e ->
+        let inst = e.Figures.build () in
+        let path = Option.value out ~default:(id ^ ".dot") in
+        Gdpn_graph.Dot.save ~path (Instance.to_dot inst);
+        pf "%s (%s) -> %s@." id e.Figures.description path;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate a paper figure as DOT.")
+    Term.(const run $ name_arg $ out_arg)
+
+(* -------------------- census -------------------- *)
+
+let census_cmd =
+  let run n k =
+    match Impossibility.standard_census ~n ~k with
+    | r ->
+      pf "degree-(k+2) standard space for (n,k) = (%d,%d):@." n k;
+      pf "  labeled degree-profile graphs: %d@." r.Impossibility.graphs_examined;
+      pf "  (graph, assignment) candidates: %d@."
+        r.Impossibility.assignments_examined;
+      pf "  k-gracefully-degradable solutions: %d@."
+        r.Impossibility.solutions_found;
+      0
+    | exception Invalid_argument msg ->
+      pf "%s@." msg;
+      2
+  in
+  Cmd.v
+    (Cmd.info "census"
+       ~doc:"Exhaust the degree-(k+2) standard solution space (L3.14 E8).")
+    Term.(const run $ n_arg $ k_arg)
+
+(* -------------------- certify -------------------- *)
+
+let certify_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Destination certificate file.")
+  in
+  let run n k file =
+    let inst = Family.build ~n ~k in
+    pf "%a@." Instance.pp inst;
+    (match Certify.generate inst with
+    | cert ->
+      let oc = open_out file in
+      output_string oc cert;
+      close_out oc;
+      pf "wrote %s (%d bytes); re-check with `gdp check-cert`@." file
+        (String.length cert);
+      0
+    | exception Failure msg ->
+      pf "cannot certify: %s@." msg;
+      1)
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:"Emit a witness certificate of k-graceful-degradability.")
+    Term.(const run $ n_arg $ k_arg $ file_arg)
+
+let check_cert_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Certificate file produced by `gdp certify`.")
+  in
+  let run n k file =
+    let inst = Family.build ~n ~k in
+    let ic = open_in file in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Certify.check inst text with
+    | Ok count ->
+      pf "certificate valid: %d fault sets witnessed@." count;
+      0
+    | Error e ->
+      pf "certificate INVALID: %s@." e;
+      1
+  in
+  Cmd.v
+    (Cmd.info "check-cert"
+       ~doc:"Validate a witness certificate (no solver involved).")
+    Term.(const run $ n_arg $ k_arg $ file_arg)
+
+(* -------------------- console -------------------- *)
+
+let console_cmd =
+  let run n k =
+    let inst = Family.build ~n ~k in
+    let console = Faultsim.Console.create inst in
+    pf "gdpn console — 'help' for commands, 'quit' to leave@.";
+    let rec loop () =
+      print_string "> ";
+      match read_line () with
+      | exception End_of_file -> 0
+      | line -> (
+        match Faultsim.Console.eval console line with
+        | `Quit -> 0
+        | `Reply text ->
+          if text <> "" then pf "%s@." text;
+          loop ())
+    in
+    loop ()
+  in
+  Cmd.v
+    (Cmd.info "console" ~doc:"Interactive machine controller on stdin.")
+    Term.(const run $ n_arg $ k_arg)
+
+(* -------------------- plan -------------------- *)
+
+let plan_cmd =
+  let prob_arg =
+    Arg.(required & opt (some float) None & info [ "p" ] ~docv:"PROB"
+           ~doc:"Per-node failure probability over the mission time.")
+  in
+  let target_arg =
+    Arg.(value & opt float 0.99 & info [ "target" ] ~docv:"P"
+           ~doc:"Required survival probability (Wilson lower bound).")
+  in
+  let trials_arg =
+    Arg.(value & opt int 400 & info [ "trials" ] ~docv:"T"
+           ~doc:"Monte Carlo trials per candidate k.")
+  in
+  let run n prob target trials seed =
+    let rng = Random.State.make [| seed |] in
+    pf "per-node failure probability %.4f, target survival %.4f@." prob target;
+    (match
+       Planner.recommend_k ~rng ~trials ~n ~node_failure_prob:prob ~target ()
+     with
+    | Some (k, est) ->
+      pf "recommended k = %d: %a@." k Planner.pp_estimate est;
+      pf "(guarantee-only bound at that k: %.4f)@."
+        (Planner.guarantee_only_bound ~n ~k ~node_failure_prob:prob)
+    | None -> pf "no k <= 8 reaches the target; lower p or the target@.");
+    0
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Recommend the smallest k for a target survival probability.")
+    Term.(const run $ n_arg $ prob_arg $ target_arg $ trials_arg $ seed_arg)
+
+(* -------------------- bounds -------------------- *)
+
+let bounds_cmd =
+  let max_n_arg =
+    Arg.(value & opt int 12 & info [ "max-n" ] ~docv:"N" ~doc:"Largest n.")
+  in
+  let run k max_n =
+    pf "%-4s %-11s %s@." "n" "lower-bnd" "why";
+    for n = 1 to max_n do
+      let reasons =
+        List.filter_map
+          (fun (cond, why) -> if cond then Some why else None)
+          [
+            (true, "k+2 (Cor 3.2)");
+            (Bounds.parity_bound_applies ~n ~k, "k+3: n even, k odd (L3.5)");
+            (n = 2, "k+3: n = 2 (Cor 3.10)");
+            (n = 3 && k > 1, "k+3: n = 3 (L3.11)");
+            (n = 5 && k = 2, "k+3: (5,2) (L3.14)");
+          ]
+      in
+      pf "%-4d %-11d %s@." n
+        (Bounds.degree_lower_bound ~n ~k)
+        (String.concat "; " reasons)
+    done;
+    0
+  in
+  Cmd.v
+    (Cmd.info "bounds"
+       ~doc:"Print the proven degree lower bounds and which lemma fires.")
+    Term.(const run $ k_arg $ max_n_arg)
+
+(* -------------------- draw -------------------- *)
+
+let draw_cmd =
+  let run n k faults =
+    let inst = Family.build ~n ~k in
+    let pipeline =
+      match Reconfig.solve_list inst ~faults with
+      | Reconfig.Pipeline p -> Some p
+      | Reconfig.No_pipeline | Reconfig.Gave_up -> None
+    in
+    pf "%s@." (Render.summary inst);
+    (match inst.Instance.strategy with
+    | Instance.Circulant_layout _ ->
+      pf "%s@." (Render.ring ~faults ?pipeline inst)
+    | _ -> pf "%s@." (Render.adjacency inst));
+    (match pipeline with
+    | Some p -> pf "pipeline: %s@." (Render.embedding inst p)
+    | None -> pf "no pipeline for this fault set@.");
+    0
+  in
+  Cmd.v
+    (Cmd.info "draw" ~doc:"ASCII rendering of an instance and embedding.")
+    Term.(const run $ n_arg $ k_arg $ faults_arg)
+
+(* -------------------- save / check -------------------- *)
+
+let save_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Destination .gdpn file.")
+  in
+  let run n k merged file =
+    let inst = build_instance n k merged in
+    Serial.save ~path:file inst;
+    pf "wrote %s (%a)@." file Instance.pp inst;
+    0
+  in
+  Cmd.v
+    (Cmd.info "save" ~doc:"Serialize a construction to a .gdpn file.")
+    Term.(const run $ n_arg $ k_arg $ merged_arg $ file_arg)
+
+let check_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"A .gdpn instance file (see Serial's format).")
+  in
+  let sample_arg =
+    Arg.(value & opt (some int) None & info [ "sample" ] ~docv:"TRIALS"
+           ~doc:"Random sampling instead of exhaustive enumeration.")
+  in
+  let run file sample seed =
+    match Serial.load ~path:file with
+    | Error e ->
+      pf "error: %s@." e;
+      2
+    | Ok inst ->
+      pf "%a@." Instance.pp inst;
+      pf "standard: %b   node-optimal: %b@." (Instance.is_standard inst)
+        (Instance.is_node_optimal inst);
+      let report =
+        match sample with
+        | Some trials ->
+          Verify.sampled ~rng:(Random.State.make [| seed |]) ~trials inst
+        | None -> Verify.exhaustive inst
+      in
+      pf "%a@." Verify.pp_report report;
+      if Verify.is_k_gd report then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Load a user-supplied instance file and verify it.")
+    Term.(const run $ file_arg $ sample_arg $ seed_arg)
+
+(* -------------------- survival -------------------- *)
+
+let survival_cmd =
+  let trials_arg =
+    Arg.(value & opt int 200 & info [ "trials" ] ~docv:"T" ~doc:"Trials.")
+  in
+  let run n k trials seed =
+    let rng () = Random.State.make [| seed |] in
+    pf "%-14s %s@." "scheme" "faults absorbed before stream loss";
+    let inst = Family.build ~n ~k in
+    pf "%-14s %a@." "gdpn"
+      Gdpn_baselines.Survival.pp_stats
+      (Gdpn_baselines.Survival.instance_lifetime ~rng:(rng ()) ~trials inst);
+    List.iter
+      (fun scheme ->
+        pf "%-14s %a@." scheme.Gdpn_baselines.Scheme.name
+          Gdpn_baselines.Survival.pp_stats
+          (Gdpn_baselines.Survival.scheme_lifetime ~rng:(rng ()) ~trials
+             scheme))
+      [ Hayes.scheme ~n ~k; Spares.scheme ~n ~k;
+        Gdpn_baselines.Rosenberg.scheme ~n ~k ];
+    0
+  in
+  Cmd.v
+    (Cmd.info "survival"
+       ~doc:"Beyond-spec lifetime: random faults until stream loss (E15).")
+    Term.(const run $ n_arg $ k_arg $ trials_arg $ seed_arg)
+
+(* -------------------- links -------------------- *)
+
+let links_cmd =
+  let run n k =
+    let inst = Family.build ~n ~k in
+    pf "%a@." Instance.pp inst;
+    pf "surveying every mixed node/link fault set of size <= %d ...@." k;
+    let s = Link_faults.survey_exhaustive inst in
+    pf "%a@." Link_faults.pp_survey s;
+    if s.Link_faults.lost = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "links"
+       ~doc:"Survey graceful vs degraded tolerance of link faults (E13).")
+    Term.(const run $ n_arg $ k_arg)
+
+(* -------------------- tolerance -------------------- *)
+
+let tolerance_cmd =
+  let run n k merged =
+    let inst = build_instance n k merged in
+    pf "%a@." Instance.pp inst;
+    let t = Verify.tolerance inst in
+    pf "measured structural fault tolerance: %d (designed: %d)@." t k;
+    (match Verify.breaking_fault_set inst with
+    | Some witness ->
+      pf "smallest breaking fault set: {%s}@."
+        (String.concat "," (List.map string_of_int witness))
+    | None -> pf "no breaking fault set up to size %d@." (k + 1));
+    if t = k then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "tolerance"
+       ~doc:"Measure the exact fault tolerance by exhaustive search.")
+    Term.(const run $ n_arg $ k_arg $ merged_arg)
+
+(* -------------------- trace -------------------- *)
+
+let trace_cmd =
+  let rounds_arg =
+    Arg.(value & opt int 50 & info [ "rounds" ] ~docv:"R" ~doc:"Rounds.")
+  in
+  let count_arg =
+    Arg.(value & opt int 2 & info [ "inject" ] ~docv:"F"
+           ~doc:"Random faults to inject.")
+  in
+  let run n k rounds inject seed =
+    let inst = Family.build ~n ~k in
+    let machine = Faultsim.Machine.create inst in
+    let rng = Faultsim.Stream.Prng.create seed in
+    let schedule = Faultsim.Injector.random ~rng inst ~count:inject ~rounds in
+    let trace = Faultsim.Trace.recorder () in
+    let metrics =
+      Faultsim.Runner.run ~machine
+        ~stages:(Faultsim.Stage.video_codec ())
+        ~source:(Faultsim.Stream.Sine_mixture [ (0.013, 1.0) ])
+        ~frame_length:256 ~rounds ~schedule ~trace ()
+    in
+    print_endline (Faultsim.Trace.to_csv trace);
+    pf "# %a@." Faultsim.Runner.pp_metrics metrics;
+    0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a traced simulation and print the event log as CSV.")
+    Term.(const run $ n_arg $ k_arg $ rounds_arg $ count_arg $ seed_arg)
+
+(* -------------------- impossibility -------------------- *)
+
+let impossibility_cmd =
+  let run () =
+    let r = Impossibility.lemma_3_14 () in
+    pf "graphs examined: %d@." r.Impossibility.graphs_examined;
+    pf "candidates examined: %d@." r.Impossibility.assignments_examined;
+    pf "solutions found: %d (Lemma 3.14 predicts 0)@."
+      r.Impossibility.solutions_found;
+    if r.Impossibility.solutions_found = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "impossibility"
+       ~doc:"Machine-check Lemma 3.14 by graph-space exhaustion.")
+    Term.(const run $ const ())
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "gdp" ~version:"1.0.0"
+      ~doc:"Gracefully degradable pipeline networks (Cypher & Laing, IPPS'97)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [
+            build_cmd; solve_cmd; verify_cmd; table_cmd; compare_cmd;
+            simulate_cmd; figure_cmd; impossibility_cmd; links_cmd;
+            tolerance_cmd; trace_cmd; save_cmd; check_cmd; survival_cmd;
+            draw_cmd; bounds_cmd; console_cmd; plan_cmd; certify_cmd;
+            check_cert_cmd; census_cmd;
+          ]))

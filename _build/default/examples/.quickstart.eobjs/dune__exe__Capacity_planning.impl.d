@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Family Format Gdpn_core Instance List Planner Random

@@ -1,0 +1,1 @@
+examples/ct_reconstruction.ml: Circulant_family Filename Format Gdpn_baselines Gdpn_core Gdpn_faultsim Gdpn_graph Injector Instance List Machine Pipeline Runner Stage Stream String

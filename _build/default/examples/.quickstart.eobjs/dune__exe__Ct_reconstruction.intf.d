@@ -1,0 +1,1 @@
+examples/ct_reconstruction.mli:

@@ -1,0 +1,1 @@
+examples/custom_instance.ml: Certify Format Gdpn_core Instance List Serial String Verify

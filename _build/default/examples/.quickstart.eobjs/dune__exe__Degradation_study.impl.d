@@ -1,0 +1,1 @@
+examples/degradation_study.ml: Format Gdpn_baselines Gdpn_core List Random

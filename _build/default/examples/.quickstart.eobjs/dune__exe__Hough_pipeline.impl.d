@@ -1,0 +1,1 @@
+examples/hough_pipeline.ml: Family Format Gdpn_core Gdpn_faultsim Image Injector Instance List Machine Runner Stream

@@ -1,0 +1,1 @@
+examples/hough_pipeline.mli:

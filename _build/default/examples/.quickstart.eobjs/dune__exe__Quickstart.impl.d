@@ -1,0 +1,1 @@
+examples/quickstart.ml: Family Filename Format Gdpn_core Gdpn_graph Instance List Pipeline Reconfig Verify

@@ -1,0 +1,1 @@
+examples/realtime_latency.ml: Array Des Family Format Gantt Gdpn_core Gdpn_faultsim Gdpn_graph Instance List Machine Pipeline Reconfig Repair Stage Stats

@@ -1,0 +1,1 @@
+examples/video_pipeline.ml: Family Format Gdpn_core Gdpn_faultsim Injector Instance List Machine Runner Stage Stream String

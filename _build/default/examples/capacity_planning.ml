@@ -1,0 +1,59 @@
+(* Capacity planning: choosing k for a deployment.
+
+   The theorems guarantee survival of any k faults; a deployer starts from
+   the other end — component reliability and a survival target — and needs
+   the smallest k (fewest spare processors, lowest degree) that meets it.
+   Because the constructions absorb far more than k random faults (E15),
+   Monte Carlo over the real reconfiguration solver recommends smaller k
+   than the guarantee-only binomial bound would.
+
+   Run with:  dune exec examples/capacity_planning.exe *)
+
+open Gdpn_core
+
+let () =
+  let n = 10 in
+  let mission_failure_probs = [ 0.01; 0.03; 0.06 ] in
+  let target = 0.95 in
+  let trials = 500 in
+
+  Format.printf
+    "pipeline length n = %d, survival target %.2f (Wilson 95%% lower bound), \
+     %d Monte Carlo trials per candidate k@.@."
+    n target trials;
+
+  List.iter
+    (fun p ->
+      Format.printf "--- per-node failure probability %.2f ---@." p;
+      (* What each k actually delivers. *)
+      List.iter
+        (fun k ->
+          match Family.build ~n ~k with
+          | exception Family.Unsupported _ -> ()
+          | inst ->
+            let est =
+              Planner.survival_probability
+                ~rng:(Random.State.make [| 91; k |])
+                ~trials ~node_failure_prob:p inst
+            in
+            Format.printf
+              "  k=%d: measured %a | guarantee-only bound %.4f | max degree %d@."
+              k Planner.pp_estimate est
+              (Planner.guarantee_only_bound ~n ~k ~node_failure_prob:p)
+              (Instance.max_processor_degree inst))
+        [ 1; 2; 3 ];
+      (match
+         Planner.recommend_k
+           ~rng:(Random.State.make [| 92 |])
+           ~trials ~n ~node_failure_prob:p ~target ()
+       with
+      | Some (k, est) ->
+        Format.printf "  -> recommended k = %d (%a)@." k Planner.pp_estimate est
+      | None -> Format.printf "  -> no k <= 8 certifies the target@.");
+      Format.printf "@.")
+    mission_failure_probs;
+
+  Format.printf
+    "note how the measured survival beats the guarantee-only bound: random \
+     faults rarely form the adversarial patterns the worst case needs, and \
+     the solver exploits that (experiment E15).@."

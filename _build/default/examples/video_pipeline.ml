@@ -1,0 +1,64 @@
+(* The paper's opening motivation: asymmetric video compression on a
+   parallel pipeline with real-time constraints (§1).  An encoder chain
+   (subsample, rescale, FIR low-pass, quantize, run-length coding) streams
+   frames through a gracefully-degradable network while processors and even
+   I/O terminals fail mid-stream.
+
+   Run with:  dune exec examples/video_pipeline.exe *)
+
+open Gdpn_core
+open Gdpn_faultsim
+
+(* The encoder front end from the paper's motivation plus a deep analysis
+   filter bank: 26 stages, more than the network's 13 processors, so every
+   processor carries real work and losing one visibly costs bandwidth. *)
+let encoder = Stage.video_codec () @ Stage.fir_bank 21
+
+let run_scenario ~label ~schedule inst =
+  let machine = Machine.create inst in
+  let metrics =
+    Runner.run ~machine ~stages:encoder
+      ~source:(Stream.Sine_mixture [ (0.013, 1.0); (0.041, 0.4); (0.11, 0.15) ])
+      ~frame_length:512 ~rounds:120 ~schedule ()
+  in
+  Format.printf "%-26s %a@." label Runner.pp_metrics metrics;
+  metrics
+
+let () =
+  let inst = Family.build ~n:10 ~k:3 in
+  Format.printf "network: %a@." Instance.pp inst;
+  Format.printf "encoder (%d stages): %s -> [%d-tap filter bank]@.@."
+    (List.length encoder)
+    (String.concat " -> " (List.map Stage.name (Stage.video_codec ())))
+    (List.length (Stage.fir_bank 21));
+
+  (* Scenario 1: clean run. *)
+  let clean = run_scenario ~label:"clean run:" ~schedule:[] inst in
+
+  (* Scenario 2: three random processor faults spread over the stream. *)
+  let rng = Stream.Prng.create 2024 in
+  let random_schedule =
+    Injector.random_processors_only ~rng inst ~count:3 ~rounds:120
+  in
+  let faulty =
+    run_scenario ~label:"3 processor faults:" ~schedule:random_schedule inst
+  in
+
+  (* Scenario 3: adversarial -- the faults target input terminals, the case
+     unlabeled-graph schemes cannot express (paper §2). *)
+  let adversarial = Injector.adversarial_terminals inst ~count:3 ~at:40 in
+  let io_hit =
+    run_scenario ~label:"3 input terminals die:" ~schedule:adversarial inst
+  in
+
+  Format.printf "@.observations:@.";
+  Format.printf "  output checksums identical: %b (values never depend on the mapping)@."
+    (clean.Runner.output_checksum = faulty.Runner.output_checksum
+    && clean.Runner.output_checksum = io_hit.Runner.output_checksum);
+  Format.printf "  utilization stayed 1.0 under faults: %b (graceful degradation)@."
+    (faulty.Runner.mean_utilization = 1.0
+    && io_hit.Runner.mean_utilization = 1.0);
+  Format.printf
+    "  throughput clean %.3f vs faulty %.3f: losing processors costs \
+     bandwidth but never strands a healthy one@."
+    clean.Runner.throughput faulty.Runner.throughput

@@ -1,0 +1,1 @@
+lib/baselines/compare.ml: Array Family Format Gdpn_core Gdpn_graph Hayes Instance List Pipeline Random Reconfig Rosenberg Scheme Spares

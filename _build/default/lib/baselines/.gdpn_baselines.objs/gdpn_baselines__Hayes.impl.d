@@ -1,0 +1,1 @@
+lib/baselines/hayes.ml: Array Fun Gdpn_graph List Option Scheme

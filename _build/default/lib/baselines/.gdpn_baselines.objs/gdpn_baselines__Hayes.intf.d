@@ -1,0 +1,1 @@
+lib/baselines/hayes.mli: Gdpn_graph Scheme

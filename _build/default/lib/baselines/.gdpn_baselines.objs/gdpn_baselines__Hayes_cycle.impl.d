@@ -1,0 +1,1 @@
+lib/baselines/hayes_cycle.ml: Array Gdpn_graph List

@@ -1,0 +1,1 @@
+lib/baselines/hayes_cycle.mli: Gdpn_graph

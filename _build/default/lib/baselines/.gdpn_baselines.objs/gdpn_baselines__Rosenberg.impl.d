@@ -1,0 +1,1 @@
+lib/baselines/rosenberg.ml: Array Fun List Option Scheme

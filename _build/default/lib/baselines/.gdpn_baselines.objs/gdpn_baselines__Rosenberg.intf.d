@@ -1,0 +1,1 @@
+lib/baselines/rosenberg.mli: Scheme

@@ -1,0 +1,1 @@
+lib/baselines/spares.ml: Fun Gdpn_graph List Scheme

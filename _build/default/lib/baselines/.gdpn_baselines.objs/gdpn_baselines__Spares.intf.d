@@ -1,0 +1,1 @@
+lib/baselines/spares.mli: Gdpn_graph Scheme

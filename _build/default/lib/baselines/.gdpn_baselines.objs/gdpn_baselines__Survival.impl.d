@@ -1,0 +1,1 @@
+lib/baselines/survival.ml: Array Format Fun Gdpn_core Gdpn_graph Instance Random Reconfig Scheme

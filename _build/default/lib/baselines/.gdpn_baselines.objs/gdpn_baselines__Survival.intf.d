@@ -1,0 +1,1 @@
+lib/baselines/survival.mli: Format Gdpn_core Random Scheme

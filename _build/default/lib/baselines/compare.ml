@@ -1,0 +1,93 @@
+open Gdpn_core
+module Combinat = Gdpn_graph.Combinat
+
+type row = {
+  scheme : string;
+  total_nodes : int;
+  max_degree : int;
+  coverage : float;
+  mean_utilization : float;
+  min_utilization : float;
+}
+
+let gdpn_scheme ~n ~k =
+  let inst = Family.build ~n ~k in
+  {
+    Scheme.name = "gdpn";
+    total_nodes = Instance.order inst;
+    processors = Instance.processors inst;
+    max_degree = Instance.max_processor_degree inst;
+    n;
+    k;
+    tolerate =
+      (fun faults ->
+        match Reconfig.solve_list inst ~faults with
+        | Reconfig.Pipeline p -> Some (Pipeline.processor_count p)
+        | Reconfig.No_pipeline | Reconfig.Gave_up -> None);
+  }
+
+let evaluate ?sample (s : Scheme.t) =
+  let tolerated = ref 0 in
+  let total = ref 0 in
+  let util_sum = ref 0.0 in
+  let util_min = ref infinity in
+  let consider faults =
+    incr total;
+    match Scheme.utilization s faults with
+    | None -> ()
+    | Some u ->
+      incr tolerated;
+      util_sum := !util_sum +. u;
+      util_min := min !util_min u
+  in
+  (match sample with
+  | None ->
+    Combinat.iter_subsets_up_to s.Scheme.total_nodes s.Scheme.k
+      (fun buf len -> consider (Array.to_list (Array.sub buf 0 len)))
+  | Some (trials, seed) ->
+    let rng = Random.State.make [| seed |] in
+    for _ = 1 to trials do
+      let set = Combinat.sample_up_to rng s.Scheme.total_nodes s.Scheme.k in
+      consider (Array.to_list set)
+    done);
+  {
+    scheme = s.Scheme.name;
+    total_nodes = s.Scheme.total_nodes;
+    max_degree = s.Scheme.max_degree;
+    coverage =
+      (if !total = 0 then 0.0
+       else float_of_int !tolerated /. float_of_int !total);
+    mean_utilization =
+      (if !tolerated = 0 then 0.0
+       else !util_sum /. float_of_int !tolerated);
+    min_utilization = (if !tolerated = 0 then 0.0 else !util_min);
+  }
+
+let table ?sample ~n ~k () =
+  List.map (evaluate ?sample)
+    [
+      gdpn_scheme ~n ~k; Hayes.scheme ~n ~k; Spares.scheme ~n ~k;
+      Rosenberg.scheme ~n ~k;
+    ]
+
+let utilization_vs_faults (s : Scheme.t) ~f ~trials ~seed =
+  let rng = Random.State.make [| seed |] in
+  let sum = ref 0.0 in
+  let count = ref 0 in
+  for _ = 1 to trials do
+    let set = Array.to_list (Combinat.sample rng s.Scheme.total_nodes f) in
+    match Scheme.utilization s set with
+    | None -> incr count (* counts as zero utilization: stream is down *)
+    | Some u ->
+      sum := !sum +. u;
+      incr count
+  done;
+  if !count = 0 then 0.0 else !sum /. float_of_int !count
+
+let pp_row ppf r =
+  Format.fprintf ppf "%-12s nodes=%-4d maxdeg=%-3d coverage=%.4f util(mean)=%.4f util(min)=%.4f"
+    r.scheme r.total_nodes r.max_degree r.coverage r.mean_utilization
+    r.min_utilization
+
+let pp_table ppf rows =
+  List.iter (fun r -> Format.fprintf ppf "%a@." pp_row r) rows

@@ -1,0 +1,44 @@
+(** The graceful-degradation comparison (experiment E12): GDPN versus the
+    prior-work schemes across the full fault space.
+
+    Two quality dimensions and two cost dimensions per scheme:
+    - {e coverage}: fraction of fault sets of size [0..k] (over all nodes,
+      devices included) after which a pipeline with I/O connectivity
+      survives;
+    - {e utilization}: mean used/healthy processors over tolerated fault
+      sets — 1.0 is perfect graceful degradation;
+    - node count and maximum processor degree.
+
+    The expected shape (paper §2): GDPN achieves coverage 1.0 and
+    utilization 1.0 at degree [k+2..k+3]; the Hayes-style array loses
+    coverage to port/device faults; the cold-spare scheme loses utilization
+    ([n/(n+k-f)]) and pays degree linear in [n]. *)
+
+type row = {
+  scheme : string;
+  total_nodes : int;
+  max_degree : int;
+  coverage : float;
+  mean_utilization : float;
+  min_utilization : float;  (** over tolerated fault sets *)
+}
+
+val gdpn_scheme : n:int -> k:int -> Scheme.t
+(** The paper's construction wrapped in the scheme interface
+    (reconfiguration via {!Gdpn_core.Reconfig}). *)
+
+val evaluate : ?sample:int * int -> Scheme.t -> row
+(** Exhaustive over all fault sets of size [0..k] by default;
+    [~sample:(trials, seed)] switches to random sampling for large
+    instances. *)
+
+val table : ?sample:int * int -> n:int -> k:int -> unit -> row list
+(** Rows for GDPN, the Hayes-style array, cold spares, and the
+    Diogenes-style bused line, all at the same [(n,k)]. *)
+
+val utilization_vs_faults : Scheme.t -> f:int -> trials:int -> seed:int -> float
+(** Mean utilization over random fault sets of size exactly [f] —
+    the degradation-curve series. *)
+
+val pp_row : Format.formatter -> row -> unit
+val pp_table : Format.formatter -> row list -> unit

@@ -1,0 +1,53 @@
+module Graph = Gdpn_graph.Graph
+
+let graph ~n ~k =
+  let procs = n + k in
+  let b = Graph.builder (procs + 2) in
+  for i = 0 to procs - 1 do
+    for j = i + 1 to min (procs - 1) (i + k + 1) do
+      Graph.add_edge b i j
+    done
+  done;
+  Graph.add_edge b procs 0;
+  Graph.add_edge b (procs + 1) (procs - 1);
+  Graph.freeze b
+
+let embed ~n ~k ~faults =
+  let procs = n + k in
+  let faulty = Array.make (procs + 2) false in
+  List.iter
+    (fun v -> if v >= 0 && v < procs + 2 then faulty.(v) <- true)
+    faults;
+  let devices_ok = (not faulty.(procs)) && not faulty.(procs + 1) in
+  let ports_ok = (not faulty.(0)) && not faulty.(procs - 1) in
+  if not (devices_ok && ports_ok) then None
+  else begin
+    let healthy = ref [] in
+    for i = procs - 1 downto 0 do
+      if not faulty.(i) then healthy := i :: !healthy
+    done;
+    let rec gaps_ok = function
+      | a :: (b :: _ as rest) -> b - a <= k + 1 && gaps_ok rest
+      | [ _ ] | [] -> true
+    in
+    if List.length !healthy >= n && gaps_ok !healthy then Some !healthy
+    else None
+  end
+
+let scheme ~n ~k =
+  let g = graph ~n ~k in
+  {
+    Scheme.name = "hayes-array";
+    total_nodes = n + k + 2;
+    processors = List.init (n + k) Fun.id;
+    max_degree =
+      List.fold_left
+        (fun m v -> max m (Graph.degree g v))
+        0
+        (List.init (n + k) Fun.id);
+    n;
+    k;
+    tolerate =
+      (fun faults ->
+        Option.map List.length (embed ~n ~k ~faults));
+  }

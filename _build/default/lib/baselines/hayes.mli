@@ -1,0 +1,29 @@
+(** A Hayes-style k-fault-tolerant linear array (Hayes 1976), adapted as a
+    pipeline scheme.
+
+    Hayes's graph model produces, for a length-[n+k] linear-array target, the
+    path power: processors [0..n+k-1] with [i ~ j] iff [|i - j| <= k+1].
+    Under any [<= k] processor faults the healthy processors taken in
+    increasing order form a path — so the array itself degrades gracefully.
+    Its weakness is exactly the paper's §2 critique: the model is unlabeled,
+    so I/O devices are wired where the fault-free design puts its ports —
+    the input device to processor 0, the output device to processor
+    [n+k-1].  A single fault on a port processor (or a device) disconnects
+    the stream even though the array's internal guarantee holds, so the
+    scheme is {e not} k-gracefully-degradable in the labeled model.
+
+    Costs: [n+k+2] nodes but maximum processor degree [2(k+1) + 1] versus
+    the paper's optimal [k+2]. *)
+
+val graph : n:int -> k:int -> Gdpn_graph.Graph.t
+(** The path power on [n+k] processors plus device nodes [n+k] (input,
+    attached to processor 0) and [n+k+1] (output, attached to processor
+    [n+k-1]). *)
+
+val scheme : n:int -> k:int -> Scheme.t
+
+val embed : n:int -> k:int -> faults:int list -> int list option
+(** The reconfiguration algorithm: healthy processors in increasing index
+    order, provided no index gap exceeds [k+1], the port processors and the
+    devices are healthy, and at least [n] processors survive.  Returns the
+    processor path. *)

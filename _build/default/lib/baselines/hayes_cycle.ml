@@ -1,0 +1,50 @@
+module Graph = Gdpn_graph.Graph
+module Builder = Gdpn_graph.Builder
+module Bitset = Gdpn_graph.Bitset
+module Combinat = Gdpn_graph.Combinat
+module Hamilton = Gdpn_graph.Hamilton
+
+(* Even k: offsets 1..k/2+1.  Odd k: offsets 1..(k+1)/2 plus the diameters
+   (requires an even node count) — the same bisector device the paper's
+   §3.4 construction uses.  Both give maximum degree k+2. *)
+let offsets ~m k =
+  if k mod 2 = 0 then List.init ((k / 2) + 1) (fun i -> i + 1)
+  else List.init ((k + 1) / 2) (fun i -> i + 1) @ [ m / 2 ]
+
+let graph ~n ~k =
+  if n < 3 || k < 1 then invalid_arg "Hayes_cycle.graph: need n >= 3, k >= 1";
+  let m = n + k in
+  if k mod 2 = 1 && m mod 2 = 1 then
+    invalid_arg
+      "Hayes_cycle.graph: odd k needs an even node count (diametral edges)";
+  if m <= 2 * ((k / 2) + 2) then
+    invalid_arg "Hayes_cycle.graph: too few nodes for the offset set";
+  Builder.circulant m (offsets ~m k)
+
+let reconfigure ?budget ~n ~k ~faults () =
+  let g = graph ~n ~k in
+  let alive = Bitset.full (Graph.order g) in
+  List.iter
+    (fun v -> if v >= 0 && v < Graph.order g then Bitset.remove alive v)
+    faults;
+  match Hamilton.spanning_cycle ?budget g ~alive with
+  | Hamilton.Path cycle -> Some cycle
+  | Hamilton.No_path | Hamilton.Budget_exceeded -> None
+
+let verify_exhaustive ?budget ~n ~k () =
+  let g = graph ~n ~k in
+  let m = Graph.order g in
+  let ok = ref true in
+  (try
+     Combinat.iter_subsets_up_to m k (fun buf len ->
+         let alive = Bitset.full m in
+         for i = 0 to len - 1 do
+           Bitset.remove alive buf.(i)
+         done;
+         match Hamilton.spanning_cycle ?budget g ~alive with
+         | Hamilton.Path _ -> ()
+         | Hamilton.No_path | Hamilton.Budget_exceeded ->
+           ok := false;
+           raise Exit)
+   with Exit -> ());
+  !ok

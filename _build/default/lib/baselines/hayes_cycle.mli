@@ -1,0 +1,23 @@
+(** Hayes's fault-tolerant cycle (Hayes 1976) — the construction the
+    paper's §3.4 circulant subgraph extends ("a supergraph of Hayes's
+    construction with the same maximum degree").
+
+    For a length-[n] cycle target and [k] faults, the realization is the
+    circulant on [n + k] nodes with offsets [1 .. floor(k/2) + 1].  Hayes's
+    theorem: after any [<= k] node faults, the survivors contain a
+    Hamiltonian cycle — in modern terms, the cycle degrades gracefully.
+    This module builds the graph and machine-checks the theorem by
+    exhaustive fault enumeration with the spanning-cycle solver, tying the
+    paper's Theorem 3.17 back to its foundation. *)
+
+val graph : n:int -> k:int -> Gdpn_graph.Graph.t
+(** The circulant realization.  Requires [n >= 3] and [k >= 1], and enough
+    nodes that the offsets stay distinct ([n + k > 2 * (floor(k/2) + 1)]). *)
+
+val reconfigure :
+  ?budget:int -> n:int -> k:int -> faults:int list -> unit -> int list option
+(** A spanning cycle of the healthy nodes, if one exists. *)
+
+val verify_exhaustive : ?budget:int -> n:int -> k:int -> unit -> bool
+(** Hayes's theorem for this instance: every fault set of size [0..k]
+    leaves a spanning cycle of the survivors. *)

@@ -1,0 +1,40 @@
+let embed ~n ~k ~faults =
+  let sites = n + k in
+  let seg_base = sites in
+  let input = (2 * sites) - 1 in
+  let output = 2 * sites in
+  let faulty = Array.make ((2 * sites) + 1) false in
+  List.iter
+    (fun v -> if v >= 0 && v <= 2 * sites then faulty.(v) <- true)
+    faults;
+  if faulty.(input) || faulty.(output) then None
+  else begin
+    let healthy = ref [] in
+    for i = sites - 1 downto 0 do
+      if not faulty.(i) then healthy := i :: !healthy
+    done;
+    match !healthy with
+    | [] -> None
+    | _ :: _ ->
+      (* The devices sit at the two line ends, so the compacted stream
+         rides every bus segment: one faulty segment anywhere severs it
+         (the §2 critique, literally). *)
+      let span_ok = ref true in
+      for s = 0 to sites - 2 do
+        if faulty.(seg_base + s) then span_ok := false
+      done;
+      if !span_ok then Some !healthy else None
+  end
+
+let scheme ~n ~k =
+  let sites = n + k in
+  {
+    Scheme.name = "diogenes-bus";
+    total_nodes = (2 * sites) + 1;
+    processors = List.init sites Fun.id;
+    max_degree = 3;
+    n;
+    k;
+    tolerate =
+      (fun faults -> Option.map List.length (embed ~n ~k ~faults));
+  }

@@ -1,0 +1,23 @@
+(** A Diogenes-style bused reconfigurable line (Rosenberg 1983), as the
+    paper's §2 characterises it: "a technique which adds a collection of
+    buses in order to accommodate processor faults.  However this approach
+    does not tolerate faults in the buses."
+
+    Model: [n + k] processor sites in a line, a bus segment between
+    consecutive sites, and single I/O devices at the ends.  Healthy
+    processors are compacted onto the line in site order; each hop between
+    consecutive healthy processors (or a device and its nearest healthy
+    processor) rides every bus segment spanning the gap.  Processor faults
+    are therefore tolerated {e gracefully} (all healthy processors used —
+    Diogenes' strength), but a single faulty bus segment anywhere in the
+    active span severs the stream, and so does a device fault.
+
+    Node ids: sites [0 .. n+k-1], bus segments [n+k .. 2(n+k)-2] (segment
+    [i] joins sites [i] and [i+1]), input device [2(n+k)-1], output device
+    [2(n+k)].  Degrees: a site touches two segments plus nothing else
+    (degree <= 3 with a device); the hardware cost is the bus itself. *)
+
+val scheme : n:int -> k:int -> Scheme.t
+
+val embed : n:int -> k:int -> faults:int list -> int list option
+(** Surviving compacted line (site ids, ascending) or [None]. *)

@@ -1,0 +1,20 @@
+type t = {
+  name : string;
+  total_nodes : int;
+  processors : int list;
+  max_degree : int;
+  n : int;
+  k : int;
+  tolerate : int list -> int option;
+}
+
+let healthy_processors t faults =
+  List.length (List.filter (fun p -> not (List.mem p faults)) t.processors)
+
+let utilization t faults =
+  match t.tolerate faults with
+  | None -> None
+  | Some used ->
+    let healthy = healthy_processors t faults in
+    if healthy = 0 then Some 0.0
+    else Some (float_of_int used /. float_of_int healthy)

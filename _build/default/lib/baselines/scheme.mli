@@ -1,0 +1,29 @@
+(** A fault-tolerance scheme reduced to the interface the comparison
+    experiment needs: static costs (nodes, degree) and a tolerance oracle.
+
+    The oracle answers, for a concrete fault set, whether the scheme still
+    provides a pipeline with I/O connectivity, and if so how many processors
+    that pipeline uses.  Utilization — used processors over healthy
+    processors — is the quantity the paper's graceful degradation improves
+    over prior work (§2: "the previous work does not guarantee that all of
+    the healthy processors can be utilized"). *)
+
+type t = {
+  name : string;
+  total_nodes : int;  (** processors + I/O devices *)
+  processors : int list;  (** processor node ids *)
+  max_degree : int;  (** maximum processor degree *)
+  n : int;  (** guaranteed pipeline length under <= k faults *)
+  k : int;
+  tolerate : int list -> int option;
+      (** [tolerate faults] is [Some used] when a pipeline with I/O
+          connectivity survives, using [used] processors; [None] when the
+          fault set defeats the scheme.  Node ids
+          [0 .. total_nodes - 1] are valid fault targets. *)
+}
+
+val healthy_processors : t -> int list -> int
+(** Healthy processor count for a fault set. *)
+
+val utilization : t -> int list -> float option
+(** [used / healthy] when tolerated. *)

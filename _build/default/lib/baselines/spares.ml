@@ -1,0 +1,50 @@
+module Graph = Gdpn_graph.Graph
+module Builder = Gdpn_graph.Builder
+
+let graph ~n ~k =
+  let procs = n + k in
+  let b = Graph.builder (procs + 2) in
+  Builder.add_path_on b (List.init n Fun.id);
+  let spares = List.init k (fun i -> n + i) in
+  Builder.add_clique_on b spares;
+  List.iter
+    (fun s ->
+      for j = 0 to n - 1 do
+        Graph.add_edge b s j
+      done)
+    spares;
+  let input = procs and output = procs + 1 in
+  Graph.add_edge b input 0;
+  Graph.add_edge b output (n - 1);
+  List.iter
+    (fun s ->
+      Graph.add_edge b input s;
+      Graph.add_edge b output s)
+    spares;
+  Graph.freeze b
+
+let scheme ~n ~k =
+  let g = graph ~n ~k in
+  let procs = n + k in
+  {
+    Scheme.name = "cold-spares";
+    total_nodes = procs + 2;
+    processors = List.init procs Fun.id;
+    max_degree =
+      List.fold_left
+        (fun m v -> max m (Graph.degree g v))
+        0
+        (List.init procs Fun.id);
+    n;
+    k;
+    tolerate =
+      (fun faults ->
+        let faults = List.sort_uniq compare faults in
+        let device_faulty =
+          List.exists (fun v -> v = procs || v = procs + 1) faults
+        in
+        let proc_faults =
+          List.length (List.filter (fun v -> v >= 0 && v < procs) faults)
+        in
+        if device_faulty || procs - proc_faults < n then None else Some n);
+  }

@@ -1,0 +1,23 @@
+(** A cold-spare k-fault-tolerant pipeline (the Rosenberg/Diogenes-flavoured
+    reconfigurable-array approach, §2).
+
+    [n] active processors form the working pipeline; [k] spares can
+    substitute for any faulty position, which requires heavy interconnect:
+    every spare is wired to every active position and to the other spares
+    (so adjacent faulty positions can both be patched).  Single input and
+    output devices attach to the pipeline ends through the reconfiguration
+    fabric (modelled as device-to-{position-0-capable} wiring).
+
+    Guarantees: any [<= k] {e processor} faults are tolerated — but the
+    pipeline always has exactly [n] processors, so with [f < k] faults,
+    [k - f] healthy processors sit idle: utilization [n / (n+k-f)].  Device
+    faults are fatal (single ports).  Maximum degree grows with [n]
+    (a spare touches every active position), versus the paper's [k+2]. *)
+
+val graph : n:int -> k:int -> Gdpn_graph.Graph.t
+(** Concrete wiring: actives [0..n-1] in a path, spares [n..n+k-1] complete
+    to the actives and to each other, input device [n+k] wired to active 0
+    and all spares, output device [n+k+1] wired to active [n-1] and all
+    spares. *)
+
+val scheme : n:int -> k:int -> Scheme.t

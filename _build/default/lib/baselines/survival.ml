@@ -1,0 +1,72 @@
+open Gdpn_core
+
+type stats = {
+  trials : int;
+  designed : int;
+  mean : float;
+  min_faults : int;
+  max_faults : int;
+}
+
+let collect ~trials ~designed run_one =
+  let total = ref 0 in
+  let min_f = ref max_int in
+  let max_f = ref 0 in
+  for t = 1 to trials do
+    let survived = run_one t in
+    total := !total + survived;
+    min_f := min !min_f survived;
+    max_f := max !max_f survived
+  done;
+  {
+    trials;
+    designed;
+    mean = float_of_int !total /. float_of_int (max 1 trials);
+    min_faults = (if !min_f = max_int then 0 else !min_f);
+    max_faults = !max_f;
+  }
+
+let shuffled rng count =
+  let order = Array.init count Fun.id in
+  for i = count - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  done;
+  order
+
+let instance_lifetime ~rng ~trials inst =
+  let order_n = Instance.order inst in
+  collect ~trials ~designed:inst.Instance.k (fun _ ->
+      let seq = shuffled rng order_n in
+      let faults = Gdpn_graph.Bitset.create order_n in
+      let rec go i survived =
+        if i >= order_n then survived
+        else begin
+          Gdpn_graph.Bitset.add faults seq.(i);
+          match Reconfig.solve inst ~faults with
+          | Reconfig.Pipeline _ -> go (i + 1) (survived + 1)
+          | Reconfig.No_pipeline | Reconfig.Gave_up -> survived
+        end
+      in
+      go 0 0)
+
+let scheme_lifetime ~rng ~trials (s : Scheme.t) =
+  collect ~trials ~designed:s.Scheme.k (fun _ ->
+      let seq = shuffled rng s.Scheme.total_nodes in
+      let rec go i acc survived =
+        if i >= s.Scheme.total_nodes then survived
+        else begin
+          let acc = seq.(i) :: acc in
+          match s.Scheme.tolerate acc with
+          | Some _ -> go (i + 1) acc (survived + 1)
+          | None -> survived
+        end
+      in
+      go 0 [] 0)
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "designed k=%d, survived %.2f faults on average (min %d, max %d, %d trials)"
+    s.designed s.mean s.min_faults s.max_faults s.trials

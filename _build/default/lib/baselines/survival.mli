@@ -1,0 +1,28 @@
+(** Beyond-spec survival (experiment E15).
+
+    The designed tolerance [k] is a worst-case guarantee: {e every} fault
+    set of size [k] is survivable, and some of size [k+1] is not.  In
+    practice faults are random, not adversarial, and the constructions
+    absorb far more than [k] before the stream dies.  This module measures
+    the lifetime distribution: nodes fail one at a time in random order
+    until no pipeline survives. *)
+
+type stats = {
+  trials : int;
+  designed : int;  (** the scheme's k *)
+  mean : float;  (** mean faults absorbed before loss *)
+  min_faults : int;
+  max_faults : int;
+}
+
+val instance_lifetime :
+  rng:Random.State.t -> trials:int -> Gdpn_core.Instance.t -> stats
+(** Faults strike uniformly at random among not-yet-failed nodes; each step
+    re-solves (pipelines may use all healthy processors at every step).
+    The count recorded is the number of faults survived (the stream dies on
+    fault [count + 1]). *)
+
+val scheme_lifetime : rng:Random.State.t -> trials:int -> Scheme.t -> stats
+(** Same protocol through the scheme oracle, for the baselines. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+lib/core/attack.ml: Array Fun Gdpn_graph Instance List Reconfig

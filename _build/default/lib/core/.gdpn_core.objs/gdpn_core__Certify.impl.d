@@ -1,0 +1,1 @@
+lib/core/certify.ml: Array Buffer Digest Gdpn_graph Instance List Pipeline Printf Reconfig Serial String

@@ -1,0 +1,1 @@
+lib/core/circulant_family.ml: Array Fun Gdpn_graph Instance Label List Printf

@@ -1,0 +1,1 @@
+lib/core/circulant_family.mli: Gdpn_graph Instance Label

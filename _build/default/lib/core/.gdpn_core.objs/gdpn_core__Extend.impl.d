@@ -1,0 +1,1 @@
+lib/core/extend.ml: Array Gdpn_graph Instance Label List Printf

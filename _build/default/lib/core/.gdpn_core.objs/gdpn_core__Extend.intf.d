@@ -1,0 +1,1 @@
+lib/core/extend.mli: Instance

@@ -1,0 +1,1 @@
+lib/core/family.ml: Bounds Circulant_family Extend Instance Printf Small_n Special

@@ -1,0 +1,1 @@
+lib/core/figures.ml: Circulant_family Family Instance List Small_n Special

@@ -1,0 +1,1 @@
+lib/core/impossibility.ml: Array Gdpn_graph Instance Label List Printf Small_n Special Verify

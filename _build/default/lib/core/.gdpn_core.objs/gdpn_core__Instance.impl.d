@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Format Gdpn_graph Label List

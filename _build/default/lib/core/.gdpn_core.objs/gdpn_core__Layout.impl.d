@@ -1,0 +1,1 @@
+lib/core/layout.ml: Array Float Gdpn_graph Instance List Pipeline

@@ -1,0 +1,1 @@
+lib/core/layout.mli: Gdpn_graph Instance Pipeline

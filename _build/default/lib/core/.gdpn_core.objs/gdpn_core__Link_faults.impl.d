@@ -1,0 +1,1 @@
+lib/core/link_faults.ml: Array Format Gdpn_graph Instance List Pipeline Reconfig

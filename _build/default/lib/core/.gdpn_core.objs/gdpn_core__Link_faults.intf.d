@@ -1,0 +1,1 @@
+lib/core/link_faults.mli: Format Instance Pipeline

@@ -1,0 +1,1 @@
+lib/core/merge.ml: Array Gdpn_graph Hashtbl Instance Label List Printf

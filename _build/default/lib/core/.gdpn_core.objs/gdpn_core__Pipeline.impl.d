@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Format Gdpn_graph Instance Label List Result

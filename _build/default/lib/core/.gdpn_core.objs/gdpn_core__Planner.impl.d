@@ -1,0 +1,1 @@
+lib/core/planner.ml: Family Float Format Gdpn_graph Instance Printf Random Reconfig

@@ -1,0 +1,1 @@
+lib/core/reconfig.ml: Array Format Fun Gdpn_graph Instance Label List Option Pipeline

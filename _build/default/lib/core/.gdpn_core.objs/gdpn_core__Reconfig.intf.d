@@ -1,0 +1,1 @@
+lib/core/reconfig.mli: Format Gdpn_graph Instance Pipeline

@@ -1,0 +1,1 @@
+lib/core/render.ml: Array Buffer Format Gdpn_graph Hashtbl Instance Label List Pipeline Printf String

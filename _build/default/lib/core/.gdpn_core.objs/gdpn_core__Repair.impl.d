@@ -1,0 +1,1 @@
+lib/core/repair.ml: Gdpn_graph Instance Label List Pipeline Reconfig

@@ -1,0 +1,1 @@
+lib/core/repair.mli: Gdpn_graph Instance Pipeline

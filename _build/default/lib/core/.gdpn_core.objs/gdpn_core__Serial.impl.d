@@ -1,0 +1,1 @@
+lib/core/serial.ml: Array Buffer Fun Gdpn_graph Instance Label List Printf String

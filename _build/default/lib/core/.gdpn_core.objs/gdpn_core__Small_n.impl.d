@@ -1,0 +1,1 @@
+lib/core/small_n.ml: Array Fun Gdpn_graph Instance Label List Printf

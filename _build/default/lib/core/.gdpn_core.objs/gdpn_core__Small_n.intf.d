@@ -1,0 +1,1 @@
+lib/core/small_n.mli: Instance

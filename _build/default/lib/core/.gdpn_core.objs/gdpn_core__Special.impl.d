@@ -1,0 +1,1 @@
+lib/core/special.ml: Array Gdpn_graph Instance Label List

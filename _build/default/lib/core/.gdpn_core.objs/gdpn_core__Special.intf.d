@@ -1,0 +1,1 @@
+lib/core/special.mli: Gdpn_graph Instance Label

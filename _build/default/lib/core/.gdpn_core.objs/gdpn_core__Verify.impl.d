@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Atomic Domain Format Gdpn_graph Instance List Option Pipeline Reconfig String

@@ -1,0 +1,38 @@
+module Graph = Gdpn_graph.Graph
+
+let min_processor_degree inst =
+  List.fold_left
+    (fun m v -> min m (Graph.degree inst.Instance.graph v))
+    max_int (Instance.processors inst)
+
+let lemma_3_1_holds inst = min_processor_degree inst >= inst.Instance.k + 2
+
+let processor_neighbour_count inst v =
+  Graph.fold_neighbours inst.Instance.graph v
+    (fun acc u ->
+      if Label.equal (Instance.kind_of inst u) Label.Processor then acc + 1
+      else acc)
+    0
+
+let lemma_3_4_holds inst =
+  inst.Instance.n <= 1
+  || List.for_all
+       (fun v -> processor_neighbour_count inst v >= inst.Instance.k + 1)
+       (Instance.processors inst)
+
+let parity_bound_applies ~n ~k = n mod 2 = 0 && k mod 2 = 1
+
+let degree_lower_bound ~n ~k =
+  if
+    parity_bound_applies ~n ~k
+    || n = 2
+    || (n = 3 && k > 1)
+    || (n = 5 && k = 2)
+  then k + 3
+  else k + 2
+
+let is_degree_optimal inst =
+  Instance.max_processor_degree inst
+  = degree_lower_bound ~n:inst.Instance.n ~k:inst.Instance.k
+
+let lemma_3_5_counting_argument ~n ~k = (n + k) * (k + 2) mod 2 = 1

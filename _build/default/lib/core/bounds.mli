@@ -1,0 +1,32 @@
+(** The paper's lower bounds (§3.1) as checkable predicates, plus the
+    composite degree lower bound used to certify degree-optimality of every
+    construction. *)
+
+val min_processor_degree : Instance.t -> int
+(** Smallest degree over processor nodes. *)
+
+val lemma_3_1_holds : Instance.t -> bool
+(** Every processor has degree at least [k + 2]. *)
+
+val lemma_3_4_holds : Instance.t -> bool
+(** For [n > 1], every processor has at least [k + 1] processor
+    neighbours. *)
+
+val parity_bound_applies : n:int -> k:int -> bool
+(** Lemma 3.5's hypothesis: [n] even and [k] odd (for standard graphs). *)
+
+val degree_lower_bound : n:int -> k:int -> int
+(** The sharpest lower bound the paper proves on the maximum processor
+    degree of a standard solution graph for [(n, k)]:
+    [k+2] always (Cor. 3.2); [k+3] when [n] is even and [k] odd (L3.5);
+    [k+3] when [n = 2] (Cor. 3.10); [k+3] when [n = 3] and [k > 1]
+    (L3.11); [k+3] when [(n,k) = (5,2)] (L3.14). *)
+
+val is_degree_optimal : Instance.t -> bool
+(** Maximum processor degree equals {!degree_lower_bound}. *)
+
+val lemma_3_5_counting_argument : n:int -> k:int -> bool
+(** Reproduces the parity-counting argument of Lemma 3.5's proof: returns
+    true when [(n+k)(k+2)] is odd — i.e. when a standard solution in which
+    every processor has degree exactly [k+2] is impossible because the
+    merged multigraph G(m) would need a half-edge. *)

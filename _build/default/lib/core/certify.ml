@@ -1,0 +1,108 @@
+module Bitset = Gdpn_graph.Bitset
+module Combinat = Gdpn_graph.Combinat
+
+let digest inst = Digest.to_hex (Digest.string (Serial.to_string inst))
+
+let generate inst =
+  let order = Instance.order inst in
+  let k = inst.Instance.k in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "gdpn-cert 1\n";
+  Buffer.add_string buf (Printf.sprintf "instance %s\n" (digest inst));
+  Buffer.add_string buf
+    (Printf.sprintf "sets %d\n" (Combinat.count_up_to order k));
+  let mask = Bitset.create order in
+  Combinat.iter_subsets_up_to order k (fun set len ->
+      Bitset.clear mask;
+      for i = 0 to len - 1 do
+        Bitset.add mask set.(i)
+      done;
+      match Reconfig.solve inst ~faults:mask with
+      | Reconfig.Pipeline p ->
+        Buffer.add_string buf
+          (Printf.sprintf "w %s|%s\n"
+             (String.concat ","
+                (List.init len (fun i -> string_of_int set.(i))))
+             (String.concat " "
+                (List.map string_of_int p.Pipeline.nodes)))
+      | Reconfig.No_pipeline | Reconfig.Gave_up ->
+        failwith
+          (Printf.sprintf "Certify.generate: fault set {%s} has no pipeline"
+             (String.concat ","
+                (List.init len (fun i -> string_of_int set.(i))))));
+  Buffer.contents buf
+
+let check inst text =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+  in
+  match lines with
+  | header :: digest_line :: sets_line :: witnesses -> (
+    if header <> "gdpn-cert 1" then err "bad header %S" header
+    else if digest_line <> Printf.sprintf "instance %s" (digest inst) then
+      err "certificate is for a different instance"
+    else begin
+      let declared =
+        match String.split_on_char ' ' sets_line with
+        | [ "sets"; n ] -> int_of_string_opt n
+        | _ -> None
+      in
+      match declared with
+      | None -> err "bad sets line %S" sets_line
+      | Some declared ->
+        let order = Instance.order inst in
+        let k = inst.Instance.k in
+        let expected = Combinat.count_up_to order k in
+        if declared <> expected then
+          err "certificate declares %d fault sets, instance needs %d" declared
+            expected
+        else if List.length witnesses <> expected then
+          err "certificate contains %d witnesses, expected %d"
+            (List.length witnesses) expected
+        else begin
+          (* Walk the canonical enumeration in lockstep with the lines. *)
+          let remaining = ref witnesses in
+          let failure = ref None in
+          let mask = Bitset.create order in
+          Combinat.iter_subsets_up_to order k (fun set len ->
+              if !failure = None then begin
+                match !remaining with
+                | [] -> failure := Some "ran out of witness lines"
+                | line :: rest -> (
+                  remaining := rest;
+                  let expected_faults =
+                    String.concat ","
+                      (List.init len (fun i -> string_of_int set.(i)))
+                  in
+                  match String.split_on_char '|' line with
+                  | [ left; right ]
+                    when left = Printf.sprintf "w %s" expected_faults -> (
+                    let nodes =
+                      List.filter_map int_of_string_opt
+                        (String.split_on_char ' ' right)
+                    in
+                    Bitset.clear mask;
+                    for i = 0 to len - 1 do
+                      Bitset.add mask set.(i)
+                    done;
+                    match Pipeline.validate inst ~faults:mask nodes with
+                    | Ok _ -> ()
+                    | Error e ->
+                      failure :=
+                        Some
+                          (Printf.sprintf "witness for {%s} invalid: %s"
+                             expected_faults e))
+                  | _ ->
+                    failure :=
+                      Some
+                        (Printf.sprintf
+                           "expected witness for {%s}, found %S"
+                           expected_faults line))
+              end);
+          match !failure with
+          | Some msg -> Error msg
+          | None -> Ok expected
+        end
+    end)
+  | _ -> err "truncated certificate"

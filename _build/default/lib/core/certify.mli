@@ -1,0 +1,35 @@
+(** Verifiable certificates of k-graceful-degradability.
+
+    [Verify.exhaustive] proves the property by running the solver over the
+    whole fault space — trusting the solver's completeness on the negative
+    side.  A {e certificate} removes that trust for the positive claim: it
+    records one explicit pipeline witness per fault set, and a third party
+    can check the claim by validating each witness against the paper's
+    pipeline definition alone (no search, no solver).  Checking costs
+    O(witness length) per fault set.
+
+    Format (line-oriented; instance identity is pinned by a digest of its
+    serialized form):
+
+    {v
+    gdpn-cert 1
+    instance <hex digest>
+    sets <count>
+    w <f1,f2,..>|<n1 n2 n3 ..>      one line per fault set
+    v}
+
+    Certificates enumerate every fault set of size [0..k] in the standard
+    order, so completeness is checkable by counting. *)
+
+val generate : Instance.t -> string
+(** Solve every fault set and record the witnesses.
+    Raises [Failure] if any fault set has no pipeline (the instance is not
+    k-GD, so no certificate exists). *)
+
+val check : Instance.t -> string -> (int, string) result
+(** Validate a certificate against an instance: digest match, complete
+    enumeration, and every witness valid for its fault set.  Returns the
+    number of fault sets certified. *)
+
+val digest : Instance.t -> string
+(** Hex digest of the instance's canonical serialization. *)

@@ -1,0 +1,44 @@
+module Graph = Gdpn_graph.Graph
+module Builder = Gdpn_graph.Builder
+
+let apply inst =
+  if not (Instance.is_standard inst) then
+    invalid_arg "Extend.apply: instance must be standard";
+  let k = inst.Instance.k in
+  let old_inputs = Instance.inputs inst in
+  let old_order = Instance.order inst in
+  let order = old_order + k + 1 in
+  let b = Graph.builder order in
+  List.iter (fun (u, v) -> Graph.add_edge b u v) (Graph.edges inst.Instance.graph);
+  (* The relabelled terminals become a clique of processors... *)
+  Builder.add_clique_on b old_inputs;
+  (* ... and each gains a fresh input terminal. *)
+  List.iteri
+    (fun idx old_term -> Graph.add_edge b (old_order + idx) old_term)
+    old_inputs;
+  let kind =
+    Array.init order (fun v ->
+        if v >= old_order then Label.Input
+        else if List.mem v old_inputs then Label.Processor
+        else Instance.kind_of inst v)
+  in
+  let n = inst.Instance.n + k + 1 in
+  (* Name extensions as ext^depth[base] rather than nesting. *)
+  let rec base_of i =
+    match i.Instance.strategy with
+    | Instance.Extension inner ->
+      let name, depth = base_of inner in
+      (name, depth + 1)
+    | Instance.Generic | Instance.Processor_clique
+    | Instance.Circulant_layout _ ->
+      (i.Instance.name, 0)
+  in
+  let base_name, depth = base_of inst in
+  Instance.make ~graph:(Graph.freeze b) ~kind ~n ~k
+    ~name:(Printf.sprintf "ext^%d[%s] n=%d" (depth + 1) base_name n)
+    ~strategy:(Instance.Extension inst)
+
+let rec iterate inst l =
+  if l < 0 then invalid_arg "Extend.iterate: negative count"
+  else if l = 0 then inst
+  else iterate (apply inst) (l - 1)

@@ -1,0 +1,20 @@
+(** The Lemma 3.6 extension operator.
+
+    Given a standard k-gracefully-degradable graph [G] for [n] processors,
+    [apply G] is the standard k-GD graph [G'] for [n + k + 1] processors
+    obtained by: relabelling [G]'s input terminals as processors, adding
+    edges making them a clique, and attaching one fresh input terminal to
+    each relabelled node.  The maximum degree is preserved (Lemma 3.6), so
+    iterating from G(1,k) yields degree-(k+2) solutions for all
+    [n = (k+1)l + 1] (Corollary 3.8).
+
+    Node ids of [G] are preserved in [G']; the [k+1] fresh terminals take
+    ids [order G .. order G + k].  This is what allows the reconfiguration
+    algorithm to reuse inner pipelines verbatim (see {!Reconfig}). *)
+
+val apply : Instance.t -> Instance.t
+(** One application of the operator.  Requires a standard instance
+    (raises [Invalid_argument] otherwise). *)
+
+val iterate : Instance.t -> int -> Instance.t
+(** [iterate g l] applies the operator [l >= 0] times. *)

@@ -1,0 +1,85 @@
+exception Unsupported of string
+
+let ext base l = Extend.iterate base l
+
+(* Theorem 3.13. *)
+let build_k1 ~n =
+  if n = 1 then Small_n.g1 ~k:1
+  else if n = 2 then Small_n.g2 ~k:1
+  else if n mod 2 = 1 then ext (Small_n.g1 ~k:1) ((n - 1) / 2)
+  else ext (Small_n.g2 ~k:1) ((n - 2) / 2)
+
+(* Theorem 3.15. *)
+let build_k2 ~n =
+  match n with
+  | 1 -> Small_n.g1 ~k:2
+  | 2 -> Small_n.g2 ~k:2
+  | 3 -> Small_n.g3 ~k:2
+  | 4 -> ext (Small_n.g1 ~k:2) 1
+  | 5 -> ext (Small_n.g2 ~k:2) 1
+  | 6 -> Special.g62 ()
+  | 7 -> ext (Small_n.g1 ~k:2) 2
+  | 8 -> Special.g82 ()
+  | n -> (
+    match n mod 3 with
+    | 0 -> ext (Special.g62 ()) ((n - 6) / 3)
+    | 1 -> ext (Small_n.g1 ~k:2) ((n - 1) / 3)
+    | _ -> ext (Special.g82 ()) ((n - 8) / 3))
+
+(* Theorem 3.16. *)
+let build_k3 ~n =
+  match n with
+  | 1 -> Small_n.g1 ~k:3
+  | 2 -> Small_n.g2 ~k:3
+  | 3 -> Small_n.g3 ~k:3
+  | 4 -> Special.g43 ()
+  | 5 -> ext (Small_n.g1 ~k:3) 1
+  | 6 -> ext (Small_n.g2 ~k:3) 1
+  | 7 -> Special.g73 ()
+  | n -> (
+    match n mod 4 with
+    | 0 -> ext (Special.g43 ()) ((n - 4) / 4)
+    | 1 -> ext (Small_n.g1 ~k:3) ((n - 1) / 4)
+    | 2 -> ext (Small_n.g2 ~k:3) ((n - 2) / 4)
+    | _ -> ext (Special.g73 ()) ((n - 7) / 4))
+
+(* k >= 4: §3.4 for large n, Corollary 3.8-style extensions in the gap. *)
+let build_k_large ~n ~k =
+  match n with
+  | 1 -> Small_n.g1 ~k
+  | 2 -> Small_n.g2 ~k
+  | 3 -> Small_n.g3 ~k
+  | n when n >= Circulant_family.min_n ~k -> Circulant_family.build ~n ~k
+  | n -> (
+    let step = k + 1 in
+    match n mod step with
+    | 1 -> ext (Small_n.g1 ~k) (n / step)
+    | 2 -> ext (Small_n.g2 ~k) (n / step)
+    | 3 -> ext (Small_n.g3 ~k) (n / step)
+    | r ->
+      raise
+        (Unsupported
+           (Printf.sprintf
+              "no construction for n=%d, k=%d (gap below n=%d, residue %d \
+               mod %d not in {1,2,3})"
+              n k (Circulant_family.min_n ~k) r step)))
+
+let build ~n ~k =
+  if n < 1 then invalid_arg "Family.build: n must be >= 1";
+  if k < 1 then invalid_arg "Family.build: k must be >= 1";
+  match k with
+  | 1 -> build_k1 ~n
+  | 2 -> build_k2 ~n
+  | 3 -> build_k3 ~n
+  | _ -> build_k_large ~n ~k
+
+let supported ~n ~k =
+  match build ~n ~k with
+  | (_ : Instance.t) -> true
+  | exception Unsupported _ -> false
+
+let claimed_degree ~n ~k =
+  if n < 1 || k < 1 then None
+  else if k <= 3 || n <= 3 || n >= Circulant_family.min_n ~k then
+    Some (Bounds.degree_lower_bound ~n ~k)
+  else None

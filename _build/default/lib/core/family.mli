@@ -1,0 +1,34 @@
+(** Unified constructor: for given [(n, k)], build the degree-optimal
+    standard solution graph the paper's theorems prescribe.
+
+    - [k = 1] (Theorem 3.13): G(1,1) / G(2,1) extended by Lemma 3.6;
+      degree [k+2] for odd [n], [k+3] for even [n].
+    - [k = 2] (Theorem 3.15): the table {G(1,2), G(2,2), G(3,2), ext G(1,2),
+      ext G(2,2), G(6,2), ext² G(1,2), G(8,2)} for [n <= 8], then extensions
+      of {G(6,2), ext² G(1,2), G(8,2)} by residue of [n] mod 3; degree
+      [k+3] for [n ∈ {2,3,5}], [k+2] otherwise.
+    - [k = 3] (Theorem 3.16): the table {G(1,3), G(2,3), G(3,3), G(4,3),
+      ext G(1,3), ext G(2,3), G(7,3)} for [n <= 7], then extensions by
+      residue of [n] mod 4; degree [k+2] for odd [n >= 5] and [n = 1],
+      [k+3] for even [n] and [n = 3].
+    - [k >= 4]: G(1..3,k) for [n <= 3]; the §3.4 circulant family for
+      [n >= Circulant_family.min_n]; in the gap, Lemma 3.6 extensions of
+      G(1..3,k) when [n mod (k+1) ∈ {1, 2, 3}] (Corollary 3.8) — these can
+      be degree-suboptimal, which the paper leaves open for small [n].
+
+    Every instance returned is standard (node-optimal, degree-1
+    terminals). *)
+
+exception Unsupported of string
+(** Raised when the paper provides no construction for [(n, k)] (only
+    possible for [k >= 4] with [n] in the gap and
+    [n mod (k+1) ∉ {1,2,3}]). *)
+
+val build : n:int -> k:int -> Instance.t
+
+val supported : n:int -> k:int -> bool
+
+val claimed_degree : n:int -> k:int -> int option
+(** The maximum processor degree the relevant theorem claims for the
+    construction, when it makes a degree-optimality claim ([k <= 3] always;
+    [k >= 4] for [n <= 3] or circulant-range [n]).  [None] for gap cases. *)

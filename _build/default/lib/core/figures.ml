@@ -1,0 +1,34 @@
+type entry = {
+  id : string;
+  description : string;
+  build : unit -> Instance.t;
+}
+
+let all =
+  [
+    { id = "fig2"; description = "G(3,3): the n=3 construction, n+k even";
+      build = (fun () -> Small_n.g3 ~k:3) };
+    { id = "fig3"; description = "G(3,2): the n=3 construction, n+k odd";
+      build = (fun () -> Small_n.g3 ~k:2) };
+    { id = "fig4a"; description = "G(1,1)";
+      build = (fun () -> Family.build ~n:1 ~k:1) };
+    { id = "fig4b"; description = "G(2,1)";
+      build = (fun () -> Family.build ~n:2 ~k:1) };
+    { id = "fig4c"; description = "G(3,1) = ext(G(1,1))";
+      build = (fun () -> Family.build ~n:3 ~k:1) };
+    { id = "fig10"; description = "special solution G(6,2)";
+      build = (fun () -> Special.g62 ()) };
+    { id = "fig11"; description = "special solution G(8,2)";
+      build = (fun () -> Special.g82 ()) };
+    { id = "fig12"; description = "special solution G(7,3)";
+      build = (fun () -> Special.g73 ()) };
+    { id = "fig13"; description = "special solution G(4,3)";
+      build = (fun () -> Special.g43 ()) };
+    { id = "fig14"; description = "G(22,4), the circulant family";
+      build = (fun () -> Circulant_family.build ~n:22 ~k:4) };
+    { id = "fig15"; description = "G(26,5), with bisector edges";
+      build = (fun () -> Circulant_family.build ~n:26 ~k:5) };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+let ids = List.map (fun e -> e.id) all

@@ -1,0 +1,20 @@
+(** The paper's figures as a reproducible registry.
+
+    Figures 2–15 of the paper are graph constructions; each entry builds
+    the corresponding instance so it can be rendered (DOT / ASCII),
+    verified, or embedded programmatically.  Figure 1 (a bare pipeline) is
+    representable as the fault-free embedding of any instance and has no
+    entry of its own. *)
+
+type entry = {
+  id : string;  (** e.g. ["fig14"] *)
+  description : string;
+  build : unit -> Instance.t;
+}
+
+val all : entry list
+(** Every regenerable figure, in paper order. *)
+
+val find : string -> entry option
+
+val ids : string list

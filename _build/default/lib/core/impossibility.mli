@@ -1,0 +1,70 @@
+(** Machine checks of the paper's negative and uniqueness results.
+
+    {b Lemma 3.14} (no standard solution of maximum degree [k+2 = 4] exists
+    for [(n,k) = (5,2)]).  The paper proves this by case analysis; we check
+    it by exhausting the constrained graph space.  The constraints are those
+    the proof derives before its case split: in such a solution every
+    processor would have degree exactly 4 (Lemma 3.1 + the degree cap),
+    at least 3 processor neighbours (Lemma 3.4) and hence at most one
+    terminal; with 6 terminals on 7 processors, exactly one processor — fix
+    it as node 0, which is without loss of generality because processor
+    labels are arbitrary — has 4 processor neighbours and no terminal, and
+    the six others have 3 processor neighbours and one terminal each.  We
+    enumerate {e every} labeled graph on 7 nodes with degree sequence
+    (4,3,3,3,3,3,3) rooted at node 0 and every choice of 3 input positions
+    among the 6 attached processors, and verify that none is
+    2-gracefully-degradable.
+
+    {b Lemma 3.7 / 3.9 uniqueness}: the proofs argue the processor subgraph
+    must be complete (and, for G(2,k), that [I ≠ O]).  The corresponding
+    machine checks remove each clique edge in turn / overlap the terminal
+    attachment, and confirm the property breaks. *)
+
+type census = {
+  graphs_examined : int;  (** labeled degree-profile graphs enumerated *)
+  assignments_examined : int;  (** (graph, terminal assignment) pairs *)
+  solutions_found : int;  (** k-GD instances found *)
+}
+
+val standard_census : n:int -> k:int -> census
+(** Exhaust the space of standard solution candidates for [(n, k)] whose
+    maximum processor degree is the generic optimum [k+2].  In that regime
+    the degree profile is forced (Lemmas 3.1/3.4): every processor has
+    degree exactly [k+2] and at least [k+1] processor neighbours, hence at
+    most one terminal; the [2(k+1)] terminals occupy distinct processors,
+    leaving [n-k-2] terminal-free processors of full processor degree
+    [k+2].  Requires [n >= k+2] (fewer processors cannot host the
+    terminals at one each) — callers probing smaller [n] should use
+    {!lemma_3_11_counting}.  Terminal-free processors are pinned to the
+    lowest ids (without loss of generality, since processor labels are
+    arbitrary); every labeled graph with the profile and every choice of
+    input positions is checked for k-graceful-degradability.
+
+    [standard_census ~n:5 ~k:2] is the machine form of {b Lemma 3.14}
+    (zero solutions); [standard_census ~n:4 ~k:2] is its positive control
+    (solutions exist — Theorem 3.15 builds one). *)
+
+val lemma_3_14 : unit -> census
+(** [standard_census ~n:5 ~k:2]. *)
+
+val lemma_3_11_counting : k:int -> bool
+(** The counting core of Lemma 3.11 for [n = 3], [k > 1]: a degree-[k+2]
+    standard solution would give each of the [k+3] processors at most one
+    terminal, but there are [2(k+1) > k+3] terminals.  Returns true when
+    the pigeonhole indeed fires (i.e. [2(k+1) > k+3]). *)
+
+val is_k_gd_quick : Instance.t -> bool
+(** Early-exit exhaustive check (largest fault sets first), shared with the
+    special-solution search. *)
+
+val g1_clique_edge_necessity : k:int -> bool
+(** True when deleting any single processor-processor edge from G(1,k)
+    destroys k-graceful-degradability (the Lemma 3.7 uniqueness argument). *)
+
+val g2_clique_edge_necessity : k:int -> bool
+(** Same for G(2,k) (Lemma 3.9). *)
+
+val g2_io_overlap_impossible : k:int -> bool
+(** Case 1 of the Lemma 3.9 uniqueness proof: a G(2,k)-like graph in which
+    [I = O] (one processor carries two terminals, leaving another with
+    none) is not k-gracefully-degradable. *)

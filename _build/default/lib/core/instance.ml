@@ -1,0 +1,130 @@
+module Graph = Gdpn_graph.Graph
+module Bitset = Gdpn_graph.Bitset
+module Dot = Gdpn_graph.Dot
+
+type t = {
+  graph : Graph.t;
+  kind : Label.t array;
+  n : int;
+  k : int;
+  name : string;
+  strategy : strategy;
+}
+
+and strategy =
+  | Generic
+  | Processor_clique
+  | Extension of t
+  | Circulant_layout of { m : int }
+
+let make ~graph ~kind ~n ~k ~name ~strategy =
+  if Array.length kind <> Graph.order graph then
+    invalid_arg "Instance.make: kind array length mismatch";
+  if n < 1 then invalid_arg "Instance.make: n must be >= 1";
+  if k < 1 then invalid_arg "Instance.make: k must be >= 1";
+  { graph; kind; n; k; name; strategy }
+
+let order t = Graph.order t.graph
+
+let nodes_of_kind t target =
+  let acc = ref [] in
+  for v = order t - 1 downto 0 do
+    if Label.equal t.kind.(v) target then acc := v :: !acc
+  done;
+  !acc
+
+let inputs t = nodes_of_kind t Label.Input
+let outputs t = nodes_of_kind t Label.Output
+let processors t = nodes_of_kind t Label.Processor
+
+let set_of_kind t target =
+  let s = Bitset.create (order t) in
+  for v = 0 to order t - 1 do
+    if Label.equal t.kind.(v) target then Bitset.add s v
+  done;
+  s
+
+let input_set t = set_of_kind t Label.Input
+let output_set t = set_of_kind t Label.Output
+let processor_set t = set_of_kind t Label.Processor
+
+let kind_of t v = t.kind.(v)
+
+let is_node_optimal t =
+  List.length (inputs t) = t.k + 1
+  && List.length (outputs t) = t.k + 1
+  && List.length (processors t) = t.n + t.k
+
+let is_standard t =
+  is_node_optimal t
+  && List.for_all (fun v -> Graph.degree t.graph v = 1) (inputs t)
+  && List.for_all (fun v -> Graph.degree t.graph v = 1) (outputs t)
+
+let attached_processor t terminal =
+  if not (Label.is_terminal t.kind.(terminal)) then
+    invalid_arg "Instance.attached_processor: not a terminal";
+  match Graph.neighbours t.graph terminal with
+  | [| p |] when Label.equal t.kind.(p) Label.Processor -> p
+  | _ -> invalid_arg "Instance.attached_processor: terminal degree is not 1"
+
+let adjacent_processors t terminals =
+  List.sort_uniq compare
+    (List.concat_map
+       (fun term ->
+         Graph.fold_neighbours t.graph term
+           (fun acc v ->
+             if Label.equal t.kind.(v) Label.Processor then v :: acc else acc)
+           [])
+       terminals)
+
+let entry_processors t = adjacent_processors t (inputs t)
+let exit_processors t = adjacent_processors t (outputs t)
+
+let max_processor_degree t =
+  List.fold_left (fun m v -> max m (Graph.degree t.graph v)) 0 (processors t)
+
+let relabel t ~perm =
+  let n = order t in
+  if Array.length perm <> n then invalid_arg "Instance.relabel: length";
+  let seen = Array.make n false in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= n || seen.(p) then
+        invalid_arg "Instance.relabel: not a permutation";
+      seen.(p) <- true)
+    perm;
+  let graph =
+    Graph.of_edges n
+      (List.map (fun (u, v) -> (perm.(u), perm.(v))) (Graph.edges t.graph))
+  in
+  let kind = Array.make n Label.Processor in
+  Array.iteri (fun v k -> kind.(perm.(v)) <- k) t.kind;
+  make ~graph ~kind ~n:t.n ~k:t.k
+    ~name:(t.name ^ " [relabeled]")
+    ~strategy:Generic
+
+let pp ppf t =
+  Format.fprintf ppf "%s: n=%d k=%d, %d nodes (%d in, %d out, %d proc), max proc degree %d"
+    t.name t.n t.k (order t)
+    (List.length (inputs t))
+    (List.length (outputs t))
+    (List.length (processors t))
+    (max_processor_degree t)
+
+let to_dot ?(faults = []) ?(pipeline = []) t =
+  let style v =
+    let base = Dot.default_style v in
+    let shape, color =
+      match t.kind.(v) with
+      | Label.Input -> ("box", "blue")
+      | Label.Output -> ("diamond", "darkgreen")
+      | Label.Processor -> ("circle", "black")
+    in
+    { base with Dot.shape; color; filled = List.mem v faults }
+  in
+  let rec pipeline_edges = function
+    | a :: (b :: _ as rest) -> (a, b) :: pipeline_edges rest
+    | [ _ ] | [] -> []
+  in
+  Dot.render ~name:"gdpn" ~style ~highlight_edges:(pipeline_edges pipeline)
+    t.graph

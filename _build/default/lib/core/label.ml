@@ -1,0 +1,15 @@
+type t = Input | Output | Processor
+
+let equal a b =
+  match (a, b) with
+  | Input, Input | Output, Output | Processor, Processor -> true
+  | (Input | Output | Processor), _ -> false
+
+let is_terminal = function Input | Output -> true | Processor -> false
+
+let to_string = function
+  | Input -> "input"
+  | Output -> "output"
+  | Processor -> "processor"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,10 @@
+(** Node labels of the paper's model (Section 2): parallel machines with
+    I/O devices cannot be modelled by unlabeled graphs, so every node is an
+    input terminal, an output terminal, or a processor. *)
+
+type t = Input | Output | Processor
+
+val equal : t -> t -> bool
+val is_terminal : t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+module Graph = Gdpn_graph.Graph
+
+type t = { positions : float array }
+
+let of_positions positions = { positions }
+
+let linear inst =
+  let n = Instance.order inst in
+  of_positions (Array.init n (fun v -> float_of_int v /. float_of_int n))
+
+let circulant_natural inst =
+  match inst.Instance.strategy with
+  | Instance.Circulant_layout { m } ->
+    let k = inst.Instance.k in
+    let order = Instance.order inst in
+    let at_label l = float_of_int (((l mod m) + m) mod m) /. float_of_int m in
+    let positions =
+      Array.init order (fun v ->
+          if v < m then at_label v (* C node: its own label *)
+          else if v < m + k + 1 then at_label (v - m + 1) (* I, labels 1.. *)
+          else if v < m + (2 * k) + 2 then at_label (v - (m + k + 1))
+            (* O, labels 0.. *)
+          else if v < m + (3 * k) + 3 then at_label (v - (m + (2 * k) + 2) + 1)
+            (* Ti *)
+          else at_label (v - (m + (3 * k) + 3)) (* To *))
+    in
+    of_positions positions
+  | Instance.Generic | Instance.Processor_clique | Instance.Extension _ ->
+    invalid_arg "Layout.circulant_natural: not a circulant-family instance"
+
+let position t v = t.positions.(v)
+
+let edge_length t u v =
+  let d = Float.abs (t.positions.(u) -. t.positions.(v)) in
+  Float.min d (1.0 -. d)
+
+let max_edge_length t g =
+  List.fold_left
+    (fun acc (u, v) -> Float.max acc (edge_length t u v))
+    0.0 (Graph.edges g)
+
+let total_edge_length t g =
+  List.fold_left
+    (fun acc (u, v) -> acc +. edge_length t u v)
+    0.0 (Graph.edges g)
+
+let pipeline_wirelength t p =
+  let rec hops = function
+    | a :: (b :: _ as rest) -> edge_length t a b +. hops rest
+    | [ _ ] | [] -> 0.0
+  in
+  hops p.Pipeline.nodes

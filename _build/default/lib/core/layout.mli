@@ -1,0 +1,38 @@
+(** Physical ring layouts and wirelength metrics.
+
+    The reconfigurable-array literature the paper builds on (Rosenberg's
+    Diogenes approach, Hayes' arrays) cares about implementation cost:
+    how long do the wires get when the graph is laid out?  This module
+    assigns each node a coordinate on a unit ring and measures edge and
+    pipeline wirelengths, so constructions can be compared as layouts, not
+    just as abstract graphs.
+
+    Two layouts are provided: the generic one places nodes evenly in id
+    order; the circulant-natural one places the §3.4 family's ring nodes by
+    circulant label and co-locates each I/O/terminal column with its S
+    node, which is how that construction would be physically built. *)
+
+type t
+(** A placement: one ring coordinate in [0, 1) per node. *)
+
+val linear : Instance.t -> t
+(** Nodes evenly spaced in id order. *)
+
+val circulant_natural : Instance.t -> t
+(** Natural layout for a [Circulant_layout] instance: ring nodes by label,
+    column nodes at their label's position.  Raises [Invalid_argument] for
+    other strategies. *)
+
+val position : t -> int -> float
+
+val edge_length : t -> int -> int -> float
+(** Ring distance between two nodes' positions (at most 0.5). *)
+
+val max_edge_length : t -> Gdpn_graph.Graph.t -> float
+(** Longest wire the layout needs. *)
+
+val total_edge_length : t -> Gdpn_graph.Graph.t -> float
+
+val pipeline_wirelength : t -> Pipeline.t -> float
+(** Sum of hop lengths along an embedded pipeline — the signal's physical
+    travel per item. *)

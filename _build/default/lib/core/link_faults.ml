@@ -1,0 +1,129 @@
+module Graph = Gdpn_graph.Graph
+module Bitset = Gdpn_graph.Bitset
+module Combinat = Gdpn_graph.Combinat
+
+type fault = Node of int | Link of int * int
+
+type outcome =
+  | Graceful of Pipeline.t
+  | Degraded of Pipeline.t
+  | No_pipeline
+  | Gave_up
+
+let norm (u, v) = if u < v then (u, v) else (v, u)
+
+let degrade inst ~links =
+  let g = inst.Instance.graph in
+  let links = List.map norm links in
+  List.iter
+    (fun (u, v) ->
+      if not (Graph.adjacent g u v) then
+        invalid_arg "Link_faults.degrade: not an edge of the instance")
+    links;
+  let b = Graph.builder (Graph.order g) in
+  List.iter
+    (fun e -> if not (List.mem (norm e) links) then Graph.add_edge b (fst e) (snd e))
+    (Graph.edges g);
+  Instance.make ~graph:(Graph.freeze b)
+    ~kind:(Array.init (Instance.order inst) (Instance.kind_of inst))
+    ~n:inst.Instance.n ~k:inst.Instance.k
+    ~name:(inst.Instance.name ^ " [degraded]")
+    ~strategy:Instance.Generic
+
+let split faults =
+  List.partition_map
+    (function Node v -> Left v | Link (u, v) -> Right (norm (u, v)))
+    faults
+
+let solve ?budget inst ~faults =
+  let nodes, links = split faults in
+  let weakened = if links = [] then inst else degrade inst ~links in
+  match Reconfig.solve_list ?budget weakened ~faults:nodes with
+  | Reconfig.Pipeline p -> Graceful p
+  | Reconfig.Gave_up -> Gave_up
+  | Reconfig.No_pipeline ->
+    if links = [] then No_pipeline
+    else begin
+      (* Hayes reduction: kill one endpoint per faulty link, over all
+         choices, most-sharing choices first is unnecessary — the space is
+         tiny (2^L).  A returned pipeline avoids the killed processors, so
+         it also avoids every faulty link. *)
+      let rec choices = function
+        | [] -> [ [] ]
+        | (u, v) :: rest ->
+          let tails = choices rest in
+          List.map (fun t -> u :: t) tails @ List.map (fun t -> v :: t) tails
+      in
+      let outcomes =
+        List.filter_map
+          (fun killed ->
+            match
+              Reconfig.solve_list ?budget weakened ~faults:(nodes @ killed)
+            with
+            | Reconfig.Pipeline p -> Some p
+            | Reconfig.No_pipeline | Reconfig.Gave_up -> None)
+          (choices links)
+      in
+      match outcomes with
+      | [] -> No_pipeline
+      | ps ->
+        (* Keep the largest pipeline found (fewest stranded processors). *)
+        let best =
+          List.fold_left
+            (fun acc p ->
+              if Pipeline.processor_count p > Pipeline.processor_count acc
+              then p
+              else acc)
+            (List.hd ps) (List.tl ps)
+        in
+        Degraded best
+    end
+
+type survey = {
+  fault_sets : int;
+  graceful : int;
+  degraded : int;
+  lost : int;
+  min_processors : int;
+}
+
+let survey_exhaustive ?budget inst =
+  let order = Instance.order inst in
+  let edges = Graph.edges inst.Instance.graph in
+  let universe =
+    Array.append
+      (Array.init order (fun v -> Node v))
+      (Array.of_list (List.map (fun (u, v) -> Link (u, v)) edges))
+  in
+  let k = inst.Instance.k in
+  let total = ref 0 in
+  let graceful = ref 0 in
+  let degraded = ref 0 in
+  let lost = ref 0 in
+  let min_procs = ref max_int in
+  Combinat.iter_subsets_up_to (Array.length universe) k (fun buf len ->
+      incr total;
+      let faults = List.init len (fun i -> universe.(buf.(i))) in
+      match solve ?budget inst ~faults with
+      | Graceful p ->
+        incr graceful;
+        min_procs := min !min_procs (Pipeline.processor_count p)
+      | Degraded p ->
+        incr degraded;
+        min_procs := min !min_procs (Pipeline.processor_count p)
+      | No_pipeline | Gave_up -> incr lost);
+  {
+    fault_sets = !total;
+    graceful = !graceful;
+    degraded = !degraded;
+    lost = !lost;
+    min_processors = (if !min_procs = max_int then 0 else !min_procs);
+  }
+
+let pp_survey ppf s =
+  Format.fprintf ppf
+    "%d mixed fault sets: %d graceful (%.1f%%), %d degraded, %d lost; \
+     smallest pipeline %d processors"
+    s.fault_sets s.graceful
+    (100.0 *. float_of_int s.graceful /. float_of_int (max 1 s.fault_sets))
+    s.degraded s.lost s.min_processors

@@ -1,0 +1,36 @@
+module Graph = Gdpn_graph.Graph
+
+let apply inst =
+  if not (Instance.is_standard inst) then
+    invalid_arg "Merge.apply: instance must be standard";
+  let procs = Instance.processors inst in
+  let count = List.length procs in
+  let remap = Hashtbl.create count in
+  List.iteri (fun idx p -> Hashtbl.replace remap p idx) procs;
+  let input_node = count and output_node = count + 1 in
+  let b = Graph.builder (count + 2) in
+  List.iter
+    (fun (u, v) ->
+      match (Hashtbl.find_opt remap u, Hashtbl.find_opt remap v) with
+      | Some u', Some v' -> Graph.add_edge b u' v'
+      | _ -> ())
+    (Graph.edges inst.Instance.graph);
+  let attach terminal node =
+    let p = Instance.attached_processor inst terminal in
+    Graph.add_edge_if_absent b (Hashtbl.find remap p) node
+  in
+  List.iter (fun t -> attach t input_node) (Instance.inputs inst);
+  List.iter (fun t -> attach t output_node) (Instance.outputs inst);
+  let kind =
+    Array.init (count + 2) (fun v ->
+        if v = input_node then Label.Input
+        else if v = output_node then Label.Output
+        else Label.Processor)
+  in
+  Instance.make ~graph:(Graph.freeze b) ~kind ~n:inst.Instance.n
+    ~k:inst.Instance.k
+    ~name:(Printf.sprintf "merged[%s]" inst.Instance.name)
+    ~strategy:Instance.Generic
+
+let input_node inst = Instance.order inst - 2
+let output_node inst = Instance.order inst - 1

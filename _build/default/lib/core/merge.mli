@@ -1,0 +1,23 @@
+(** The merged-terminal model (§3).
+
+    The paper's constructions assume terminals can fail.  For the
+    alternative model — fault-free I/O devices — each solution is adapted by
+    merging all input terminals into a single input node [i] and all output
+    terminals into a single output node [o].  After merging, [i] has degree
+    [k+1], which is the smallest degree any terminal can have in this model
+    (fewer neighbours could be isolated by a fault set).
+
+    In the merged model, fault sets range over processors only; the merged
+    graph tolerates every processor fault set of size at most [k]
+    (verified in the tests via {!Verify.exhaustive} with a processor-only
+    fault universe). *)
+
+val apply : Instance.t -> Instance.t
+(** Merge a standard instance's terminals.  Processors are renumbered
+    [0..n+k-1] in id order; the merged input node is [n+k], the merged
+    output node [n+k+1]. *)
+
+val input_node : Instance.t -> int
+(** The merged input node of an [apply] result. *)
+
+val output_node : Instance.t -> int

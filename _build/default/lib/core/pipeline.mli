@@ -1,0 +1,31 @@
+(** Pipelines and their validation.
+
+    The paper's definition (Section 3): given a solution graph [G] with
+    input terminals [Ti] and output terminals [To], a {e pipeline} in
+    [G \ F] is a path [(a0, ..., aq)] such that [a0 ∈ Ti] and [aq ∈ To]
+    (or the reverse), and the internal nodes [{a1, ..., a(q-1)}] are
+    {e exactly} the healthy processor nodes — every healthy processor is
+    used, no node of [F] appears, and consecutive nodes are adjacent. *)
+
+type t = { nodes : int list }
+(** Full node sequence, terminals included. *)
+
+val validate :
+  Instance.t -> faults:Gdpn_graph.Bitset.t -> int list -> (t, string) result
+(** Check a candidate node sequence against the definition.  The error
+    string names the first violated clause (useful in test output). *)
+
+val is_valid : Instance.t -> faults:Gdpn_graph.Bitset.t -> int list -> bool
+
+val processor_count : t -> int
+(** Number of internal (processor) nodes. *)
+
+val input_end : Instance.t -> t -> int
+(** The terminal endpoint that is an input terminal. *)
+
+val output_end : Instance.t -> t -> int
+
+val normalise : Instance.t -> t -> t
+(** Orient the pipeline so it starts at its input terminal. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+module Graph = Gdpn_graph.Graph
+
+let kind_letter inst v =
+  match Instance.kind_of inst v with
+  | Label.Input -> "in"
+  | Label.Output -> "out"
+  | Label.Processor -> "p"
+
+let summary inst = Format.asprintf "%a" Instance.pp inst
+
+let adjacency inst =
+  let buf = Buffer.create 256 in
+  for v = 0 to Instance.order inst - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "%4d %-4s: %s\n" v (kind_letter inst v)
+         (String.concat " "
+            (List.map string_of_int
+               (Array.to_list (Graph.neighbours inst.Instance.graph v)))))
+  done;
+  Buffer.contents buf
+
+let embedding inst pipeline =
+  let p = Pipeline.normalise inst pipeline in
+  String.concat " -> "
+    (List.map
+       (fun v ->
+         match Instance.kind_of inst v with
+         | Label.Input -> Printf.sprintf "in(%d)" v
+         | Label.Output -> Printf.sprintf "out(%d)" v
+         | Label.Processor -> Printf.sprintf "p%d" v)
+       p.Pipeline.nodes)
+
+let ring ?(faults = []) ?pipeline inst =
+  match inst.Instance.strategy with
+  | Instance.Circulant_layout { m } ->
+    let k = inst.Instance.k in
+    let visit_order = Hashtbl.create 64 in
+    (match pipeline with
+    | Some p ->
+      List.iteri
+        (fun i v -> Hashtbl.replace visit_order v i)
+        (Pipeline.normalise inst p).Pipeline.nodes
+    | None -> ());
+    let mark v =
+      if List.mem v faults then "X"
+      else
+        match Hashtbl.find_opt visit_order v with
+        | Some i -> string_of_int i
+        | None -> "."
+    in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      "lbl role ring   I      O      Ti     To    (X = fault, numbers = pipeline visit order)\n";
+    for lbl = 0 to m - 1 do
+      let cell id = Printf.sprintf "%3d:%-3s" id (mark id) in
+      let blank = "       " in
+      let i_cell =
+        if lbl >= 1 && lbl <= k + 1 then cell (m + lbl - 1) else blank
+      in
+      let o_cell = if lbl <= k then cell (m + k + 1 + lbl) else blank in
+      let ti_cell =
+        if lbl >= 1 && lbl <= k + 1 then cell (m + (2 * k) + 2 + lbl - 1)
+        else blank
+      in
+      let to_cell =
+        if lbl <= k then cell (m + (3 * k) + 3 + lbl) else blank
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%3d %-4s %s %s %s %s %s\n" lbl
+           (if lbl <= k + 1 then "S" else "R")
+           (cell lbl) i_cell o_cell ti_cell to_cell)
+    done;
+    Buffer.contents buf
+  | Instance.Generic | Instance.Processor_clique | Instance.Extension _ ->
+    invalid_arg "Render.ring: not a circulant-family instance"

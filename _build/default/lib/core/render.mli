@@ -1,0 +1,22 @@
+(** Plain-text renderings of instances and embeddings, for terminals and
+    logs (the DOT export covers graphical output).
+
+    [summary] prints the node inventory; [adjacency] the labeled adjacency
+    list; [embedding] the pipeline as an annotated hop sequence;
+    [ring] a one-line-per-column view of a §3.4 circulant instance, showing
+    each ring position with its S/R role, attached I/O columns, fault marks
+    and the pipeline visit order. *)
+
+val summary : Instance.t -> string
+
+val adjacency : Instance.t -> string
+(** One line per node: [id kind: neighbours]. *)
+
+val embedding : Instance.t -> Pipeline.t -> string
+(** The pipeline with node kinds spelled out, e.g.
+    [in(18) -> p15 -> p14 -> ... -> out(11)].  (A valid pipeline never
+    contains faulty nodes, so no fault annotation is needed.) *)
+
+val ring : ?faults:int list -> ?pipeline:Pipeline.t -> Instance.t -> string
+(** Circulant-family instances only (raises [Invalid_argument]
+    otherwise). *)

@@ -1,0 +1,131 @@
+module Graph = Gdpn_graph.Graph
+
+let kind_char = function
+  | Label.Processor -> 'P'
+  | Label.Input -> 'I'
+  | Label.Output -> 'O'
+
+let kind_of_char = function
+  | 'P' -> Some Label.Processor
+  | 'I' -> Some Label.Input
+  | 'O' -> Some Label.Output
+  | _ -> None
+
+let to_string inst =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  add "gdpn 1";
+  add "n %d" inst.Instance.n;
+  add "k %d" inst.Instance.k;
+  add "name %s" inst.Instance.name;
+  add "kinds %s"
+    (String.init (Instance.order inst) (fun v ->
+         kind_char (Instance.kind_of inst v)));
+  List.iter
+    (fun (u, v) -> add "edge %d %d" u v)
+    (Graph.edges inst.Instance.graph);
+  Buffer.contents buf
+
+let of_string text =
+  let err lineno fmt =
+    Printf.ksprintf (fun s -> Error (Printf.sprintf "line %d: %s" lineno s)) fmt
+  in
+  let lines = String.split_on_char '\n' text in
+  let n = ref None in
+  let k = ref None in
+  let name = ref "unnamed" in
+  let kinds = ref None in
+  let edges = ref [] in
+  let header_seen = ref false in
+  let exception Parse_error of string in
+  try
+    List.iteri
+      (fun idx line ->
+        let lineno = idx + 1 in
+        let line = String.trim line in
+        let fail fmt =
+          Printf.ksprintf
+            (fun s ->
+              raise (Parse_error (Printf.sprintf "line %d: %s" lineno s)))
+            fmt
+        in
+        if line = "" || line.[0] = '#' then ()
+        else
+          match String.index_opt line ' ' with
+          | None -> fail "malformed line %S" line
+          | Some i -> (
+            let key = String.sub line 0 i in
+            let rest = String.sub line (i + 1) (String.length line - i - 1) in
+            match key with
+            | "gdpn" ->
+              if String.trim rest <> "1" then fail "unsupported version %s" rest;
+              header_seen := true
+            | "n" -> (
+              match int_of_string_opt (String.trim rest) with
+              | Some v -> n := Some v
+              | None -> fail "bad n %S" rest)
+            | "k" -> (
+              match int_of_string_opt (String.trim rest) with
+              | Some v -> k := Some v
+              | None -> fail "bad k %S" rest)
+            | "name" -> name := rest
+            | "kinds" -> kinds := Some (String.trim rest)
+            | "edge" -> (
+              match
+                String.split_on_char ' ' (String.trim rest)
+                |> List.filter (fun s -> s <> "")
+                |> List.map int_of_string_opt
+              with
+              | [ Some u; Some v ] -> edges := (u, v) :: !edges
+              | _ -> fail "bad edge %S" rest)
+            | other -> fail "unknown key %S" other))
+      lines;
+    if not !header_seen then err 1 "missing 'gdpn 1' header"
+    else
+      match (!n, !k, !kinds) with
+      | None, _, _ -> err 1 "missing 'n'"
+      | _, None, _ -> err 1 "missing 'k'"
+      | _, _, None -> err 1 "missing 'kinds'"
+      | Some n, Some k, Some kinds -> (
+        let order = String.length kinds in
+        let kind = Array.make (max 1 order) Label.Processor in
+        let bad = ref None in
+        String.iteri
+          (fun v c ->
+            match kind_of_char c with
+            | Some km -> kind.(v) <- km
+            | None -> if !bad = None then bad := Some c)
+          kinds;
+        match !bad with
+        | Some c -> err 1 "unknown kind character %C" c
+        | None -> (
+          match
+            let b = Graph.builder order in
+            List.iter (fun (u, v) -> Graph.add_edge b u v) (List.rev !edges);
+            Graph.freeze b
+          with
+          | graph -> (
+            match
+              Instance.make ~graph ~kind ~n ~k ~name:!name
+                ~strategy:Instance.Generic
+            with
+            | inst -> Ok inst
+            | exception Invalid_argument msg -> err 1 "%s" msg)
+          | exception Invalid_argument msg -> err 1 "%s" msg))
+  with Parse_error msg -> Error msg
+
+let save ~path inst =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string inst))
+
+let load ~path =
+  match open_in path with
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        of_string (really_input_string ic len))
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,32 @@
+(** Textual serialization of solution-graph instances.
+
+    A small line-oriented format so instances can be saved, exchanged, and
+    re-verified, and so users can define their own candidate graphs and run
+    the verifier against them:
+
+    {v
+    gdpn 1
+    n 6
+    k 2
+    name G(6,2) [special]
+    kinds PPPPPPPPIIIOOO
+    edge 0 1
+    edge 0 2
+    ...
+    v}
+
+    [kinds] holds one character per node id ([P]rocessor, [I]nput,
+    [O]utput).  Order of [edge] lines is irrelevant; blank lines and lines
+    starting with [#] are ignored.  Deserialized instances carry the
+    [Generic] reconfiguration strategy (the structural shortcuts are not
+    representable in the format, and the generic solver is always
+    sound). *)
+
+val to_string : Instance.t -> string
+
+val of_string : string -> (Instance.t, string) result
+(** Parse; the error names the offending line. *)
+
+val save : path:string -> Instance.t -> unit
+
+val load : path:string -> (Instance.t, string) result

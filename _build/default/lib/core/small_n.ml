@@ -1,0 +1,106 @@
+module Graph = Gdpn_graph.Graph
+module Builder = Gdpn_graph.Builder
+
+let require_k k = if k < 1 then invalid_arg "Small_n: k must be >= 1"
+
+(* G(1,k): processors 0..k, inputs k+1..2k+1, outputs 2k+2..3k+2;
+   processor j owns input (k+1+j) and output (2k+2+j). *)
+let g1 ~k =
+  require_k k;
+  let procs = k + 1 in
+  let order = 3 * procs in
+  let b = Graph.builder order in
+  Builder.add_clique_on b (List.init procs Fun.id);
+  for j = 0 to k do
+    Graph.add_edge b j (procs + j);
+    Graph.add_edge b j ((2 * procs) + j)
+  done;
+  let kind =
+    Array.init order (fun v ->
+        if v < procs then Label.Processor
+        else if v < 2 * procs then Label.Input
+        else Label.Output)
+  in
+  Instance.make ~graph:(Graph.freeze b) ~kind ~n:1 ~k
+    ~name:(Printf.sprintf "G(1,%d)" k)
+    ~strategy:Instance.Processor_clique
+
+(* G(2,k): processors 0..k+1 with a = 0 (input only) and b = 1 (output
+   only); inputs are k+2..2k+2 (one for a, one per processor 2..k+1),
+   outputs are 2k+3..3k+3 (one for b, one per processor 2..k+1). *)
+let g2 ~k =
+  require_k k;
+  let procs = k + 2 in
+  let inputs_base = procs in
+  let outputs_base = procs + k + 1 in
+  let order = procs + 2 * (k + 1) in
+  let b = Graph.builder order in
+  Builder.add_clique_on b (List.init procs Fun.id);
+  (* Input terminals: index 0 belongs to a = processor 0, the rest to
+     processors 2..k+1. *)
+  Graph.add_edge b 0 inputs_base;
+  for j = 2 to k + 1 do
+    Graph.add_edge b j (inputs_base + j - 1)
+  done;
+  (* Output terminals: index 0 belongs to b = processor 1. *)
+  Graph.add_edge b 1 outputs_base;
+  for j = 2 to k + 1 do
+    Graph.add_edge b j (outputs_base + j - 1)
+  done;
+  let kind =
+    Array.init order (fun v ->
+        if v < procs then Label.Processor
+        else if v < outputs_base then Label.Input
+        else Label.Output)
+  in
+  Instance.make ~graph:(Graph.freeze b) ~kind ~n:2 ~k
+    ~name:(Printf.sprintf "G(2,%d)" k)
+    ~strategy:Instance.Processor_clique
+
+let g2_node_a _inst = 0
+let g2_node_b _inst = 1
+
+(* G(3,k): processors p0..p(k+2) = ids 0..k+2 forming a clique minus the
+   matching {(p_2q, p_2q+1)}; terminals attach by index per the paper's
+   definition.  Input indices: {0..k-2} ∪ {k} ∪ {k+2};
+   output indices: {0..k-1} ∪ {k+1}. *)
+let g3_input_indices k =
+  List.filter (fun j -> j <= k - 2 || j = k || j = k + 2)
+    (List.init (k + 3) Fun.id)
+
+let g3_output_indices k =
+  List.filter (fun j -> j <= k - 1 || j = k + 1) (List.init (k + 3) Fun.id)
+
+let g3 ~k =
+  require_k k;
+  let procs = k + 3 in
+  let in_idx = g3_input_indices k in
+  let out_idx = g3_output_indices k in
+  assert (List.length in_idx = k + 1);
+  assert (List.length out_idx = k + 1);
+  let order = procs + 2 * (k + 1) in
+  let b = Graph.builder order in
+  (* Clique minus matching on the processors. *)
+  let matched u v = u / 2 = v / 2 in
+  for u = 0 to procs - 1 do
+    for v = u + 1 to procs - 1 do
+      if not (matched u v) then Graph.add_edge b u v
+    done
+  done;
+  let kind = Array.make order Label.Processor in
+  let next = ref procs in
+  List.iter
+    (fun j ->
+      Graph.add_edge b j !next;
+      kind.(!next) <- Label.Input;
+      incr next)
+    in_idx;
+  List.iter
+    (fun j ->
+      Graph.add_edge b j !next;
+      kind.(!next) <- Label.Output;
+      incr next)
+    out_idx;
+  Instance.make ~graph:(Graph.freeze b) ~kind ~n:3 ~k
+    ~name:(Printf.sprintf "G(3,%d)" k)
+    ~strategy:Instance.Generic

@@ -1,0 +1,32 @@
+(** The paper's constructions for small [n] and arbitrary [k] (§3.2).
+
+    All three are standard (node-optimal, degree-1 terminals):
+
+    - [g1 ~k] — Lemma 3.7: the unique standard solution for [n = 1].
+      The [k+1] processors form a clique; every processor is adjacent to one
+      input terminal and one output terminal ([I = O]).  Maximum processor
+      degree [k+2] (degree-optimal, Corollary 3.3).
+
+    - [g2 ~k] — Lemma 3.9: the unique standard solution for [n = 2].
+      The [k+2] processors form a clique; processor [a] has only an input
+      terminal, [b] only an output terminal, all others have one of each.
+      Maximum processor degree [k+3] (degree-optimal, Corollary 3.10).
+
+    - [g3 ~k] — §3.2 definition, Figures 2–3: [n = 3].  Processors
+      [p0..p(k+2)] form a clique minus the matching [(p0,p1), (p2,p3), ...];
+      input terminals sit at indices [{0..k-2} ∪ {k} ∪ {k+2}], output
+      terminals at [{0..k-1} ∪ {k+1}].  Maximum processor degree [k+3] for
+      [k >= 2] (degree-optimal, Lemma 3.11) and [k+2] for [k = 1]
+      (Corollary 3.3).  k-graceful degradability is Lemma 3.12. *)
+
+val g1 : k:int -> Instance.t
+
+val g2 : k:int -> Instance.t
+
+val g3 : k:int -> Instance.t
+
+val g2_node_a : Instance.t -> int
+(** The distinguished input-only processor [a] of a [g2] instance. *)
+
+val g2_node_b : Instance.t -> int
+(** The distinguished output-only processor [b] of a [g2] instance. *)

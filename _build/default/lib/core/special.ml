@@ -1,0 +1,61 @@
+module Graph = Gdpn_graph.Graph
+
+let of_processor_graph ~n ~k ~name ~strategy proc_graph attach =
+  let procs = Graph.order proc_graph in
+  let order = procs + List.length attach in
+  let b = Graph.builder order in
+  List.iter (fun (u, v) -> Graph.add_edge b u v) (Graph.edges proc_graph);
+  let kind = Array.make order Label.Processor in
+  List.iteri
+    (fun idx (p, km) ->
+      Graph.add_edge b p (procs + idx);
+      kind.(procs + idx) <- km)
+    attach;
+  Instance.make ~graph:(Graph.freeze b) ~kind ~n ~k ~name ~strategy
+
+let build ~n ~k ~name ~procs edges attach =
+  of_processor_graph ~n ~k ~name ~strategy:Instance.Generic
+    (Graph.of_edges procs edges)
+    attach
+
+(* Found by `search_special g62`: the circulant C8(1,4) — an 8-cycle with
+   its four diameters — plus the chord (0,2); processors 0 and 2 are
+   terminal-free. *)
+let g62 () =
+  build ~n:6 ~k:2 ~name:"G(6,2) [special]" ~procs:8
+    [ (0, 1); (0, 2); (0, 4); (0, 7); (1, 2); (1, 5); (2, 3); (2, 6); (3, 4);
+      (3, 7); (4, 5); (5, 6); (6, 7) ]
+    [ (1, Label.Input); (3, Label.Input); (7, Label.Input);
+      (4, Label.Output); (5, Label.Output); (6, Label.Output) ]
+
+(* Found by `search_special g82`: the circulant C10(1,5) plus the matching
+   chords (0,2) and (1,3) on the four terminal-free processors 0..3. *)
+let g82 () =
+  build ~n:8 ~k:2 ~name:"G(8,2) [special]" ~procs:10
+    [ (0, 1); (0, 2); (0, 5); (0, 9); (1, 2); (1, 3); (1, 6); (2, 3); (2, 7);
+      (3, 4); (3, 8); (4, 5); (4, 9); (5, 6); (6, 7); (7, 8); (8, 9) ]
+    [ (4, Label.Input); (5, Label.Input); (6, Label.Input);
+      (7, Label.Output); (8, Label.Output); (9, Label.Output) ]
+
+(* Found by `search_special g73`: the circulant C10(1,2) plus the chord
+   (0,3) on the two terminal-free processors 0 and 3.  All processors have
+   degree exactly 5 = k+2. *)
+let g73 () =
+  build ~n:7 ~k:3 ~name:"G(7,3) [special]" ~procs:10
+    [ (0, 1); (0, 2); (0, 3); (0, 8); (0, 9); (1, 2); (1, 3); (1, 9); (2, 3);
+      (2, 4); (3, 4); (3, 5); (4, 5); (4, 6); (5, 6); (5, 7); (6, 7); (6, 8);
+      (7, 8); (7, 9); (8, 9) ]
+    [ (1, Label.Input); (2, Label.Input); (4, Label.Input); (5, Label.Input);
+      (6, Label.Output); (7, Label.Output); (8, Label.Output);
+      (9, Label.Output) ]
+
+(* Found by `search_special g43`: the circulant C7(1,2); processor 0 carries
+   both an input and an output terminal (8 terminals over 7 processors),
+   giving it degree 6 = k+3, the Lemma 3.5 optimum. *)
+let g43 () =
+  build ~n:4 ~k:3 ~name:"G(4,3) [special]" ~procs:7
+    [ (0, 1); (0, 2); (0, 5); (0, 6); (1, 2); (1, 3); (1, 6); (2, 3); (2, 4);
+      (3, 4); (3, 5); (4, 5); (4, 6); (5, 6) ]
+    [ (0, Label.Input); (0, Label.Output); (1, Label.Input);
+      (2, Label.Input); (3, Label.Input); (4, Label.Output);
+      (5, Label.Output); (6, Label.Output) ]

@@ -1,0 +1,43 @@
+(** The paper's "special solutions" (§3.3, Figures 10–13).
+
+    The published figures give these graphs only as drawings; the paper
+    notes they were "intuitively designed and exhaustively verified by human
+    and/or computer checking".  The graphs below were found by the same
+    process — [bin/search_special.ml] enumerates candidates with the degree
+    profile forced by Lemmas 3.1/3.4/3.5 and verifies every fault set
+    exhaustively — and are frozen here as explicit edge lists.  The test
+    suite re-verifies each exhaustively.
+
+    Degree facts (all degree-optimal):
+    - [g62]: n=6, k=2, max processor degree 4 = k+2 (Theorem 3.15)
+    - [g82]: n=8, k=2, max processor degree 4 = k+2 (Theorem 3.15)
+    - [g43]: n=4, k=3, max processor degree 6 = k+3 (Lemma 3.5 applies)
+    - [g73]: n=7, k=3, max processor degree 5 = k+2 (Theorem 3.16) *)
+
+val g62 : unit -> Instance.t
+(** Special solution for (n, k) = (6, 2) — Figure 10's role. *)
+
+val g82 : unit -> Instance.t
+(** Special solution for (n, k) = (8, 2) — Figure 11's role. *)
+
+val g73 : unit -> Instance.t
+(** Special solution for (n, k) = (7, 3) — Figure 12's role. *)
+
+val g43 : unit -> Instance.t
+(** Special solution for (n, k) = (4, 3) — Figure 13's role.  Note the
+    uneven terminal attachment: one processor carries both an input and an
+    output terminal (8 terminals over 7 processors). *)
+
+val of_processor_graph :
+  n:int ->
+  k:int ->
+  name:string ->
+  strategy:Instance.strategy ->
+  Gdpn_graph.Graph.t ->
+  (int * Label.t) list ->
+  Instance.t
+(** [of_processor_graph ~n ~k ~name ~strategy procs attach] assembles a
+    solution instance from a processor graph and an attachment list of
+    [(processor, terminal kind)] pairs; terminals receive fresh ids after
+    the processor ids.  Shared with the search tool and the uniqueness /
+    impossibility experiments. *)

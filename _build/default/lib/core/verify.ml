@@ -1,0 +1,202 @@
+module Bitset = Gdpn_graph.Bitset
+module Combinat = Gdpn_graph.Combinat
+
+type failure = { faults : int list; reason : string }
+
+type report = {
+  fault_sets_checked : int;
+  failures : failure list;
+  gave_up : int;
+}
+
+let check_mask ?budget inst mask =
+  match Reconfig.solve ?budget inst ~faults:mask with
+  | Reconfig.Pipeline p -> (
+    (* [Reconfig.solve] already validates, but re-check here so the verifier
+       does not trust the solver. *)
+    match Pipeline.validate inst ~faults:mask p.Pipeline.nodes with
+    | Ok _ -> Ok ()
+    | Error e -> Error ("invalid witness: " ^ e))
+  | Reconfig.No_pipeline -> Error "no pipeline"
+  | Reconfig.Gave_up -> Error "solver gave up"
+
+let check_fault_set ?budget inst faults =
+  check_mask ?budget inst (Bitset.of_list (Instance.order inst) faults)
+
+let run_checks ?budget ?(max_failures = 5) inst iter_sets =
+  let checked = ref 0 in
+  let failures = ref [] in
+  let gave_up = ref 0 in
+  let order = Instance.order inst in
+  let mask = Bitset.create order in
+  let exception Stop in
+  (try
+     iter_sets (fun (buf : int array) (len : int) ->
+         Bitset.clear mask;
+         for i = 0 to len - 1 do
+           Bitset.add mask buf.(i)
+         done;
+         incr checked;
+         (match check_mask ?budget inst mask with
+         | Ok () -> ()
+         | Error reason ->
+           if reason = "solver gave up" then incr gave_up;
+           failures :=
+             { faults = Array.to_list (Array.sub buf 0 len); reason }
+             :: !failures;
+           if List.length !failures >= max_failures then raise Stop);
+         ())
+   with Stop -> ());
+  {
+    fault_sets_checked = !checked;
+    failures = List.rev !failures;
+    gave_up = !gave_up;
+  }
+
+let exhaustive ?budget ?max_failures ?universe inst =
+  let order = Instance.order inst in
+  let k = inst.Instance.k in
+  match universe with
+  | None ->
+    run_checks ?budget ?max_failures inst (fun f ->
+        Combinat.iter_subsets_up_to order k (fun buf len -> f buf len))
+  | Some nodes ->
+    let nodes = Array.of_list nodes in
+    let translated = Array.make (Array.length nodes) 0 in
+    run_checks ?budget ?max_failures inst (fun f ->
+        Combinat.iter_subsets_up_to (Array.length nodes) k (fun buf len ->
+            for i = 0 to len - 1 do
+              translated.(i) <- nodes.(buf.(i))
+            done;
+            f translated len))
+
+let sampled ~rng ~trials ?budget ?max_failures inst =
+  let order = Instance.order inst in
+  let k = inst.Instance.k in
+  run_checks ?budget ?max_failures inst (fun f ->
+      for _ = 1 to trials do
+        let buf = Combinat.sample_up_to rng order k in
+        f buf (Array.length buf)
+      done)
+
+let exhaustive_parallel ?budget ?(max_failures = 5) ?domains inst =
+  let order = Instance.order inst in
+  let k = inst.Instance.k in
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  (* Work items: the empty fault set, plus one block per (size, first
+     element): all size-[s] subsets whose smallest element is [f0]. *)
+  let blocks =
+    List.concat_map
+      (fun s -> List.init order (fun f0 -> (s, f0)))
+      (List.init (min k order) (fun i -> i + 1))
+  in
+  let blocks = Array.of_list blocks in
+  let next = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let run_domain () =
+    let checked = ref 0 in
+    let failures = ref [] in
+    let gave_up = ref 0 in
+    let mask = Bitset.create order in
+    let check_one buf len =
+      Bitset.clear mask;
+      for i = 0 to len - 1 do
+        Bitset.add mask buf.(i)
+      done;
+      incr checked;
+      match check_mask ?budget inst mask with
+      | Ok () -> ()
+      | Error reason ->
+        if reason = "solver gave up" then incr gave_up;
+        failures :=
+          { faults = Array.to_list (Array.sub buf 0 len); reason }
+          :: !failures;
+        if List.length !failures >= max_failures then Atomic.set stop true
+    in
+    let buf = Array.make (max 1 k) 0 in
+    let rec drain () =
+      if not (Atomic.get stop) then begin
+        let idx = Atomic.fetch_and_add next 1 in
+        if idx < Array.length blocks then begin
+          let s, f0 = blocks.(idx) in
+          (* Subsets of size s with minimum element f0: f0 plus a size-(s-1)
+             subset of {f0+1 .. order-1}. *)
+          let rest = order - f0 - 1 in
+          if s - 1 <= rest then
+            Combinat.iter_choose rest (s - 1) (fun tail ->
+                if not (Atomic.get stop) then begin
+                  buf.(0) <- f0;
+                  Array.iteri (fun i x -> buf.(i + 1) <- f0 + 1 + x) tail;
+                  check_one buf s
+                end);
+          drain ()
+        end
+      end
+    in
+    drain ();
+    (!checked, !failures, !gave_up)
+  in
+  (* The empty set is checked inline; blocks go to the domains. *)
+  let empty_result =
+    let mask = Bitset.create order in
+    match check_mask ?budget inst mask with
+    | Ok () -> []
+    | Error reason -> [ { faults = []; reason } ]
+  in
+  let workers = List.init domains (fun _ -> Domain.spawn run_domain) in
+  let results = List.map Domain.join workers in
+  let checked, failures, gave_up =
+    List.fold_left
+      (fun (c, f, g) (c', f', g') -> (c + c', f' @ f, g + g'))
+      (1, empty_result, 0)
+      results
+  in
+  (* Domains stop soon after the shared flag is set, but each may already
+     hold findings; keep the promised cap. *)
+  let failures = List.filteri (fun i _ -> i < max_failures) failures in
+  { fault_sets_checked = checked; failures; gave_up }
+
+let is_k_gd r = r.failures = [] && r.gave_up = 0
+
+let breaking_fault_set ?budget ?max_size inst =
+  let order = Instance.order inst in
+  let max_size = Option.value max_size ~default:(inst.Instance.k + 1) in
+  let mask = Bitset.create order in
+  let found = ref None in
+  (try
+     for size = 0 to min max_size order do
+       Combinat.iter_choose order size (fun buf ->
+           Bitset.clear mask;
+           Array.iter (Bitset.add mask) buf;
+           match check_mask ?budget inst mask with
+           | Ok () -> ()
+           | Error _ ->
+             found := Some (Array.to_list buf);
+             raise Exit)
+     done
+   with Exit -> ());
+  !found
+
+let tolerance ?budget ?cap inst =
+  let cap = Option.value cap ~default:(inst.Instance.k + 1) in
+  match breaking_fault_set ?budget ~max_size:cap inst with
+  | Some witness -> List.length witness - 1
+  | None -> cap
+
+let pp_report ppf r =
+  Format.fprintf ppf "checked %d fault sets: %s" r.fault_sets_checked
+    (if is_k_gd r then "all tolerated"
+     else
+       Format.asprintf "%d failures (first: {%s} — %s)%s"
+         (List.length r.failures)
+         (match r.failures with
+         | { faults; _ } :: _ ->
+           String.concat "," (List.map string_of_int faults)
+         | [] -> "")
+         (match r.failures with { reason; _ } :: _ -> reason | [] -> "")
+         (if r.gave_up > 0 then Format.asprintf " (%d gave up)" r.gave_up
+          else ""))

@@ -1,0 +1,69 @@
+(** k-graceful-degradability verification.
+
+    [GD(G, k)] quantifies over {e every} fault set of size at most [k] —
+    and, because a pipeline must use all healthy processors, tolerance is
+    {e not} monotone in the fault set: exhaustive mode therefore enumerates
+    every subset of every size [0..k], not just the maximal ones. *)
+
+type failure = {
+  faults : int list;  (** the offending fault set *)
+  reason : string;  (** why it failed (no pipeline / solver gave up) *)
+}
+
+type report = {
+  fault_sets_checked : int;
+  failures : failure list;  (** at most [max_failures], in discovery order *)
+  gave_up : int;  (** fault sets where the solver exhausted its budget *)
+}
+
+val exhaustive :
+  ?budget:int -> ?max_failures:int -> ?universe:int list -> Instance.t -> report
+(** Check every fault set of size [0..k] drawn from [universe] (default:
+    all nodes, terminals included; pass [Instance.processors t] for the
+    merged-terminal model where I/O devices are fault-free).
+    [max_failures] (default 5) bounds the retained counterexamples;
+    enumeration stops early once reached. *)
+
+val sampled :
+  rng:Random.State.t ->
+  trials:int ->
+  ?budget:int ->
+  ?max_failures:int ->
+  Instance.t ->
+  report
+(** Check [trials] fault sets drawn uniformly (size uniform on [0..k],
+    contents uniform for that size). *)
+
+val exhaustive_parallel :
+  ?budget:int -> ?max_failures:int -> ?domains:int -> Instance.t -> report
+(** {!exhaustive} fanned out over OCaml 5 domains (default:
+    [Domain.recommended_domain_count () - 1], at least 1).  The fault space
+    is partitioned into (size, first-element) blocks drained through an
+    atomic work counter; a shared stop flag propagates the
+    [max_failures] cut-off.  All solver state is per-call, so domains never
+    contend.  Equivalent to {!exhaustive} (same space; failure order may
+    differ). *)
+
+val is_k_gd : report -> bool
+(** True when no failures occurred and the solver never gave up, i.e. the
+    checked fault space is fully tolerated. *)
+
+val breaking_fault_set :
+  ?budget:int -> ?max_size:int -> Instance.t -> int list option
+(** The lexicographically-first smallest fault set that defeats the
+    instance, searching sizes [0..max_size] (default [k + 1]).  For a
+    node-optimal k-GD graph the answer always has size exactly [k+1]
+    (e.g. all [k+1] input terminals), which {!tolerance} exploits. *)
+
+val tolerance : ?budget:int -> ?cap:int -> Instance.t -> int
+(** The exact structural fault tolerance: the largest [t] such that every
+    fault set of size at most [t] is tolerated, determined by exhaustive
+    search up to [cap] (default [k + 1]; the search is exponential in the
+    answer).  For the paper's constructions this equals [k]: node-optimal
+    graphs cannot tolerate [k+1] faults, and the tests assert both
+    directions. *)
+
+val check_fault_set : ?budget:int -> Instance.t -> int list -> (unit, string) result
+(** Check one fault set: solve and revalidate the witness. *)
+
+val pp_report : Format.formatter -> report -> unit

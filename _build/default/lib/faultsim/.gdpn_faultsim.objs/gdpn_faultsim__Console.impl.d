@@ -1,0 +1,1 @@
+lib/faultsim/console.ml: Format Gdpn_core Instance List Machine Pipeline Printf Random Render String Verify

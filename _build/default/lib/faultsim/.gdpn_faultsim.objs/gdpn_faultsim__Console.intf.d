@@ -1,0 +1,1 @@
+lib/faultsim/console.mli: Gdpn_core Machine

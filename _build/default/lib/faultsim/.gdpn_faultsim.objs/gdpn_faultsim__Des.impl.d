@@ -1,0 +1,1 @@
+lib/faultsim/des.ml: Array Format Gdpn_core Gdpn_graph List Machine Queue Runner Stage

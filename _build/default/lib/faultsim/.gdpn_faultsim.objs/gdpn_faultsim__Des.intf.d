@@ -1,0 +1,1 @@
+lib/faultsim/des.mli: Format Machine Stage

@@ -1,0 +1,1 @@
+lib/faultsim/gantt.ml: Array Buffer Char Des List Printf

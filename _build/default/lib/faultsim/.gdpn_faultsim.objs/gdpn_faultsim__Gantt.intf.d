@@ -1,0 +1,1 @@
+lib/faultsim/gantt.mli: Des

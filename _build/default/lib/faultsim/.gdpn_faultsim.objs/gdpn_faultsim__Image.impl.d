@@ -1,0 +1,1 @@
+lib/faultsim/image.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/faultsim/injector.ml: Array Fun Gdpn_core Instance List Machine Stream

@@ -1,0 +1,1 @@
+lib/faultsim/injector.mli: Gdpn_core Machine Stream

@@ -1,0 +1,1 @@
+lib/faultsim/machine.ml: Gdpn_core Gdpn_graph Instance List Pipeline Reconfig Repair

@@ -1,0 +1,1 @@
+lib/faultsim/machine.mli: Gdpn_core

@@ -1,0 +1,1 @@
+lib/faultsim/runner.ml: Array Format Gdpn_core Injector List Machine Option Stage Stream Trace

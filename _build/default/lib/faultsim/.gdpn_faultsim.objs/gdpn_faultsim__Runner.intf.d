@@ -1,0 +1,1 @@
+lib/faultsim/runner.mli: Format Injector Machine Stage Stream Trace

@@ -1,0 +1,1 @@
+lib/faultsim/stage.ml: Array Float Format List Printf

@@ -1,0 +1,1 @@
+lib/faultsim/stage.mli: Format

@@ -1,0 +1,1 @@
+lib/faultsim/stats.ml: Array Buffer Float Format Printf String

@@ -1,0 +1,1 @@
+lib/faultsim/stream.ml: Array Float List

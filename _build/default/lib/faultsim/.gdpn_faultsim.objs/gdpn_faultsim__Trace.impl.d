@@ -1,0 +1,1 @@
+lib/faultsim/trace.ml: Format List Printf String

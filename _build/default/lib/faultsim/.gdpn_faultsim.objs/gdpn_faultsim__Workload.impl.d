@@ -1,0 +1,1 @@
+lib/faultsim/workload.ml: Array List Printf Stage String

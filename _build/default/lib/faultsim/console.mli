@@ -1,0 +1,26 @@
+(** An interactive controller over a machine: the operational surface a
+    deployment would script against.
+
+    Commands (one per line):
+    - [status]           — health summary, current pipeline
+    - [fault N]          — fail node N and re-embed
+    - [pipeline]         — the current embedding
+    - [faults]           — the fault history
+    - [processors]       — healthy / used counts
+    - [draw]             — ASCII view (ring view for circulant instances)
+    - [verify N]         — sampled verification with N trials
+    - [help]             — the command list
+    - [quit]             — stop
+
+    [eval] processes one command and returns the response text (used by the
+    tests and by `gdp console`, which wires it to stdin/stdout). *)
+
+type t
+
+val create : Gdpn_core.Instance.t -> t
+
+val eval : t -> string -> [ `Reply of string | `Quit ]
+(** Unknown commands produce a [`Reply] explaining the problem; [eval]
+    never raises on user input. *)
+
+val machine : t -> Machine.t

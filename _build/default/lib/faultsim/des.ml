@@ -1,0 +1,224 @@
+module Pqueue = Gdpn_graph.Pqueue
+
+type config = {
+  arrival_period : int;
+  frame_length : int;
+  splice_latency : int;
+  remap_latency : int;
+  migration_cost_per_word : int;
+}
+
+let default_config =
+  { arrival_period = 2000; frame_length = 256; splice_latency = 50;
+    remap_latency = 2000; migration_cost_per_word = 10 }
+
+type activity = {
+  host : int;
+  stage : int;
+  token : int;
+  start : int;
+  finish : int;
+}
+
+type outcome = {
+  tokens_completed : int;
+  makespan : int;
+  mean_latency : float;
+  max_latency : int;
+  p99_latency : int;
+  stall_time : int;
+  latencies : int array;
+  activity : activity list;
+}
+
+type event =
+  | Arrival of int  (** token index *)
+  | Finish of { host : int; gen : int }
+      (** the host's service slot; stale when the generation moved on *)
+  | Fault of int  (** node id *)
+
+(* Per-stage cost under the evolving frame length. *)
+let stage_costs ~stages ~frame =
+  let costs = Array.make (List.length stages) 0 in
+  let len = ref frame in
+  List.iteri
+    (fun j stage ->
+      costs.(j) <- Stage.cost stage ~frame:!len;
+      len := Stage.output_length stage !len)
+    stages;
+  costs
+
+let simulate ~machine ~stages ~config ~faults ~tokens =
+  let inst = Machine.instance machine in
+  let order = Gdpn_core.Instance.order inst in
+  let n_stages = List.length stages in
+  if n_stages = 0 then invalid_arg "Des.simulate: empty stage chain";
+  if tokens < 0 then invalid_arg "Des.simulate: negative token count";
+  let costs = stage_costs ~stages ~frame:config.frame_length in
+  let hosts = ref (Runner.stage_hosts ~stages machine) in
+  if Array.length !hosts = 0 then failwith "Des.simulate: no pipeline";
+
+  (* Host state, indexed by node id. *)
+  let busy = Array.make order false in
+  let current_item = Array.make order None in
+  let start_time = Array.make order 0 in
+  let activity = ref [] in
+  let finish_deadline = Array.make order 0 in
+  let generation = Array.make order 0 in
+  let avail = Array.make order 0 in
+  let queues = Array.init order (fun _ -> Queue.create ()) in
+
+  let events = Pqueue.create () in
+  let arrival_time = Array.make (max 1 tokens) 0 in
+  for i = 0 to tokens - 1 do
+    arrival_time.(i) <- i * config.arrival_period;
+    Pqueue.push events ~key:arrival_time.(i) (Arrival i)
+  done;
+  List.iter (fun (t, node) -> Pqueue.push events ~key:t (Fault node)) faults;
+
+  let latencies = Array.make (max 1 tokens) (-1) in
+  let completed = ref 0 in
+  let makespan = ref 0 in
+  let stall_total = ref 0 in
+
+  let start_next now host =
+    if (not busy.(host)) && not (Queue.is_empty queues.(host)) then begin
+      let token, stage = Queue.pop queues.(host) in
+      busy.(host) <- true;
+      current_item.(host) <- Some (token, stage);
+      let begins = max now avail.(host) in
+      start_time.(host) <- begins;
+      finish_deadline.(host) <- begins + costs.(stage);
+      Pqueue.push events ~key:finish_deadline.(host)
+        (Finish { host; gen = generation.(host) })
+    end
+  in
+
+  let enqueue now token stage =
+    let host = !hosts.(stage) in
+    Queue.push (token, stage) queues.(host);
+    start_next now host
+  in
+
+  let complete now host =
+    match current_item.(host) with
+    | None -> ()
+    | Some (token, stage) ->
+      busy.(host) <- false;
+      current_item.(host) <- None;
+      generation.(host) <- generation.(host) + 1;
+      activity :=
+        { host; stage; token; start = start_time.(host); finish = now }
+        :: !activity;
+      if stage = n_stages - 1 then begin
+        latencies.(token) <- now - arrival_time.(token);
+        makespan := max !makespan now;
+        incr completed
+      end
+      else enqueue now token (stage + 1);
+      start_next now host
+  in
+
+  let handle_fault now node =
+    let before_local = Machine.local_repair_count machine in
+    match Machine.inject machine node with
+    | Machine.Unchanged -> ()
+    | Machine.Lost -> failwith "Des.simulate: stream lost (fault beyond spec)"
+    | Machine.Remapped _ ->
+      let local = Machine.local_repair_count machine > before_local in
+      let new_hosts = Runner.stage_hosts ~stages machine in
+      (* Stall: the repair itself plus moving the state of every stage
+         whose host changed. *)
+      let moved_state =
+        List.fold_left ( + ) 0
+          (List.mapi
+             (fun j stage ->
+               if
+                 j < Array.length !hosts
+                 && j < Array.length new_hosts
+                 && !hosts.(j) <> new_hosts.(j)
+               then Stage.state_size stage
+               else 0)
+             stages)
+      in
+      let latency =
+        (if local then config.splice_latency else config.remap_latency)
+        + (config.migration_cost_per_word * moved_state)
+      in
+      stall_total := !stall_total + latency;
+      (* Collect pending work: queued items everywhere, plus the in-service
+         item of any host that just died (its work restarts elsewhere). *)
+      let displaced = ref [] in
+      for h = 0 to order - 1 do
+        Queue.iter (fun item -> displaced := item :: !displaced) queues.(h);
+        Queue.clear queues.(h);
+        (match current_item.(h) with
+        | Some item when h = node ->
+          (* The dying host aborts its work item. *)
+          displaced := item :: !displaced;
+          busy.(h) <- false;
+          current_item.(h) <- None;
+          generation.(h) <- generation.(h) + 1
+        | Some _ | None -> ());
+        (* Stall every host. *)
+        if busy.(h) then begin
+          finish_deadline.(h) <- finish_deadline.(h) + latency;
+          (* The already-scheduled Finish event is now stale; schedule a
+             fresh one at the authoritative deadline. *)
+          generation.(h) <- generation.(h) + 1;
+          Pqueue.push events ~key:finish_deadline.(h)
+            (Finish { host = h; gen = generation.(h) })
+        end
+        else avail.(h) <- max avail.(h) (now + latency)
+      done;
+      hosts := new_hosts;
+      (* Re-dispatch displaced work deterministically. *)
+      let ordered = List.sort compare !displaced in
+      List.iter (fun (token, stage) -> enqueue now token stage) ordered
+  in
+
+  let guard = ref 0 in
+  let limit = 1000 * (tokens + List.length faults + 1) * (n_stages + 1) in
+  let rec loop () =
+    if !completed < tokens then
+      match Pqueue.pop events with
+      | None -> failwith "Des.simulate: event queue drained early"
+      | Some (now, ev) ->
+        incr guard;
+        if !guard > limit then failwith "Des.simulate: event budget exceeded";
+        (match ev with
+        | Arrival token -> enqueue now token 0
+        | Fault node -> handle_fault now node
+        | Finish { host; gen } ->
+          if gen = generation.(host) && busy.(host) then begin
+            if now >= finish_deadline.(host) then complete now host
+            else
+              Pqueue.push events ~key:finish_deadline.(host)
+                (Finish { host; gen })
+          end);
+        loop ()
+  in
+  loop ();
+
+  let lat = Array.sub latencies 0 tokens in
+  let sum = Array.fold_left ( + ) 0 lat in
+  let sorted = Array.copy lat in
+  Array.sort compare sorted;
+  {
+    tokens_completed = !completed;
+    makespan = !makespan;
+    mean_latency =
+      (if tokens = 0 then 0.0 else float_of_int sum /. float_of_int tokens);
+    max_latency = (if tokens = 0 then 0 else sorted.(tokens - 1));
+    p99_latency =
+      (if tokens = 0 then 0 else sorted.(min (tokens - 1) (99 * tokens / 100)));
+    stall_time = !stall_total;
+    latencies = lat;
+    activity = List.rev !activity;
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "tokens=%d makespan=%d latency(mean=%.0f p99=%d max=%d) stall=%d"
+    o.tokens_completed o.makespan o.mean_latency o.p99_latency o.max_latency
+    o.stall_time

@@ -1,0 +1,55 @@
+let stage_char stage =
+  if stage < 10 then Char.chr (Char.code '0' + stage)
+  else if stage < 36 then Char.chr (Char.code 'a' + stage - 10)
+  else '#'
+
+let render ?(width = 80) (outcome : Des.outcome) =
+  match outcome.Des.activity with
+  | [] -> "(no activity recorded)\n"
+  | activity ->
+    let hosts =
+      List.sort_uniq compare (List.map (fun a -> a.Des.host) activity)
+    in
+    let horizon = max 1 outcome.Des.makespan in
+    let bin_size = max 1 ((horizon + width - 1) / width) in
+    let bins = (horizon + bin_size - 1) / bin_size in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "host x time gantt: %d work units per column, '.' idle, digits = \
+          stage index\n"
+         bin_size);
+    List.iter
+      (fun host ->
+        (* For each bin, the stage that occupied the largest share. *)
+        let occupancy = Array.make bins None in
+        let coverage = Array.make bins 0 in
+        List.iter
+          (fun a ->
+            if a.Des.host = host then begin
+              let first = a.Des.start / bin_size in
+              let last = min (bins - 1) ((a.Des.finish - 1) / bin_size) in
+              for b = max 0 first to last do
+                let bin_start = b * bin_size in
+                let bin_end = bin_start + bin_size in
+                let overlap =
+                  min a.Des.finish bin_end - max a.Des.start bin_start
+                in
+                if overlap > coverage.(b) then begin
+                  coverage.(b) <- overlap;
+                  occupancy.(b) <- Some a.Des.stage
+                end
+              done
+            end)
+          activity;
+        Buffer.add_string buf (Printf.sprintf "p%-4d |" host);
+        Array.iter
+          (fun cell ->
+            Buffer.add_char buf
+              (match cell with Some s -> stage_char s | None -> '.'))
+          occupancy;
+        Buffer.add_string buf "|\n")
+      hosts;
+    Buffer.add_string buf
+      (Printf.sprintf "       0%*d\n" (bins - 1) horizon);
+    Buffer.contents buf

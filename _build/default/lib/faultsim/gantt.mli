@@ -1,0 +1,13 @@
+(** ASCII Gantt charts of discrete-event runs.
+
+    One row per host, time binned into a fixed-width strip; each cell shows
+    what the host was doing in that bin: a digit/letter for the stage index
+    it served most of the bin (0-9 then a-z), [.] for idle.  Latency spikes
+    and post-fault load shifts are visible at a glance in terminal output
+    and logs. *)
+
+val render : ?width:int -> Des.outcome -> string
+(** [render ~width outcome] (default width 80 columns) charts
+    [outcome.activity].  Hosts appear in ascending id order; the time axis
+    is annotated with its scale.  An outcome with no activity renders an
+    explanatory line. *)

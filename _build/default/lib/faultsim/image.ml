@@ -1,0 +1,112 @@
+type t = { width : int; height : int; data : float array }
+
+let create ~width ~height ~f =
+  if width <= 0 || height <= 0 then invalid_arg "Image.create: empty image";
+  {
+    width;
+    height;
+    data =
+      Array.init (width * height) (fun i -> f (i mod width) (i / width));
+  }
+
+let in_range t x y = x >= 0 && x < t.width && y >= 0 && y < t.height
+
+let get t x y =
+  if not (in_range t x y) then invalid_arg "Image.get: out of range";
+  t.data.((y * t.width) + x)
+
+let set t x y v =
+  if not (in_range t x y) then invalid_arg "Image.set: out of range";
+  t.data.((y * t.width) + x) <- v
+
+let phantom ~size =
+  let disk cx cy r x y =
+    let dx = float_of_int (x - cx) and dy = float_of_int (y - cy) in
+    (dx *. dx) +. (dy *. dy) <= float_of_int (r * r)
+  in
+  let q = size / 4 in
+  create ~width:size ~height:size ~f:(fun x y ->
+      let v = ref 0.0 in
+      if disk q q (max 1 (size / 6)) x y then v := !v +. 1.0;
+      if disk (3 * q) (2 * q) (max 1 (size / 8)) x y then v := !v +. 0.6;
+      if y > size / 2 && y < (size / 2) + max 1 (size / 10) && x > q then
+        v := !v +. 0.4;
+      !v)
+
+let add_line t ~slope ~intercept ~value =
+  for y = 0 to t.height - 1 do
+    let x = (slope * y) + intercept in
+    if x >= 0 && x < t.width then set t x y (get t x y +. value)
+  done
+
+(* Intercept range of the digital line family x = slope*y + b: b = x -
+   slope*y with x in [0, w) and y in [0, h); both extremes are attained at
+   y = 0 or y = h-1 since b is monotone in y. *)
+let intercept_range t ~slope =
+  let lo = min (-slope * 0) (-slope * (t.height - 1)) in
+  let hi =
+    max (t.width - 1 - (slope * 0)) (t.width - 1 - (slope * (t.height - 1)))
+  in
+  (lo, hi)
+
+let projection t ~slope =
+  let lo, hi = intercept_range t ~slope in
+  let bins = Array.make (hi - lo + 1) 0.0 in
+  for y = 0 to t.height - 1 do
+    for x = 0 to t.width - 1 do
+      let b = x - (slope * y) in
+      bins.(b - lo) <- bins.(b - lo) +. get t x y
+    done
+  done;
+  bins
+
+let row_projection t =
+  Array.init t.height (fun y ->
+      let acc = ref 0.0 in
+      for x = 0 to t.width - 1 do
+        acc := !acc +. get t x y
+      done;
+      !acc)
+
+let sinogram t ~slopes = Array.of_list (List.map (fun s -> projection t ~slope:s) slopes)
+
+let back_project ~width ~height ~slopes sino =
+  if List.length slopes <> Array.length sino then
+    invalid_arg "Image.back_project: slope/sinogram length mismatch";
+  let out = create ~width ~height ~f:(fun _ _ -> 0.0) in
+  let norm = float_of_int (max 1 (List.length slopes)) in
+  List.iteri
+    (fun idx slope ->
+      let lo =
+        min (-slope * 0) (-slope * (height - 1))
+      in
+      let bins = sino.(idx) in
+      for y = 0 to height - 1 do
+        for x = 0 to width - 1 do
+          let b = x - (slope * y) in
+          let i = b - lo in
+          if i >= 0 && i < Array.length bins then
+            set out x y (get out x y +. (bins.(i) /. norm))
+        done
+      done)
+    slopes;
+  out
+
+let hough_peaks t ~slopes ~threshold =
+  List.concat_map
+    (fun slope ->
+      let lo, _ = intercept_range t ~slope in
+      let bins = projection t ~slope in
+      List.concat
+        (List.init (Array.length bins) (fun i ->
+             if bins.(i) > threshold then [ (slope, i + lo) ] else [])))
+    slopes
+
+let total t = Array.fold_left ( +. ) 0.0 t.data
+
+let mean_abs_diff a b =
+  if a.width <> b.width || a.height <> b.height then
+    invalid_arg "Image.mean_abs_diff: dimension mismatch";
+  let acc = ref 0.0 in
+  Array.iteri (fun i v -> acc := !acc +. Float.abs (v -. b.data.(i))) a.data;
+  !acc /. float_of_int (Array.length a.data)

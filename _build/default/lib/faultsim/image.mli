@@ -1,0 +1,53 @@
+(** A small 2D image substrate for the paper's image-processing workloads.
+
+    The paper cites pipelined architectures for the Hough and Radon
+    transforms (computed tomography) as motivating applications.  This
+    module provides row-major float images, shear-based projections (the
+    discrete Radon transform along a family of digital lines), unfiltered
+    back-projection, and a Hough-style line detector built on the same
+    projections — enough to run a CT/feature-extraction chain through the
+    simulator with verifiable numerics. *)
+
+type t = { width : int; height : int; data : float array }
+
+val create : width:int -> height:int -> f:(int -> int -> float) -> t
+(** [create ~width ~height ~f] fills pixel [(x, y)] with [f x y]. *)
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val phantom : size:int -> t
+(** A deterministic test object: two disks and a bar on a dark background
+    (a poor man's Shepp–Logan). *)
+
+val add_line : t -> slope:int -> intercept:int -> value:float -> unit
+(** Draw the digital line [x = slope * y + intercept] (one pixel per row,
+    clipped to the image). *)
+
+val projection : t -> slope:int -> float array
+(** Shear projection: bin [b] sums the pixels on the digital line
+    [x = slope * y + b], for [b] covering every line that meets the image.
+    [slope = 0] is the column projection. *)
+
+val row_projection : t -> float array
+(** Sums along rows (one bin per y). *)
+
+val sinogram : t -> slopes:int list -> float array array
+(** One {!projection} per slope — the object's discrete Radon transform. *)
+
+val back_project : width:int -> height:int -> slopes:int list -> float array array -> t
+(** Unfiltered back-projection of a sinogram produced with the same slopes:
+    each pixel accumulates the bins of the lines through it, normalised by
+    the number of slopes.  Reconstruction is blurry (no filtering) but
+    bright where the object was — sufficient for the round-trip checks. *)
+
+val hough_peaks : t -> slopes:int list -> threshold:float -> (int * int) list
+(** Hough-style line detection: [(slope, intercept)] pairs whose projection
+    bin exceeds [threshold]. *)
+
+val total : t -> float
+(** Sum of all pixels (projection invariant: every projection of an image
+    has the same total). *)
+
+val mean_abs_diff : t -> t -> float
+(** Mean absolute pixel difference (images must share dimensions). *)

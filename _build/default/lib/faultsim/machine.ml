@@ -1,0 +1,92 @@
+open Gdpn_core
+module Bitset = Gdpn_graph.Bitset
+
+type t = {
+  inst : Instance.t;
+  fault_mask : Bitset.t;
+  local_repair : bool;
+  mutable fault_list : int list;
+  mutable current : Pipeline.t option;
+  mutable remaps : int;
+  mutable local_repairs : int;
+}
+
+type inject_result = Remapped of Pipeline.t | Unchanged | Lost
+
+let solver_budget = ref 2_000_000
+
+let resolve t =
+  match Reconfig.solve ~budget:!solver_budget t.inst ~faults:t.fault_mask with
+  | Reconfig.Pipeline p ->
+    t.current <- Some p;
+    Some p
+  | Reconfig.No_pipeline | Reconfig.Gave_up ->
+    t.current <- None;
+    None
+
+let create ?(local_repair = true) inst =
+  let t =
+    {
+      inst;
+      fault_mask = Bitset.create (Instance.order inst);
+      local_repair;
+      fault_list = [];
+      current = None;
+      remaps = 0;
+      local_repairs = 0;
+    }
+  in
+  ignore (resolve t);
+  t
+
+let instance t = t.inst
+let fault_count t = List.length t.fault_list
+let faults t = List.rev t.fault_list
+let remap_count t = t.remaps
+let pipeline t = t.current
+
+let healthy_processor_count t =
+  List.length
+    (List.filter
+       (fun p -> not (Bitset.mem t.fault_mask p))
+       (Instance.processors t.inst))
+
+let used_processor_count t =
+  match t.current with None -> 0 | Some p -> Pipeline.processor_count p
+
+let utilization t =
+  let healthy = healthy_processor_count t in
+  if healthy = 0 then 0.0
+  else float_of_int (used_processor_count t) /. float_of_int healthy
+
+let local_repair_count t = t.local_repairs
+
+let inject t node =
+  if node < 0 || node >= Instance.order t.inst then
+    invalid_arg "Machine.inject: node out of range";
+  if Bitset.mem t.fault_mask node then Unchanged
+  else begin
+    Bitset.add t.fault_mask node;
+    t.fault_list <- node :: t.fault_list;
+    t.remaps <- t.remaps + 1;
+    match t.current with
+    | None -> ( match resolve t with Some p -> Remapped p | None -> Lost)
+    | Some _ when not t.local_repair -> (
+      match resolve t with Some p -> Remapped p | None -> Lost)
+    | Some current -> (
+      (* Try the O(degree) local patch before the full solver. *)
+      match
+        Repair.repair ~budget:!solver_budget t.inst ~current
+          ~faults:t.fault_mask ~failed:node
+      with
+      | Repair.Unchanged p | Repair.Spliced p ->
+        t.local_repairs <- t.local_repairs + 1;
+        t.current <- Some p;
+        Remapped p
+      | Repair.Resolved p ->
+        t.current <- Some p;
+        Remapped p
+      | Repair.Lost ->
+        t.current <- None;
+        Lost)
+  end

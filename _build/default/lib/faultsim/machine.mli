@@ -1,0 +1,51 @@
+(** Network state: a solution-graph instance, its accumulated faults, and
+    the currently embedded pipeline.
+
+    Injecting a fault triggers reconfiguration ({!Gdpn_core.Reconfig}); the
+    machine records whether a pipeline could be re-embedded and how many
+    remaps have happened.  A machine whose fault count exceeds [k] may
+    legitimately lose its pipeline. *)
+
+type t
+
+type inject_result =
+  | Remapped of Gdpn_core.Pipeline.t  (** new pipeline after the fault *)
+  | Unchanged  (** node already faulty: no-op *)
+  | Lost  (** no pipeline exists any more *)
+
+val create : ?local_repair:bool -> Gdpn_core.Instance.t -> t
+(** Fresh machine with no faults and the initial pipeline embedded.
+    [local_repair] (default true) enables the O(degree) splice path in
+    {!inject}; disable it to force full reconfiguration on every fault
+    (the B8/E14 ablation baseline). *)
+
+val instance : t -> Gdpn_core.Instance.t
+val fault_count : t -> int
+val faults : t -> int list
+val remap_count : t -> int
+
+val pipeline : t -> Gdpn_core.Pipeline.t option
+(** Current embedding ([None] once lost). *)
+
+val healthy_processor_count : t -> int
+
+val used_processor_count : t -> int
+(** Processors on the current pipeline — for the paper's constructions this
+    equals {!healthy_processor_count} whenever at most [k] faults have been
+    injected (graceful degradation). *)
+
+val utilization : t -> float
+(** [used / healthy]; 0 when the pipeline is lost, 1 when all healthy
+    processors are in use. *)
+
+val inject : t -> int -> inject_result
+(** Mark a node faulty and re-embed: first the O(degree) local patch
+    ({!Gdpn_core.Repair}), then the full strategy solver. *)
+
+val local_repair_count : t -> int
+(** How many injections were absorbed by a local splice instead of a full
+    reconfiguration. *)
+
+val solver_budget : int ref
+(** Expansion budget handed to the reconfiguration solver (exposed so
+    benchmarks can tighten it). *)

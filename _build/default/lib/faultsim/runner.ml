@@ -1,0 +1,162 @@
+type metrics = {
+  frames_processed : int;
+  rounds : int;
+  total_work : int;
+  throughput : float;
+  mean_utilization : float;
+  remaps : int;
+  stages_migrated : int;
+  pipeline_lost : bool;
+  output_checksum : float;
+}
+
+let stage_blocks ~stages ~processors =
+  if processors < 1 then invalid_arg "Runner.stage_blocks: processors < 1";
+  let s = List.length stages in
+  (* Balanced contiguous partition: the first (s mod p) blocks get an extra
+     stage; with p > s the tail blocks are empty. *)
+  let base = s / processors and extra = s mod processors in
+  let rec take n xs =
+    if n = 0 then ([], xs)
+    else
+      match xs with
+      | [] -> ([], [])
+      | x :: rest ->
+        let got, left = take (n - 1) rest in
+        (x :: got, left)
+  in
+  let rec build i xs =
+    if i = processors then []
+    else begin
+      let size = base + if i < extra then 1 else 0 in
+      let block, rest = take size xs in
+      block :: build (i + 1) rest
+    end
+  in
+  build 0 stages
+
+let block_cost block ~frame =
+  (* The frame length changes as it moves through a block (subsampling,
+     RLE); cost accumulates stage by stage on the evolving length. *)
+  let cost, _ =
+    List.fold_left
+      (fun (acc, len) stage ->
+        (acc + Stage.cost stage ~frame:len, Stage.output_length stage len))
+      (0, frame) block
+  in
+  cost
+
+let frame_cost ~stages ~processors ~frame =
+  List.fold_left
+    (fun m block -> max m (block_cost block ~frame))
+    0
+    (stage_blocks ~stages ~processors)
+
+(* stage index -> hosting processor id, given the current embedding. *)
+let stage_hosts ~stages machine =
+  match Machine.pipeline machine with
+  | None -> [||]
+  | Some p ->
+    let procs =
+      match
+        (Gdpn_core.Pipeline.normalise (Machine.instance machine) p)
+          .Gdpn_core.Pipeline.nodes
+      with
+      | _ :: rest -> List.filteri (fun i _ -> i < List.length rest - 1) rest
+      | [] -> []
+    in
+    let blocks = stage_blocks ~stages ~processors:(List.length procs) in
+    let hosts = Array.make (List.length stages) (-1) in
+    let idx = ref 0 in
+    List.iteri
+      (fun block_i block ->
+        let host = List.nth procs block_i in
+        List.iter
+          (fun _ ->
+            hosts.(!idx) <- host;
+            incr idx)
+          block)
+      blocks;
+    hosts
+
+let count_moved before after =
+  if Array.length before <> Array.length after then Array.length after
+  else begin
+    let moved = ref 0 in
+    Array.iteri (fun i h -> if h <> before.(i) then incr moved) after;
+    !moved
+  end
+
+let run ~machine ~stages ~source ~frame_length ~rounds ?(schedule = [])
+    ?(seed = 42) ?trace () =
+  let rng = Stream.Prng.create seed in
+  let frames_processed = ref 0 in
+  let total_work = ref 0 in
+  let util_sum = ref 0.0 in
+  let checksum = ref 0.0 in
+  let lost = ref false in
+  let migrated = ref 0 in
+  let emit e = Option.iter (fun t -> Trace.record t e) trace in
+  let hosts = ref (stage_hosts ~stages machine) in
+  for round = 0 to rounds - 1 do
+    let before_local = Machine.local_repair_count machine in
+    let due =
+      List.filter (fun ev -> ev.Injector.round = round) schedule
+    in
+    List.iter
+      (fun ev ->
+        emit (Trace.Fault { round; node = ev.Injector.node });
+        match Machine.inject machine ev.Injector.node with
+        | Machine.Remapped p ->
+          emit
+            (Trace.Remap
+               {
+                 round;
+                 local = Machine.local_repair_count machine > before_local;
+                 pipeline_processors = Gdpn_core.Pipeline.processor_count p;
+               })
+        | Machine.Unchanged -> ()
+        | Machine.Lost -> emit (Trace.Stream_lost { round }))
+      due;
+    if due <> [] && Machine.pipeline machine <> None then begin
+      let now = stage_hosts ~stages machine in
+      let moved = count_moved !hosts now in
+      hosts := now;
+      if moved > 0 then begin
+        migrated := !migrated + moved;
+        emit (Trace.Migration { round; stages_moved = moved })
+      end
+    end;
+    match Machine.pipeline machine with
+    | None -> lost := true
+    | Some _ ->
+      let frame = Stream.frame ~rng source ~length:frame_length ~index:round in
+      let out = List.fold_left (fun acc st -> Stage.apply st acc) frame stages in
+      let used = Machine.used_processor_count machine in
+      total_work :=
+        !total_work + frame_cost ~stages ~processors:used ~frame:frame_length;
+      util_sum := !util_sum +. Machine.utilization machine;
+      checksum := !checksum +. Array.fold_left ( +. ) 0.0 out;
+      incr frames_processed
+  done;
+  let fp = !frames_processed in
+  {
+    frames_processed = fp;
+    rounds;
+    total_work = !total_work;
+    throughput =
+      (if !total_work = 0 then 0.0
+       else 1000.0 *. float_of_int fp /. float_of_int !total_work);
+    mean_utilization = (if fp = 0 then 0.0 else !util_sum /. float_of_int fp);
+    remaps = Machine.remap_count machine;
+    stages_migrated = !migrated;
+    pipeline_lost = !lost;
+    output_checksum = !checksum;
+  }
+
+let pp_metrics ppf m =
+  Format.fprintf ppf
+    "frames=%d/%d work=%d throughput=%.3f util=%.3f remaps=%d migrated=%d%s"
+    m.frames_processed m.rounds m.total_work m.throughput m.mean_utilization
+    m.remaps m.stages_migrated
+    (if m.pipeline_lost then " LOST" else "")

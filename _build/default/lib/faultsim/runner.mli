@@ -1,0 +1,56 @@
+(** The simulation loop: stream frames through a stage chain mapped onto
+    the machine's current pipeline, injecting faults between rounds.
+
+    Timing model: the pipeline's processors each hold a contiguous block of
+    stages (blocks as balanced as the processor count allows).  A frame's
+    processing time is the maximum block cost — the pipeline is
+    throughput-bound by its slowest processor — so more healthy processors
+    in use means smaller blocks and higher throughput.  This is exactly the
+    quantity graceful degradation improves: a scheme that strands healthy
+    processors keeps its block sizes (and frame times) unnecessarily
+    large.  Stage semantics are mapping-independent: output values are
+    identical however many processors are used. *)
+
+type metrics = {
+  frames_processed : int;
+  rounds : int;
+  total_work : int;  (** summed per-frame max-block costs (work units) *)
+  throughput : float;  (** frames per 1000 work units *)
+  mean_utilization : float;  (** averaged over processed frames *)
+  remaps : int;
+  stages_migrated : int;
+      (** stages whose hosting processor changed across remaps — the state
+          that would have to move over the network in a real system *)
+  pipeline_lost : bool;  (** a fault left the machine without a pipeline *)
+  output_checksum : float;  (** sum over all output samples (determinism) *)
+}
+
+val stage_blocks : stages:'a list -> processors:int -> 'a list list
+(** Balanced contiguous partition of the stage chain over the processors;
+    when [processors > stages], the extra processors hold empty blocks
+    (they forward data).  Raises [Invalid_argument] if [processors < 1]. *)
+
+val frame_cost : stages:Stage.t list -> processors:int -> frame:int -> int
+(** Max block cost under {!stage_blocks} — the simulated per-frame time. *)
+
+val run :
+  machine:Machine.t ->
+  stages:Stage.t list ->
+  source:Stream.source ->
+  frame_length:int ->
+  rounds:int ->
+  ?schedule:Injector.schedule ->
+  ?seed:int ->
+  ?trace:Trace.recorder ->
+  unit ->
+  metrics
+(** One frame enters per round; due faults are injected before the frame is
+    processed.  If the pipeline is lost the remaining frames are dropped
+    (counted in [rounds] but not [frames_processed]).  When [trace] is
+    given, every fault, remap, migration and loss event is recorded. *)
+
+val pp_metrics : Format.formatter -> metrics -> unit
+
+val stage_hosts : stages:'a list -> Machine.t -> int array
+(** Stage index to hosting processor id under the machine's current
+    embedding (empty when the pipeline is lost).  Shared with {!Des}. *)

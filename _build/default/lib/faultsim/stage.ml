@@ -1,0 +1,207 @@
+type t =
+  | Fir of float array
+  | Iir of { b : float array; a : float array }
+  | Subsample of int
+  | Rescale of { num : int; den : int }
+  | Gain of float
+  | Quantize of int
+  | Rle_compress
+  | Projection_sum of int
+  | Median of int
+  | Dct of int
+
+let apply_fir coeffs frame =
+  let taps = Array.length coeffs in
+  let len = Array.length frame in
+  Array.init len (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to taps - 1 do
+        if i - j >= 0 then acc := !acc +. (coeffs.(j) *. frame.(i - j))
+      done;
+      !acc)
+
+let apply_iir ~b ~a frame =
+  let len = Array.length frame in
+  let out = Array.make len 0.0 in
+  for i = 0 to len - 1 do
+    let acc = ref 0.0 in
+    for j = 0 to Array.length b - 1 do
+      if i - j >= 0 then acc := !acc +. (b.(j) *. frame.(i - j))
+    done;
+    for j = 0 to Array.length a - 1 do
+      if i - j - 1 >= 0 then acc := !acc -. (a.(j) *. out.(i - j - 1))
+    done;
+    out.(i) <- !acc
+  done;
+  out
+
+let apply_subsample m frame =
+  if m < 1 then invalid_arg "Stage.apply: subsample factor must be >= 1";
+  let len = (Array.length frame + m - 1) / m in
+  Array.init len (fun i -> frame.(i * m))
+
+let apply_rescale ~num ~den frame =
+  if num < 1 || den < 1 then invalid_arg "Stage.apply: rescale ratio";
+  let len = Array.length frame in
+  if len = 0 then [||]
+  else begin
+    let out_len = max 1 (len * num / den) in
+    Array.init out_len (fun i ->
+        (* Source position with linear interpolation. *)
+        let pos = float_of_int i *. float_of_int den /. float_of_int num in
+        let lo = int_of_float pos in
+        let hi = min (len - 1) (lo + 1) in
+        let frac = pos -. float_of_int lo in
+        if lo >= len then frame.(len - 1)
+        else ((1.0 -. frac) *. frame.(lo)) +. (frac *. frame.(hi)))
+  end
+
+let apply_quantize levels frame =
+  if levels < 2 then invalid_arg "Stage.apply: quantizer needs >= 2 levels";
+  let q = float_of_int (levels - 1) in
+  Array.map (fun x -> Float.round (x *. q) /. q) frame
+
+let apply_rle frame =
+  let out = ref [] in
+  let len = Array.length frame in
+  let i = ref 0 in
+  while !i < len do
+    let v = frame.(!i) in
+    let run = ref 1 in
+    while !i + !run < len && frame.(!i + !run) = v do
+      incr run
+    done;
+    out := float_of_int !run :: v :: !out;
+    i := !i + !run
+  done;
+  Array.of_list (List.rev !out)
+
+let apply_projection width frame =
+  if width < 1 then invalid_arg "Stage.apply: projection width";
+  let len = Array.length frame in
+  if len < width then [| Array.fold_left ( +. ) 0.0 frame |]
+  else
+    Array.init
+      (len - width + 1)
+      (fun i ->
+        let acc = ref 0.0 in
+        for j = 0 to width - 1 do
+          acc := !acc +. frame.(i + j)
+        done;
+        !acc)
+
+let apply_median width frame =
+  if width < 1 || width mod 2 = 0 then
+    invalid_arg "Stage.apply: median width must be odd and positive";
+  let len = Array.length frame in
+  let half = width / 2 in
+  Array.init len (fun i ->
+      let lo = max 0 (i - half) in
+      let hi = min (len - 1) (i + half) in
+      let window = Array.sub frame lo (hi - lo + 1) in
+      Array.sort compare window;
+      window.(Array.length window / 2))
+
+let apply_dct block frame =
+  if block < 1 then invalid_arg "Stage.apply: dct block size";
+  let len = Array.length frame in
+  let out = Array.make len 0.0 in
+  let blocks = (len + block - 1) / block in
+  for b = 0 to blocks - 1 do
+    let base = b * block in
+    let size = min block (len - base) in
+    for u = 0 to size - 1 do
+      let acc = ref 0.0 in
+      for x = 0 to size - 1 do
+        acc :=
+          !acc
+          +. frame.(base + x)
+             *. cos
+                  (Float.pi /. float_of_int size
+                  *. (float_of_int x +. 0.5)
+                  *. float_of_int u)
+      done;
+      out.(base + u) <- !acc
+    done
+  done;
+  out
+
+let apply t frame =
+  match t with
+  | Fir coeffs -> apply_fir coeffs frame
+  | Iir { b; a } -> apply_iir ~b ~a frame
+  | Subsample m -> apply_subsample m frame
+  | Rescale { num; den } -> apply_rescale ~num ~den frame
+  | Gain g -> Array.map (fun x -> g *. x) frame
+  | Quantize levels -> apply_quantize levels frame
+  | Rle_compress -> apply_rle frame
+  | Projection_sum width -> apply_projection width frame
+  | Median width -> apply_median width frame
+  | Dct block -> apply_dct block frame
+
+let output_length t len =
+  match t with
+  | Subsample m -> (len + m - 1) / max 1 m
+  | Rescale { num; den } -> max 1 (len * num / max 1 den)
+  | Projection_sum w -> if len < w then 1 else len - w + 1
+  | Rle_compress (* worst case: no runs *) | Fir _ | Iir _ | Gain _
+  | Quantize _ | Median _ | Dct _ ->
+    len
+
+let cost t ~frame =
+  match t with
+  | Fir coeffs -> frame * Array.length coeffs
+  | Iir { b; a } -> frame * (Array.length b + Array.length a)
+  | Subsample m -> frame / max 1 m
+  | Rescale { num; den } -> 2 * frame * num / max 1 den
+  | Gain _ -> frame
+  | Quantize _ -> 2 * frame
+  | Rle_compress -> 2 * frame
+  | Projection_sum width -> frame * width
+  | Median width -> frame * width (* window sort, small constant folded in *)
+  | Dct block -> frame * block
+
+let state_size = function
+  | Fir coeffs -> max 0 (Array.length coeffs - 1)
+  | Iir { b; a } -> max 0 (Array.length b - 1) + Array.length a
+  | Median width -> max 0 (width - 1)
+  | Subsample _ | Rescale _ | Gain _ | Quantize _ | Rle_compress
+  | Projection_sum _ | Dct _ ->
+    0
+
+let name = function
+  | Fir c -> Printf.sprintf "fir/%d" (Array.length c)
+  | Iir { b; a } -> Printf.sprintf "iir/%d,%d" (Array.length b) (Array.length a)
+  | Subsample m -> Printf.sprintf "subsample/%d" m
+  | Rescale { num; den } -> Printf.sprintf "rescale/%d:%d" num den
+  | Gain g -> Printf.sprintf "gain/%g" g
+  | Quantize l -> Printf.sprintf "quantize/%d" l
+  | Rle_compress -> "rle"
+  | Projection_sum w -> Printf.sprintf "projection/%d" w
+  | Median w -> Printf.sprintf "median/%d" w
+  | Dct b -> Printf.sprintf "dct/%d" b
+
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+let video_codec () =
+  [
+    Subsample 2;
+    Rescale { num = 3; den = 4 };
+    Fir [| 0.25; 0.5; 0.25 |];
+    Quantize 16;
+    Rle_compress;
+  ]
+
+let ct_reconstruction () =
+  [
+    Projection_sum 8;
+    Iir { b = [| 0.3; 0.3 |]; a = [| -0.4 |] };
+    Rescale { num = 1; den = 2 };
+    Gain 0.125;
+  ]
+
+let fir_bank s =
+  List.init s (fun i ->
+      let width = 2 + (i mod 4) in
+      let c = 1.0 /. float_of_int width in
+      Fir (Array.make width c))

@@ -1,0 +1,66 @@
+(** Processing-stage kernels for pipeline applications.
+
+    The paper's introduction motivates gracefully-degradable pipelines with
+    communication-intensive stream applications whose stages are
+    "subsampling, rescaling, and finite impulse response (FIR) or infinite
+    impulse response (IIR) filtering", textual-substitution compression, and
+    Hough/Radon transforms.  These kernels implement those stage types over
+    sample frames so the simulator processes real data — mapping the stage
+    chain onto the network only affects timing, never values. *)
+
+type t =
+  | Fir of float array  (** FIR filter with the given coefficients *)
+  | Iir of { b : float array; a : float array }
+      (** IIR direct-form-I filter: [a.(0)] is implicitly 1 *)
+  | Subsample of int  (** keep every m-th sample *)
+  | Rescale of { num : int; den : int }
+      (** linear-interpolation resampling by [num/den] *)
+  | Gain of float
+  | Quantize of int  (** uniform quantizer with the given level count *)
+  | Rle_compress
+      (** run-length coding of equal consecutive samples into
+          (value, count) pairs — the 1D textual-substitution stand-in *)
+  | Projection_sum of int
+      (** sum over sliding windows of the given width — the Radon/Hough
+          projection stand-in (a projection is a windowed line sum) *)
+  | Median of int
+      (** sliding-window median of odd width — nonlinear denoising *)
+  | Dct of int
+      (** block DCT-II with the given block size — the transform stage of
+          the §1 video-compression motivation *)
+
+val apply : t -> float array -> float array
+(** Apply the kernel to one frame. *)
+
+val output_length : t -> int -> int
+(** Frame length after the stage, for a worst-case input of the given
+    length ([Rle_compress] counts as length-preserving: no runs).  Agrees
+    with [Array.length (apply t frame)] except for that RLE worst-casing.
+    Drives the cost models in {!Runner} and {!Des}. *)
+
+val cost : t -> frame:int -> int
+(** Abstract work units to process a frame of the given length — drives the
+    simulator's timing model.  Roughly proportional to the number of
+    multiply-accumulates the kernel performs. *)
+
+val state_size : t -> int
+(** Words of persistent state the stage carries between frames (filter
+    delay lines, dictionary entries).  Migrating a stage to another
+    processor must move this state; stateless stages migrate for free.
+    FIR: taps-1; IIR: feedforward+feedback history; others: 0. *)
+
+val name : t -> string
+
+val video_codec : unit -> t list
+(** A representative asymmetric video-compression stage chain (§1):
+    subsample, rescale, FIR low-pass, quantize, RLE. *)
+
+val ct_reconstruction : unit -> t list
+(** A Radon/CT-flavoured chain [1]: projection sums, IIR smoothing,
+    rescale, gain. *)
+
+val fir_bank : int -> t list
+(** [fir_bank s] is a chain of [s] distinct small FIR stages — a generic
+    DSP workload whose length is easy to parameterise. *)
+
+val pp : Format.formatter -> t -> unit

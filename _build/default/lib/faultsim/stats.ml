@@ -1,0 +1,79 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min_value : float;
+  max_value : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0 || p > 100 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p * n / 100 in
+  sorted.(min (n - 1) rank)
+
+let summarise xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarise: empty";
+  let sum = Array.fold_left ( +. ) 0.0 xs in
+  let mean = sum /. float_of_int n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs
+    /. float_of_int n
+  in
+  {
+    count = n;
+    mean;
+    stddev = sqrt var;
+    min_value = Array.fold_left Float.min xs.(0) xs;
+    max_value = Array.fold_left Float.max xs.(0) xs;
+    p50 = percentile xs 50;
+    p90 = percentile xs 90;
+    p99 = percentile xs 99;
+  }
+
+let of_ints xs = summarise (Array.map float_of_int xs)
+
+let histogram ?(bins = 10) ?(width = 40) xs =
+  if Array.length xs = 0 then "(no data)\n"
+  else begin
+    let lo = Array.fold_left Float.min xs.(0) xs in
+    let hi = Array.fold_left Float.max xs.(0) xs in
+    if hi = lo then
+      Printf.sprintf "%10.1f  all %d samples\n" lo (Array.length xs)
+    else begin
+      let bins = max 1 bins in
+      let counts = Array.make bins 0 in
+      Array.iter
+        (fun x ->
+          let b =
+            int_of_float (float_of_int bins *. (x -. lo) /. (hi -. lo))
+          in
+          let b = min (bins - 1) (max 0 b) in
+          counts.(b) <- counts.(b) + 1)
+        xs;
+      let peak = Array.fold_left max 1 counts in
+      let buf = Buffer.create 256 in
+      Array.iteri
+        (fun b c ->
+          let bin_lo = lo +. ((hi -. lo) *. float_of_int b /. float_of_int bins) in
+          let bar = width * c / peak in
+          Buffer.add_string buf
+            (Printf.sprintf "%12.1f |%s%s %d\n" bin_lo (String.make bar '#')
+               (String.make (width - bar) ' ')
+               c))
+        counts;
+      Buffer.contents buf
+    end
+  end
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.1f sd=%.1f min=%.1f p50=%.1f p90=%.1f p99=%.1f max=%.1f"
+    s.count s.mean s.stddev s.min_value s.p50 s.p90 s.p99 s.max_value

@@ -1,0 +1,28 @@
+(** Summary statistics and ASCII histograms for simulation outputs
+    (latency arrays, lifetimes, utilization series). *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** population standard deviation *)
+  min_value : float;
+  max_value : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarise : float array -> summary
+(** Raises [Invalid_argument] on an empty array. *)
+
+val of_ints : int array -> summary
+
+val percentile : float array -> int -> float
+(** [percentile xs p] for [0 <= p <= 100], nearest-rank on a sorted copy. *)
+
+val histogram : ?bins:int -> ?width:int -> float array -> string
+(** An ASCII histogram: one row per bin, bar length proportional to count,
+    annotated with the bin range and count.  Default 10 bins, 40-column
+    bars.  Constant data collapses to a single bin. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,57 @@
+module Prng = struct
+  (* splitmix64 over OCaml's 63-bit ints: statistically fine for synthetic
+     workloads and fully deterministic across platforms. *)
+  type t = { mutable state : int }
+
+  let create seed = { state = seed lxor 0x9E3779B97F4A7C1 }
+
+  let next t =
+    t.state <- t.state + 0x9E3779B97F4A7C1;
+    let z = t.state in
+    let z = (z lxor (z lsr 30)) * 0xBF58476D1CE4E5B in
+    let z = (z lxor (z lsr 27)) * 0x94D049BB133111E in
+    let z = z lxor (z lsr 31) in
+    z land max_int
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+    next t mod bound
+
+  let float t bound = float_of_int (next t) /. float_of_int max_int *. bound
+
+  let split t = create (next t)
+end
+
+type source =
+  | Sine_mixture of (float * float) list
+  | White_noise of float
+  | Step of { period : int; high : float }
+  | Chirp of { f0 : float; f1 : float }
+
+let tau = 2.0 *. Float.pi
+
+let frame ?rng source ~length ~index =
+  let base = index * length in
+  match source with
+  | Sine_mixture components ->
+    Array.init length (fun i ->
+        let t = float_of_int (base + i) in
+        List.fold_left
+          (fun acc (freq, amp) -> acc +. (amp *. sin (tau *. freq *. t)))
+          0.0 components)
+  | White_noise amp -> (
+    match rng with
+    | None -> invalid_arg "Stream.frame: White_noise needs ~rng"
+    | Some rng ->
+      Array.init length (fun _ -> (Prng.float rng 2.0 -. 1.0) *. amp))
+  | Step { period; high } ->
+    Array.init length (fun i ->
+        if (base + i) / max 1 period mod 2 = 0 then high else 0.0)
+  | Chirp { f0; f1 } ->
+    Array.init length (fun i ->
+        let t = float_of_int (base + i) /. 1000.0 in
+        sin (tau *. (f0 +. ((f1 -. f0) *. t)) *. t))
+
+let frames ?(seed = 42) source ~length ~count =
+  let rng = Prng.create seed in
+  List.init count (fun index -> frame ~rng source ~length ~index)

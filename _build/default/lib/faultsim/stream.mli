@@ -1,0 +1,37 @@
+(** Deterministic synthetic signal sources.
+
+    Everything in the simulator is reproducible from a seed: the PRNG is a
+    small explicit splitmix64, so simulations and sampled experiments do not
+    depend on OCaml's global [Random] state. *)
+
+module Prng : sig
+  type t
+
+  val create : int -> t
+  (** Seeded generator. *)
+
+  val int : t -> int -> int
+  (** [int t bound] is uniform on [0, bound). *)
+
+  val float : t -> float -> float
+  (** [float t bound] is uniform on [0, bound). *)
+
+  val split : t -> t
+  (** Derive an independent generator (for per-component streams). *)
+end
+
+type source =
+  | Sine_mixture of (float * float) list
+      (** (frequency, amplitude) components, evaluated per sample index *)
+  | White_noise of float  (** amplitude *)
+  | Step of { period : int; high : float }
+  | Chirp of { f0 : float; f1 : float }  (** linear frequency ramp *)
+
+val frame : ?rng:Prng.t -> source -> length:int -> index:int -> float array
+(** [frame src ~length ~index] is the [index]-th frame of the stream.
+    Deterministic for noiseless sources; noise draws from [rng]
+    (required for [White_noise]). *)
+
+val frames :
+  ?seed:int -> source -> length:int -> count:int -> float array list
+(** The first [count] frames. *)

@@ -1,0 +1,37 @@
+type event =
+  | Fault of { round : int; node : int }
+  | Remap of { round : int; local : bool; pipeline_processors : int }
+  | Migration of { round : int; stages_moved : int }
+  | Stream_lost of { round : int }
+
+type recorder = { mutable rev_events : event list }
+
+let recorder () = { rev_events = [] }
+let record r e = r.rev_events <- e :: r.rev_events
+let events r = List.rev r.rev_events
+let count r p = List.length (List.filter p (events r))
+
+let pp_event ppf = function
+  | Fault { round; node } -> Format.fprintf ppf "r%d fault node=%d" round node
+  | Remap { round; local; pipeline_processors } ->
+    Format.fprintf ppf "r%d remap %s procs=%d" round
+      (if local then "local" else "full")
+      pipeline_processors
+  | Migration { round; stages_moved } ->
+    Format.fprintf ppf "r%d migration stages=%d" round stages_moved
+  | Stream_lost { round } -> Format.fprintf ppf "r%d stream-lost" round
+
+let to_csv r =
+  let line = function
+    | Fault { round; node } -> Printf.sprintf "%d,fault,%d" round node
+    | Remap { round; local; pipeline_processors } ->
+      Printf.sprintf "%d,remap-%s,%d" round
+        (if local then "local" else "full")
+        pipeline_processors
+    | Migration { round; stages_moved } ->
+      Printf.sprintf "%d,migration,%d" round stages_moved
+    | Stream_lost { round } -> Printf.sprintf "%d,stream-lost," round
+  in
+  String.concat "\n" ("round,kind,detail" :: List.map line (events r))
+
+let equal a b = events a = events b

@@ -1,0 +1,30 @@
+(** Event traces of simulation runs.
+
+    A recorder collects the externally visible events of a run — faults,
+    remaps (local splice vs full reconfiguration), stage migrations, stream
+    loss — with enough data to audit a run after the fact, export it as
+    CSV, or compare two runs for equality (replay determinism). *)
+
+type event =
+  | Fault of { round : int; node : int }
+  | Remap of { round : int; local : bool; pipeline_processors : int }
+  | Migration of { round : int; stages_moved : int }
+  | Stream_lost of { round : int }
+
+type recorder
+
+val recorder : unit -> recorder
+val record : recorder -> event -> unit
+
+val events : recorder -> event list
+(** In chronological (recording) order. *)
+
+val count : recorder -> (event -> bool) -> int
+
+val to_csv : recorder -> string
+(** One line per event: [round,kind,detail]. *)
+
+val equal : recorder -> recorder -> bool
+(** Same events in the same order — the determinism check. *)
+
+val pp_event : Format.formatter -> event -> unit

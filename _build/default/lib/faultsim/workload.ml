@@ -1,0 +1,94 @@
+let presets =
+  [
+    ("video", "asymmetric video-compression front end (§1): sub2|rescale3:4|fir3|quant16|rle");
+    ("ct", "Radon/CT reconstruction chain: proj8|iir|rescale1:2|gain0.125");
+    ("firbankN", "N distinct small FIR stages (e.g. firbank12)");
+  ]
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let after ~prefix s =
+  String.sub s (String.length prefix) (String.length s - String.length prefix)
+
+let parse_stage token =
+  let num ~prefix ~min_value of_raw =
+    match int_of_string_opt (after ~prefix token) with
+    | Some v when v >= min_value -> Ok (of_raw v)
+    | Some _ | None -> Error (Printf.sprintf "bad stage %S" token)
+  in
+  if token = "iir" then Ok (Stage.Iir { b = [| 0.3; 0.3 |]; a = [| -0.4 |] })
+  else if token = "rle" then Ok Stage.Rle_compress
+  else if starts_with ~prefix:"fir" token then
+    num ~prefix:"fir" ~min_value:1 (fun n ->
+        Stage.Fir (Array.make n (1.0 /. float_of_int n)))
+  else if starts_with ~prefix:"sub" token then
+    num ~prefix:"sub" ~min_value:1 (fun n -> Stage.Subsample n)
+  else if starts_with ~prefix:"rescale" token then begin
+    match String.split_on_char ':' (after ~prefix:"rescale" token) with
+    | [ a; b ] -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some num, Some den when num >= 1 && den >= 1 ->
+        Ok (Stage.Rescale { num; den })
+      | _ -> Error (Printf.sprintf "bad stage %S" token))
+    | _ -> Error (Printf.sprintf "bad stage %S" token)
+  end
+  else if starts_with ~prefix:"gain" token then begin
+    match float_of_string_opt (after ~prefix:"gain" token) with
+    | Some g -> Ok (Stage.Gain g)
+    | None -> Error (Printf.sprintf "bad stage %S" token)
+  end
+  else if starts_with ~prefix:"quant" token then
+    num ~prefix:"quant" ~min_value:2 (fun n -> Stage.Quantize n)
+  else if starts_with ~prefix:"proj" token then
+    num ~prefix:"proj" ~min_value:1 (fun n -> Stage.Projection_sum n)
+  else if starts_with ~prefix:"median" token then begin
+    match int_of_string_opt (after ~prefix:"median" token) with
+    | Some w when w >= 1 && w mod 2 = 1 -> Ok (Stage.Median w)
+    | Some _ | None -> Error (Printf.sprintf "bad stage %S" token)
+  end
+  else if starts_with ~prefix:"dct" token then
+    num ~prefix:"dct" ~min_value:1 (fun n -> Stage.Dct n)
+  else Error (Printf.sprintf "unknown stage %S" token)
+
+let parse text =
+  let text = String.trim text in
+  if text = "video" then Ok (Stage.video_codec ())
+  else if text = "ct" then Ok (Stage.ct_reconstruction ())
+  else if starts_with ~prefix:"firbank" text then begin
+    match int_of_string_opt (after ~prefix:"firbank" text) with
+    | Some n when n >= 1 -> Ok (Stage.fir_bank n)
+    | Some _ | None -> Error (Printf.sprintf "bad preset %S" text)
+  end
+  else begin
+    let tokens =
+      List.filter (fun s -> s <> "")
+        (List.map String.trim (String.split_on_char '|' text))
+    in
+    if tokens = [] then Error "empty chain"
+    else begin
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | tok :: rest -> (
+          match parse_stage tok with
+          | Ok stage -> go (stage :: acc) rest
+          | Error e -> Error e)
+      in
+      go [] tokens
+    end
+  end
+
+let stage_to_string = function
+  | Stage.Fir c -> Printf.sprintf "fir%d" (Array.length c)
+  | Stage.Iir _ -> "iir"
+  | Stage.Subsample n -> Printf.sprintf "sub%d" n
+  | Stage.Rescale { num; den } -> Printf.sprintf "rescale%d:%d" num den
+  | Stage.Gain g -> Printf.sprintf "gain%g" g
+  | Stage.Quantize n -> Printf.sprintf "quant%d" n
+  | Stage.Rle_compress -> "rle"
+  | Stage.Projection_sum w -> Printf.sprintf "proj%d" w
+  | Stage.Median w -> Printf.sprintf "median%d" w
+  | Stage.Dct b -> Printf.sprintf "dct%d" b
+
+let to_string stages = String.concat "|" (List.map stage_to_string stages)

@@ -1,0 +1,27 @@
+(** Named workloads and a textual stage-chain language.
+
+    The CLI and examples describe stage chains as strings, e.g.
+    ["sub2|rescale3:4|fir5|quant16|rle"] — stages separated by [|], each a
+    name with an inline parameter.  Grammar per stage:
+
+    - [firN]        — N-tap moving-average FIR (N >= 1)
+    - [iir]         — the standard smoothing IIR used by the CT chain
+    - [subN]        — subsample by N
+    - [rescaleA:B]  — resample by A/B
+    - [gainX]       — multiply by float X
+    - [quantN]      — N-level quantizer
+    - [rle]         — run-length coding
+    - [projN]       — width-N projection sums
+
+    Named presets: ["video"], ["ct"], ["firbankN"]. *)
+
+val parse : string -> (Stage.t list, string) result
+(** Parse a chain description (presets allowed as a whole string only).
+    The error names the offending stage token. *)
+
+val to_string : Stage.t list -> string
+(** Render a chain back into the language (inverse of {!parse} up to
+    preset expansion). *)
+
+val presets : (string * string) list
+(** [(name, description)] of the named workloads. *)

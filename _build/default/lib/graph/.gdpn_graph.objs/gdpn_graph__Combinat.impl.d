@@ -1,0 +1,1 @@
+lib/graph/combinat.ml: Array Hashtbl Random

@@ -1,0 +1,1 @@
+lib/graph/hamilton.ml: Array Bitset Graph List Option

@@ -1,0 +1,1 @@
+lib/graph/hamilton.mli: Bitset Graph

@@ -1,0 +1,1 @@
+lib/graph/iso.ml: Array Fun Graph Hashtbl List Option Printf String

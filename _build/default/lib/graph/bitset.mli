@@ -1,0 +1,68 @@
+(** Fixed-capacity packed bitsets over the integer universe [0, capacity).
+
+    Used throughout the solvers to represent "alive" node sets and visited
+    sets without allocation in inner loops.  All indices must satisfy
+    [0 <= i < capacity t]; this is enforced with assertions. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is the empty set over universe [0, capacity). *)
+
+val full : int -> t
+(** [full capacity] contains every element of [0, capacity). *)
+
+val capacity : t -> int
+(** Size of the universe the set was created over. *)
+
+val copy : t -> t
+(** Independent copy. *)
+
+val blit : src:t -> dst:t -> unit
+(** [blit ~src ~dst] overwrites [dst] with [src]'s contents.
+    The two sets must have equal capacity. *)
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val clear : t -> unit
+
+val cardinal : t -> int
+(** Number of elements, computed by popcount over the words. *)
+
+val is_empty : t -> bool
+
+val equal : t -> t -> bool
+(** Structural equality of contents (capacities must match). *)
+
+val subset : t -> t -> bool
+(** [subset a b] is true when every element of [a] is in [b]. *)
+
+val inter_into : t -> t -> unit
+(** [inter_into a b] replaces [a] with [a] ∩ [b]. *)
+
+val diff_into : t -> t -> unit
+(** [diff_into a b] replaces [a] with [a] \ [b]. *)
+
+val union_into : t -> t -> unit
+(** [union_into a b] replaces [a] with [a] ∪ [b]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate elements in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over elements in increasing order. *)
+
+val elements : t -> int list
+(** Elements in increasing order. *)
+
+val of_list : int -> int list -> t
+(** [of_list capacity xs] builds a set containing [xs]. *)
+
+val choose : t -> int option
+(** Smallest element, if any. *)
+
+val count_common : t -> t -> int
+(** [count_common a b] is [cardinal (a ∩ b)] without allocating. *)
+
+val pp : Format.formatter -> t -> unit

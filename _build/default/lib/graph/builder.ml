@@ -1,0 +1,71 @@
+let clique n =
+  let b = Graph.builder n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Graph.add_edge b u v
+    done
+  done;
+  Graph.freeze b
+
+let path n =
+  let b = Graph.builder n in
+  for u = 0 to n - 2 do
+    Graph.add_edge b u (u + 1)
+  done;
+  Graph.freeze b
+
+let cycle n =
+  if n < 3 then invalid_arg "Builder.cycle: need at least 3 nodes";
+  let b = Graph.builder n in
+  for u = 0 to n - 2 do
+    Graph.add_edge b u (u + 1)
+  done;
+  Graph.add_edge b (n - 1) 0;
+  Graph.freeze b
+
+let circulant m offsets =
+  if m < 1 then invalid_arg "Builder.circulant: empty graph";
+  let b = Graph.builder m in
+  let normalised =
+    List.map
+      (fun s ->
+        let s = ((s mod m) + m) mod m in
+        if s = 0 then invalid_arg "Builder.circulant: offset is 0 mod m";
+        s)
+      offsets
+  in
+  List.iter
+    (fun s ->
+      for i = 0 to m - 1 do
+        Graph.add_edge_if_absent b i ((i + s) mod m)
+      done)
+    normalised;
+  Graph.freeze b
+
+let clique_minus_matching n =
+  let b = Graph.builder n in
+  let matched u v = u / 2 = v / 2 in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if not (matched u v) then Graph.add_edge b u v
+    done
+  done;
+  Graph.freeze b
+
+let add_clique_on b nodes =
+  let rec go = function
+    | [] -> ()
+    | u :: rest ->
+      List.iter (fun v -> Graph.add_edge_if_absent b u v) rest;
+      go rest
+  in
+  go nodes
+
+let add_path_on b nodes =
+  let rec go = function
+    | a :: (c :: _ as rest) ->
+      Graph.add_edge_if_absent b a c;
+      go rest
+    | [ _ ] | [] -> ()
+  in
+  go nodes

@@ -1,0 +1,28 @@
+(** Generators for the standard graph families the constructions are
+    assembled from: cliques, paths, cycles, circulants and matchings. *)
+
+val clique : int -> Graph.t
+(** Complete graph K_n. *)
+
+val path : int -> Graph.t
+(** Path on [n] nodes [0 - 1 - ... - n-1]. *)
+
+val cycle : int -> Graph.t
+(** Cycle on [n >= 3] nodes. *)
+
+val circulant : int -> int list -> Graph.t
+(** [circulant m offsets] is the circulant graph on [m] nodes in which [i] is
+    adjacent to [(i + s) mod m] for every offset [s].  Offsets are normalised
+    modulo [m]; offsets equivalent to [0] are rejected; duplicate edges
+    arising from symmetric offsets ([s] and [m - s]) are collapsed.
+    (Elspas & Turner 1970, as used in the paper's Section 3.4.) *)
+
+val clique_minus_matching : int -> Graph.t
+(** Complete graph on [n] nodes minus the perfect (or near-perfect) matching
+    [(0,1), (2,3), ...] — the processor subgraph of the paper's G(3,k). *)
+
+val add_clique_on : Graph.builder -> int list -> unit
+(** Add all edges among the given nodes (skipping already-present ones). *)
+
+val add_path_on : Graph.builder -> int list -> unit
+(** Add consecutive edges along the given node sequence. *)

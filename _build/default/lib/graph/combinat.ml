@@ -1,0 +1,79 @@
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for j = 1 to k do
+      let next = !acc * (n - k + j) in
+      if next < 0 then invalid_arg "Combinat.binomial: overflow";
+      acc := next / j
+    done;
+    !acc
+  end
+
+let count_up_to n k =
+  let acc = ref 0 in
+  for j = 0 to k do
+    acc := !acc + binomial n j
+  done;
+  !acc
+
+(* Lexicographic successor of a k-combination stored in [buf]. *)
+let iter_choose n k f =
+  if k < 0 || k > n then ()
+  else if k = 0 then f [||]
+  else begin
+    let buf = Array.init k (fun i -> i) in
+    let continue = ref true in
+    while !continue do
+      f buf;
+      (* Find rightmost position that can advance. *)
+      let rec find i =
+        if i < 0 then None
+        else if buf.(i) < n - k + i then Some i
+        else find (i - 1)
+      in
+      match find (k - 1) with
+      | None -> continue := false
+      | Some i ->
+        buf.(i) <- buf.(i) + 1;
+        for j = i + 1 to k - 1 do
+          buf.(j) <- buf.(j - 1) + 1
+        done
+    done
+  end
+
+let iter_subsets_up_to n k f =
+  for size = 0 to min k n do
+    iter_choose n size (fun buf -> f buf size)
+  done
+
+let fold_choose n k f init =
+  let acc = ref init in
+  iter_choose n k (fun buf -> acc := f !acc buf);
+  !acc
+
+let exists_choose n k p =
+  let exception Found in
+  try
+    iter_choose n k (fun buf -> if p buf then raise Found);
+    false
+  with Found -> true
+
+(* Floyd's algorithm: uniform k-subset of [0..n-1]. *)
+let sample rng n k =
+  assert (0 <= k && k <= n);
+  let chosen = Hashtbl.create (2 * k + 1) in
+  for j = n - k to n - 1 do
+    let t = Random.State.int rng (j + 1) in
+    if Hashtbl.mem chosen t then Hashtbl.replace chosen j ()
+    else Hashtbl.replace chosen t ()
+  done;
+  let out = Hashtbl.fold (fun x () acc -> x :: acc) chosen [] in
+  let arr = Array.of_list out in
+  Array.sort compare arr;
+  arr
+
+let sample_up_to rng n k =
+  let size = Random.State.int rng (min k n + 1) in
+  sample rng n size

@@ -1,0 +1,36 @@
+(** Enumeration and sampling of combinations (fault sets are subsets of the
+    node universe; graceful degradation is quantified over all subsets of
+    size at most [k], so enumeration must be allocation-light). *)
+
+val binomial : int -> int -> int
+(** [binomial n k] is "n choose k" (0 when [k < 0] or [k > n]).
+    Raises [Invalid_argument] on overflow of the native int range. *)
+
+val count_up_to : int -> int -> int
+(** [count_up_to n k] is the number of subsets of an [n]-element universe of
+    size at most [k]: sum of [binomial n j] for [j = 0..k]. *)
+
+val iter_choose : int -> int -> (int array -> unit) -> unit
+(** [iter_choose n k f] calls [f] once for every size-[k] subset of
+    [0..n-1], in lexicographic order.  The array passed to [f] is reused
+    between calls; callers must copy it if they retain it. *)
+
+val iter_subsets_up_to : int -> int -> (int array -> int -> unit) -> unit
+(** [iter_subsets_up_to n k f] calls [f buf len] for every subset of
+    [0..n-1] of size [0..k]; the subset is [buf.(0..len-1)].  The buffer is
+    reused between calls. *)
+
+val fold_choose : int -> int -> ('a -> int array -> 'a) -> 'a -> 'a
+(** Fold version of {!iter_choose}. *)
+
+val exists_choose : int -> int -> (int array -> bool) -> bool
+(** [exists_choose n k p] is true iff [p] holds for some size-[k] subset.
+    Short-circuits on the first witness. *)
+
+val sample : Random.State.t -> int -> int -> int array
+(** [sample rng n k] draws a uniformly random size-[k] subset of [0..n-1]
+    (Floyd's algorithm), returned in increasing order. *)
+
+val sample_up_to : Random.State.t -> int -> int -> int array
+(** [sample_up_to rng n k] draws a subset whose size is uniform on [0..k]
+    and whose contents are a uniform subset of that size. *)

@@ -1,0 +1,128 @@
+let reachable g ~alive start =
+  assert (Bitset.mem alive start);
+  let n = Graph.order g in
+  let seen = Bitset.create n in
+  let stack = ref [ start ] in
+  Bitset.add seen start;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+      stack := rest;
+      Graph.iter_neighbours g v (fun u ->
+          if Bitset.mem alive u && not (Bitset.mem seen u) then begin
+            Bitset.add seen u;
+            stack := u :: !stack
+          end)
+  done;
+  seen
+
+let connected_within g ~alive =
+  match Bitset.choose alive with
+  | None -> true
+  | Some v -> Bitset.cardinal (reachable g ~alive v) = Bitset.cardinal alive
+
+let components g ~alive =
+  let remaining = Bitset.copy alive in
+  let acc = ref [] in
+  let rec go () =
+    match Bitset.choose remaining with
+    | None -> ()
+    | Some v ->
+      let comp = reachable g ~alive:remaining v in
+      acc := Bitset.elements comp :: !acc;
+      Bitset.diff_into remaining comp;
+      go ()
+  in
+  go ();
+  List.rev !acc
+
+let distances g ~alive source =
+  assert (Bitset.mem alive source);
+  let n = Graph.order g in
+  let dist = Array.make n (-1) in
+  dist.(source) <- 0;
+  let queue = Queue.create () in
+  Queue.push source queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Graph.iter_neighbours g v (fun u ->
+        if Bitset.mem alive u && dist.(u) = -1 then begin
+          dist.(u) <- dist.(v) + 1;
+          Queue.push u queue
+        end)
+  done;
+  dist
+
+let diameter g ~alive =
+  match Bitset.choose alive with
+  | None -> None
+  | Some _ ->
+    let total = Bitset.cardinal alive in
+    let worst = ref 0 in
+    let connected = ref true in
+    Bitset.iter
+      (fun v ->
+        if !connected then begin
+          let dist = distances g ~alive v in
+          let reached = ref 0 in
+          Bitset.iter
+            (fun u ->
+              if dist.(u) >= 0 then begin
+                incr reached;
+                worst := max !worst dist.(u)
+              end)
+            alive;
+          if !reached <> total then connected := false
+        end)
+      alive;
+    if !connected then Some !worst else None
+
+let articulation_points g ~alive =
+  let n = Graph.order g in
+  let disc = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let result = Bitset.create n in
+  let timer = ref 0 in
+  (* Iterative lowpoint DFS to avoid stack overflow on long paths. *)
+  let rec dfs_root root =
+    let children_of_root = ref 0 in
+    (* frames: (v, parent, neighbour cursor) *)
+    let stack = ref [ (root, -1, ref 0) ] in
+    disc.(root) <- !timer;
+    low.(root) <- !timer;
+    incr timer;
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | (v, parent, cursor) :: rest ->
+        let nbrs = Graph.neighbours g v in
+        if !cursor < Array.length nbrs then begin
+          let u = nbrs.(!cursor) in
+          incr cursor;
+          if Bitset.mem alive u then begin
+            if disc.(u) = -1 then begin
+              if v = root then incr children_of_root;
+              disc.(u) <- !timer;
+              low.(u) <- !timer;
+              incr timer;
+              stack := (u, v, ref 0) :: !stack
+            end
+            else if u <> parent then low.(v) <- min low.(v) disc.(u)
+          end
+        end
+        else begin
+          stack := rest;
+          match rest with
+          | (p, _, _) :: _ ->
+            low.(p) <- min low.(p) low.(v);
+            if p <> root && low.(v) >= disc.(p) then Bitset.add result p
+          | [] -> ()
+        end
+    done;
+    if !children_of_root >= 2 then Bitset.add result root
+  and start () =
+    Bitset.iter (fun v -> if disc.(v) = -1 then dfs_root v) alive
+  in
+  start ();
+  result

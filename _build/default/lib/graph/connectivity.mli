@@ -1,0 +1,26 @@
+(** Reachability and connectivity queries restricted to an "alive" mask. *)
+
+val reachable : Graph.t -> alive:Bitset.t -> int -> Bitset.t
+(** [reachable g ~alive v] is the set of alive nodes reachable from [v]
+    through alive nodes ([v] must be alive). *)
+
+val connected_within : Graph.t -> alive:Bitset.t -> bool
+(** Whether the subgraph induced by [alive] is connected.  The empty set and
+    singletons are connected. *)
+
+val components : Graph.t -> alive:Bitset.t -> int list list
+(** Connected components of the induced subgraph, each sorted increasingly,
+    ordered by smallest element. *)
+
+val articulation_points : Graph.t -> alive:Bitset.t -> Bitset.t
+(** Cut vertices of the induced subgraph (Hopcroft–Tarjan lowpoint DFS).
+    Used by the spanning-path solver for pruning: a spanning path can pass
+    through an articulation point only in constrained ways. *)
+
+val distances : Graph.t -> alive:Bitset.t -> int -> int array
+(** BFS hop distances from the source through alive nodes; [-1] for
+    unreachable or dead nodes. *)
+
+val diameter : Graph.t -> alive:Bitset.t -> int option
+(** Largest finite pairwise distance in the induced subgraph; [None] when
+    it is disconnected or has no nodes. *)

@@ -1,0 +1,33 @@
+type node_style = { label : string; shape : string; color : string; filled : bool }
+
+let default_style v =
+  { label = string_of_int v; shape = "circle"; color = "black"; filled = false }
+
+let render ?(name = "G") ?(style = default_style) ?(highlight_edges = []) g =
+  let buf = Buffer.create 1024 in
+  let norm (u, v) = if u < v then (u, v) else (v, u) in
+  let highlighted = List.map norm highlight_edges in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  Buffer.add_string buf "  node [fontsize=10];\n";
+  for v = 0 to Graph.order g - 1 do
+    let s = style v in
+    Buffer.add_string buf
+      (Printf.sprintf "  %d [label=\"%s\", shape=%s, color=%s%s];\n" v s.label
+         s.shape s.color
+         (if s.filled then ", style=filled, fillcolor=lightgrey" else ""))
+  done;
+  List.iter
+    (fun (u, v) ->
+      let attrs =
+        if List.mem (u, v) highlighted then " [color=red, penwidth=2.5]" else ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  %d -- %d%s;\n" u v attrs))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save ~path doc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc doc)

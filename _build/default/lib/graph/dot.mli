@@ -1,0 +1,25 @@
+(** Graphviz DOT export, parameterised by per-node attributes so the
+    pipeline layer can colour terminals, faults and the embedded path. *)
+
+type node_style = {
+  label : string;
+  shape : string;  (** e.g. ["circle"], ["box"] *)
+  color : string;  (** X11 colour name *)
+  filled : bool;
+}
+
+val default_style : int -> node_style
+(** Plain circle labelled with the node id. *)
+
+val render :
+  ?name:string ->
+  ?style:(int -> node_style) ->
+  ?highlight_edges:(int * int) list ->
+  Graph.t ->
+  string
+(** [render g] is a DOT document for [g].  Edges in [highlight_edges]
+    (unordered pairs) are drawn bold red — used to show an embedded
+    pipeline. *)
+
+val save : path:string -> string -> unit
+(** Write a rendered document to a file. *)

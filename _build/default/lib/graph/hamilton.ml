@@ -1,0 +1,211 @@
+type result = Path of int list | No_path | Budget_exceeded
+
+exception Out_of_budget
+
+(* The DFS works on mutable state:
+   - [remaining]: alive nodes not yet on the path (excludes the head);
+   - [trail]: the path so far, head first (reversed at the end);
+   - [rem_deg]: for each remaining node, its number of remaining neighbours,
+     updated incrementally when the head moves. *)
+
+let search ~budget ~expansions:expansions_out g ~alive ~starts ~ends =
+  let n = Graph.order g in
+  let total = Bitset.cardinal alive in
+  if total = 0 then No_path
+  else begin
+    let expansions = ref 0 in
+    let tick () =
+      incr expansions;
+      Option.iter (fun r -> incr r) expansions_out;
+      match budget with
+      | Some b when !expansions > b -> raise Out_of_budget
+      | _ -> ()
+    in
+    let remaining = Bitset.create n in
+    let rem_deg = Array.make n 0 in
+    let ends_remaining = ref 0 in
+
+    let init_from start =
+      Bitset.blit ~src:alive ~dst:remaining;
+      Bitset.remove remaining start;
+      ends_remaining := 0;
+      Bitset.iter
+        (fun v ->
+          rem_deg.(v) <- Graph.alive_degree g remaining v;
+          if Bitset.mem ends v then incr ends_remaining)
+        remaining
+    in
+
+    (* Occupy [v] (move head there): drop it from remaining, decrement its
+       neighbours' counts. *)
+    let occupy v =
+      Bitset.remove remaining v;
+      if Bitset.mem ends v then decr ends_remaining;
+      Graph.iter_neighbours g v (fun u ->
+          if Bitset.mem remaining u then rem_deg.(u) <- rem_deg.(u) - 1)
+    in
+    let release v =
+      Graph.iter_neighbours g v (fun u ->
+          if Bitset.mem remaining u then rem_deg.(u) <- rem_deg.(u) + 1);
+      Bitset.add remaining v;
+      if Bitset.mem ends v then incr ends_remaining;
+      rem_deg.(v) <- Graph.alive_degree g remaining v
+    in
+
+    (* Soundness prunes; [head] is the current path head. *)
+    let feasible head =
+      let rem_count = Bitset.cardinal remaining in
+      if rem_count = 0 then true
+      else if !ends_remaining = 0 then false
+      else begin
+        (* Dead-end / forced-endpoint counting. *)
+        let ok = ref true in
+        let forced = ref 0 in
+        Bitset.iter
+          (fun v ->
+            if !ok then
+              if rem_deg.(v) = 0 then begin
+                (* Only legal when v is the unique remaining node, entered
+                   directly from the head. *)
+                if rem_count > 1 || not (Graph.adjacent g head v) then ok := false
+              end
+              else if rem_deg.(v) = 1 && not (Graph.adjacent g head v) then begin
+                incr forced;
+                if (not (Bitset.mem ends v)) || !forced > 1 then ok := false
+              end)
+          remaining;
+        if not !ok then false
+        else begin
+          (* Connectivity: every remaining node reachable from the head
+             through remaining nodes. *)
+          let seen = Bitset.create n in
+          let stack = ref [] in
+          Graph.iter_neighbours g head (fun u ->
+              if Bitset.mem remaining u && not (Bitset.mem seen u) then begin
+                Bitset.add seen u;
+                stack := u :: !stack
+              end);
+          let count = ref (Bitset.cardinal seen) in
+          while !stack <> [] do
+            match !stack with
+            | [] -> ()
+            | v :: rest ->
+              stack := rest;
+              Graph.iter_neighbours g v (fun u ->
+                  if Bitset.mem remaining u && not (Bitset.mem seen u) then begin
+                    Bitset.add seen u;
+                    incr count;
+                    stack := u :: !stack
+                  end)
+          done;
+          !count = rem_count
+        end
+      end
+    in
+
+    let exception Found of int list in
+    let rec extend head trail =
+      tick ();
+      if Bitset.is_empty remaining then begin
+        if Bitset.mem ends head then raise (Found trail)
+      end
+      else if feasible head then begin
+        (* Candidates sorted by Warnsdorff: fewest onward moves first. *)
+        let cands =
+          Graph.fold_neighbours g head
+            (fun acc u -> if Bitset.mem remaining u then u :: acc else acc)
+            []
+        in
+        let cands =
+          List.sort (fun a b -> compare rem_deg.(a) rem_deg.(b)) cands
+        in
+        List.iter
+          (fun u ->
+            occupy u;
+            extend u (u :: trail);
+            release u)
+          cands
+      end
+    in
+
+    let start_candidates =
+      let s = Bitset.copy starts in
+      Bitset.inter_into s alive;
+      Bitset.elements s
+    in
+    try
+      List.iter
+        (fun start ->
+          init_from start;
+          extend start [ start ])
+        start_candidates;
+      No_path
+    with
+    | Found trail -> Path (List.rev trail)
+    | Out_of_budget -> Budget_exceeded
+  end
+
+let spanning_path ?budget ?expansions g ~alive ~starts ~ends =
+  (* Start from the smaller candidate pool: a spanning path reversed swaps
+     the roles of [starts] and [ends]. *)
+  let count set =
+    let s = Bitset.copy set in
+    Bitset.inter_into s alive;
+    Bitset.cardinal s
+  in
+  if count ends < count starts then
+    match search ~budget ~expansions g ~alive ~starts:ends ~ends:starts with
+    | Path p -> Path (List.rev p)
+    | (No_path | Budget_exceeded) as r -> r
+  else search ~budget ~expansions g ~alive ~starts ~ends
+
+let spanning_cycle ?budget g ~alive =
+  match Bitset.choose alive with
+  | None -> No_path
+  | Some start ->
+    if Bitset.cardinal alive <= 2 then No_path
+    else begin
+      let n = Graph.order g in
+      let starts = Bitset.create n in
+      Bitset.add starts start;
+      let ends = Bitset.create n in
+      Graph.iter_neighbours g start (fun u ->
+          if Bitset.mem alive u then Bitset.add ends u);
+      (* [search] (not [spanning_path]): the pool-swap optimisation would
+         move the anchored start. *)
+      search ~budget ~expansions:None g ~alive ~starts ~ends
+    end
+
+let spanning_path_exists ?budget g ~alive ~starts ~ends =
+  match spanning_path ?budget g ~alive ~starts ~ends with
+  | Path _ -> true
+  | No_path | Budget_exceeded -> false
+
+let is_spanning_path g ~alive ~starts ~ends path =
+  match path with
+  | [] -> false
+  | first :: _ ->
+    let rec last = function
+      | [ x ] -> x
+      | _ :: rest -> last rest
+      | [] -> assert false
+    in
+    let n = Graph.order g in
+    let seen = Bitset.create n in
+    let rec consecutive_ok = function
+      | a :: (b :: _ as rest) -> Graph.adjacent g a b && consecutive_ok rest
+      | [ _ ] | [] -> true
+    in
+    let all_alive_distinct =
+      List.for_all
+        (fun v ->
+          let fresh = (not (Bitset.mem seen v)) && Bitset.mem alive v in
+          Bitset.add seen v;
+          fresh)
+        path
+    in
+    all_alive_distinct
+    && Bitset.cardinal seen = Bitset.cardinal alive
+    && consecutive_ok path
+    && Bitset.mem starts first
+    && Bitset.mem ends (last path)

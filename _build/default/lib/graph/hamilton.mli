@@ -1,0 +1,61 @@
+(** Spanning-path search: find a path visiting {e every} node of an alive set
+    exactly once, starting in a given start set and ending in a given end
+    set.  This is the computational core of pipeline reconfiguration — a
+    pipeline is exactly a spanning path of the healthy processors whose
+    endpoints see a healthy input and output terminal.
+
+    The search is a depth-first backtracker with three sound prunings:
+    connectivity of the unvisited region from the current head, dead-end
+    counting (an unvisited node with no unvisited neighbours is only legal as
+    the unique final node), and forced-endpoint counting (an unvisited node
+    with one unvisited neighbour, not adjacent to the head, must be the final
+    node and must lie in the end set).  Neighbour expansion follows
+    Warnsdorff's rule (fewest onward moves first), which makes the search
+    effectively linear on the dense graphs produced by the paper's
+    constructions. *)
+
+type result =
+  | Path of int list
+      (** A spanning path, in visit order: head is in the start set, last
+          node is in the end set, every alive node appears exactly once. *)
+  | No_path  (** Proven absence: the search space was exhausted. *)
+  | Budget_exceeded  (** Expansion budget ran out before a conclusion. *)
+
+val spanning_path :
+  ?budget:int ->
+  ?expansions:int ref ->
+  Graph.t ->
+  alive:Bitset.t ->
+  starts:Bitset.t ->
+  ends:Bitset.t ->
+  result
+(** [spanning_path g ~alive ~starts ~ends] searches for a spanning path of
+    the subgraph induced by [alive] whose first node is in [starts] and last
+    node is in [ends] (both intersected with [alive]; a single-node path
+    needs its node in both).  [budget] bounds the number of node expansions
+    (default: unlimited).  When [expansions] is given, the number of node
+    expansions performed is added to it — the deterministic work measure
+    used by the adversarial fault-set search. *)
+
+val spanning_path_exists :
+  ?budget:int ->
+  Graph.t ->
+  alive:Bitset.t ->
+  starts:Bitset.t ->
+  ends:Bitset.t ->
+  bool
+(** Convenience wrapper; [Budget_exceeded] maps to [false]. *)
+
+val spanning_cycle :
+  ?budget:int -> Graph.t -> alive:Bitset.t -> result
+(** A cycle visiting every alive node exactly once (returned as the node
+    sequence without repeating the closing node; the last node is adjacent
+    to the first).  Reduces to {!spanning_path}: fix the smallest alive
+    node as the start and require the path to end among its neighbours.
+    Singleton and empty alive sets have no cycle ([No_path]); two alive
+    nodes would need a multi-edge, also [No_path]. *)
+
+val is_spanning_path :
+  Graph.t -> alive:Bitset.t -> starts:Bitset.t -> ends:Bitset.t -> int list -> bool
+(** Independent validity check of a candidate witness (used by the test
+    suite to validate solver output without trusting the solver). *)

@@ -1,0 +1,125 @@
+let default_colour _ = 0
+
+(* One round of Weisfeiler-Leman-style refinement over several graphs at
+   once: each node's signature is (its colour, sorted multiset of neighbour
+   colours), renumbered densely through a table shared by all graphs so the
+   resulting colour classes are comparable across graphs. *)
+let refine_shared graphs_colours =
+  let table = Hashtbl.create 64 in
+  let next = ref 0 in
+  let renumber s =
+    match Hashtbl.find_opt table s with
+    | Some c -> c
+    | None ->
+      let c = !next in
+      incr next;
+      Hashtbl.replace table s c;
+      c
+  in
+  List.map
+    (fun (g, colours) ->
+      let n = Graph.order g in
+      ( g,
+        Array.init n (fun v ->
+            let nbr =
+              Array.map (fun u -> colours.(u)) (Graph.neighbours g v)
+            in
+            Array.sort compare nbr;
+            renumber (colours.(v), Array.to_list nbr)) ))
+    graphs_colours
+
+let refined_pair ?(rounds = 2) a ca b cb =
+  let state = ref [ (a, ca); (b, cb) ] in
+  for _ = 1 to rounds do
+    state := refine_shared !state
+  done;
+  match !state with
+  | [ (_, ca'); (_, cb') ] -> (ca', cb')
+  | _ -> assert false
+
+let colour_multiset colours = List.sort compare (Array.to_list colours)
+
+let certificate ?(colour = default_colour) g =
+  let n = Graph.order g in
+  let state = ref [ (g, Array.init n colour) ] in
+  for _ = 1 to 2 do
+    state := refine_shared !state
+  done;
+  let colours = match !state with [ (_, c) ] -> c | _ -> assert false in
+  let profile =
+    List.sort compare (List.init n (fun v -> (colours.(v), Graph.degree g v)))
+  in
+  String.concat ";"
+    (List.map (fun (c, d) -> Printf.sprintf "%d.%d" c d) profile)
+
+let find_isomorphism ?(colour_a = default_colour) ?(colour_b = default_colour)
+    a b =
+  let n = Graph.order a in
+  if n <> Graph.order b || Graph.size a <> Graph.size b then None
+  else begin
+    let ca, cb =
+      refined_pair a (Array.init n colour_a) b (Array.init n colour_b)
+    in
+    if colour_multiset ca <> colour_multiset cb then None
+    else begin
+      let by_colour = Hashtbl.create 16 in
+      Array.iteri
+        (fun w c ->
+          Hashtbl.replace by_colour c
+            (w :: Option.value ~default:[] (Hashtbl.find_opt by_colour c)))
+        cb;
+      let candidates_of v =
+        Option.value ~default:[] (Hashtbl.find_opt by_colour ca.(v))
+      in
+      (* Most-constrained-first assignment order. *)
+      let order =
+        List.sort
+          (fun v u ->
+            match
+              compare
+                (List.length (candidates_of v))
+                (List.length (candidates_of u))
+            with
+            | 0 -> compare (Graph.degree a u) (Graph.degree a v)
+            | c -> c)
+          (List.init n Fun.id)
+      in
+      let mapping = Array.make n (-1) in
+      let inverse = Array.make n (-1) in
+      let result = ref None in
+      (* Complete consistency: for every already-mapped u,
+         adjacent_a(u, v) must equal adjacent_b(mapping(u), w).  Checked
+         from both neighbourhoods, which covers mapped non-neighbours
+         too. *)
+      let consistent v w =
+        Graph.degree a v = Graph.degree b w
+        && Array.for_all
+             (fun u -> mapping.(u) = -1 || Graph.adjacent b mapping.(u) w)
+             (Graph.neighbours a v)
+        && Array.for_all
+             (fun x -> inverse.(x) = -1 || Graph.adjacent a inverse.(x) v)
+             (Graph.neighbours b w)
+      in
+      let rec assign = function
+        | [] -> result := Some (Array.copy mapping)
+        | v :: rest ->
+          List.iter
+            (fun w ->
+              if !result = None && inverse.(w) = -1 && ca.(v) = cb.(w)
+                 && consistent v w
+              then begin
+                mapping.(v) <- w;
+                inverse.(w) <- v;
+                assign rest;
+                inverse.(w) <- -1;
+                mapping.(v) <- -1
+              end)
+            (candidates_of v)
+      in
+      assign order;
+      !result
+    end
+  end
+
+let isomorphic ?colour_a ?colour_b a b =
+  Option.is_some (find_isomorphism ?colour_a ?colour_b a b)

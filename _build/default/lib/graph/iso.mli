@@ -1,0 +1,32 @@
+(** Graph isomorphism for small graphs (backtracking with degree and
+    neighbourhood pruning — a lightweight VF2).
+
+    Used by the reproduction to check structural identities the paper
+    states (e.g. that applying Lemma 3.6 to G(1,1) yields the general n=3
+    construction) and to deduplicate candidate graphs in the
+    special-solution search.  Intended for graphs of a few dozen nodes;
+    worst-case exponential like any isomorphism backtracker. *)
+
+val isomorphic :
+  ?colour_a:(int -> int) ->
+  ?colour_b:(int -> int) ->
+  Graph.t ->
+  Graph.t ->
+  bool
+(** [isomorphic a b] decides whether [a] and [b] are isomorphic.  Optional
+    node colourings must be preserved by the mapping (used to respect node
+    labels: processor / input / output).  Defaults colour every node 0. *)
+
+val find_isomorphism :
+  ?colour_a:(int -> int) ->
+  ?colour_b:(int -> int) ->
+  Graph.t ->
+  Graph.t ->
+  int array option
+(** The witness mapping [a -> b], if one exists. *)
+
+val certificate : ?colour:(int -> int) -> Graph.t -> string
+(** A cheap invariant string (sorted degree/colour/neighbourhood profile,
+    iterated twice).  Equal certificates are necessary but not sufficient
+    for isomorphism — use it to bucket candidates before running
+    {!isomorphic}. *)

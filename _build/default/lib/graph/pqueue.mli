@@ -1,0 +1,18 @@
+(** A mutable binary min-heap keyed by integers, with FIFO tie-breaking.
+
+    The discrete-event simulator's event queue: [pop] returns the pending
+    element with the smallest key; elements pushed earlier win ties, so
+    simultaneous events fire in insertion order (deterministic replay). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> key:int -> 'a -> unit
+
+val pop : 'a t -> (int * 'a) option
+(** Smallest key (FIFO among equals), removed. *)
+
+val peek_key : 'a t -> int option

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Compare Filename Float Fun Gdpn_baselines Gdpn_core Gdpn_graph Hayes Hayes_cycle List Printf Random Rosenberg Scheme Spares Survival Sys Testutil

@@ -1,0 +1,1 @@
+test/test_family.ml: Alcotest Bounds Circulant_family Family Format Gdpn_core Gdpn_graph Instance Label List Merge Option Printf Random Special Verify

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Fmt Format Gdpn_graph Gen Hashtbl List Printf QCheck QCheck_alcotest Random String Sys Test Testutil

@@ -1,0 +1,1 @@
+test/test_paper.ml: Alcotest Extend Family Figures Format Gdpn_core Gdpn_graph Impossibility Instance Label List Pipeline Printf Random Reconfig Small_n Special Testutil Verify

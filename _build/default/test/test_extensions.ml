@@ -1,0 +1,693 @@
+(* Tests for the extension features beyond the paper's core results:
+   isomorphism / graph6 (gdpn_graph), parallel verification, link faults
+   (E13), incremental repair, and the 2D image substrate. *)
+
+open Gdpn_core
+module Graph = Gdpn_graph.Graph
+module Builder = Gdpn_graph.Builder
+module Bitset = Gdpn_graph.Bitset
+module Iso = Gdpn_graph.Iso
+module Graph6 = Gdpn_graph.Graph6
+module Image = Gdpn_faultsim.Image
+module Machine = Gdpn_faultsim.Machine
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+let tc_slow name f = Alcotest.test_case name `Slow f
+
+(* ------------------------------------------------------------------ *)
+(* Isomorphism                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let iso_tests =
+  [
+    tc "cycle is isomorphic to a relabeled cycle" (fun () ->
+        let a = Builder.cycle 6 in
+        let b =
+          Graph.of_edges 6 [ (0, 2); (2, 4); (4, 1); (1, 3); (3, 5); (5, 0) ]
+        in
+        check Alcotest.bool "isomorphic" true (Iso.isomorphic a b));
+    tc "cycle vs path: not isomorphic" (fun () ->
+        check Alcotest.bool "different" false
+          (Iso.isomorphic (Builder.cycle 6) (Builder.path 6)));
+    tc "K4 minus perfect matching is the 4-cycle" (fun () ->
+        check Alcotest.bool "same graph" true
+          (Iso.isomorphic (Builder.clique_minus_matching 4) (Builder.cycle 4)));
+    tc "same degree sequence, different graphs" (fun () ->
+        (* C6 and two triangles: both 2-regular on 6 nodes. *)
+        let two_triangles =
+          Graph.of_edges 6 [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3) ]
+        in
+        check Alcotest.bool "not isomorphic" false
+          (Iso.isomorphic (Builder.cycle 6) two_triangles));
+    tc "witness mapping is a real isomorphism" (fun () ->
+        let a = Builder.circulant 8 [ 1; 4 ] in
+        let b = Builder.circulant 8 [ 3; 4 ] in
+        (* offsets {1,4} and {3,4} on 8 nodes: 3 = 3*1 mod 8, multiplier 3
+           is invertible, so these are isomorphic. *)
+        match Iso.find_isomorphism a b with
+        | None -> Alcotest.fail "expected isomorphism"
+        | Some m ->
+          for u = 0 to 7 do
+            for v = 0 to 7 do
+              if u <> v then
+                check Alcotest.bool "edge preserved"
+                  (Graph.adjacent a u v)
+                  (Graph.adjacent b m.(u) m.(v))
+            done
+          done);
+    tc "colours constrain the mapping" (fun () ->
+        let a = Builder.path 3 and b = Builder.path 3 in
+        (* Colour a's endpoints 1 and middle 0; in b, colour node 0 middle:
+           impossible to map. *)
+        let colour_a v = if v = 1 then 0 else 1 in
+        let colour_b v = if v = 0 then 0 else 1 in
+        check Alcotest.bool "colour clash" false
+          (Iso.isomorphic ~colour_a ~colour_b a b);
+        check Alcotest.bool "consistent colours" true
+          (Iso.isomorphic ~colour_a ~colour_b:colour_a a b));
+    tc "paper's remark: ext(G(1,1)) is the n=3 construction" (fun () ->
+        (* §3.3: "applying Lemma 3.6 to G(1,1) gives a graph G(3,1), which
+           is an example of our general construction for n = 3". *)
+        let a = Extend.apply (Small_n.g1 ~k:1) in
+        let b = Small_n.g3 ~k:1 in
+        let colour inst v =
+          match Instance.kind_of inst v with
+          | Label.Input -> 1
+          | Label.Output -> 2
+          | Label.Processor -> 0
+        in
+        check Alcotest.bool "labeled-isomorphic" true
+          (Iso.isomorphic ~colour_a:(colour a) ~colour_b:(colour b)
+             a.Instance.graph b.Instance.graph));
+    tc "certificate buckets isomorphic graphs together" (fun () ->
+        let a = Builder.cycle 7 in
+        let b =
+          Graph.of_edges 7
+            [ (0, 3); (3, 6); (6, 2); (2, 5); (5, 1); (1, 4); (4, 0) ]
+        in
+        check Alcotest.string "same certificate" (Iso.certificate a)
+          (Iso.certificate b);
+        check Alcotest.bool "different from path" true
+          (Iso.certificate a <> Iso.certificate (Builder.path 7)));
+  ]
+
+let iso_props =
+  let open QCheck in
+  let graph_gen =
+    Gen.(
+      pair (int_range 2 10) int >|= fun (n, seed) ->
+      let rng = Random.State.make [| seed; 3 |] in
+      let b = Graph.builder n in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if Random.State.float rng 1.0 < 0.4 then Graph.add_edge b u v
+        done
+      done;
+      Graph.freeze b)
+  in
+  let arb = QCheck.make ~print:(Fmt.to_to_string Graph.pp) graph_gen in
+  [
+    Test.make ~name:"every graph is isomorphic to a random relabeling"
+      ~count:150
+      (pair arb int)
+      (fun (g, seed) ->
+        let n = Graph.order g in
+        let perm = Array.init n Fun.id in
+        let rng = Random.State.make [| seed; 4 |] in
+        for i = n - 1 downto 1 do
+          let j = Random.State.int rng (i + 1) in
+          let t = perm.(i) in
+          perm.(i) <- perm.(j);
+          perm.(j) <- t
+        done;
+        let h =
+          Graph.of_edges n
+            (List.map (fun (u, v) -> (perm.(u), perm.(v))) (Graph.edges g))
+        in
+        Iso.isomorphic g h);
+    Test.make ~name:"adding one edge breaks isomorphism" ~count:100 arb
+      (fun g ->
+        let n = Graph.order g in
+        QCheck.assume (Graph.size g < n * (n - 1) / 2);
+        (* find a non-edge *)
+        let extra = ref None in
+        for u = 0 to n - 1 do
+          for v = u + 1 to n - 1 do
+            if !extra = None && not (Graph.adjacent g u v) then
+              extra := Some (u, v)
+          done
+        done;
+        match !extra with
+        | None -> true
+        | Some e -> not (Iso.isomorphic g (Graph.of_edges n (e :: Graph.edges g))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* graph6                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let graph6_tests =
+  [
+    tc "known encodings" (fun () ->
+        (* K3 is "Bw", the empty graph on 0 nodes is "?", P3 (path) has
+           edges 0-1, 1-2. *)
+        check Alcotest.string "K3" "Bw" (Graph6.encode (Builder.clique 3));
+        check Alcotest.string "K4" "C~" (Graph6.encode (Builder.clique 4));
+        let p3 = Builder.path 3 in
+        let decoded = Graph6.decode (Graph6.encode p3) in
+        check Alcotest.bool "roundtrip p3" true (Graph.equal p3 decoded));
+    tc "decode rejects garbage" (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Graph6.decode: empty")
+          (fun () -> ignore (Graph6.decode ""));
+        Alcotest.check_raises "short"
+          (Invalid_argument "Graph6.decode: wrong length") (fun () ->
+            ignore (Graph6.decode "D")));
+    tc "encode rejects large graphs" (fun () ->
+        Alcotest.check_raises "n > 62"
+          (Invalid_argument "Graph6.encode: order > 62 unsupported") (fun () ->
+            ignore (Graph6.encode (Builder.path 63))));
+    tc "special solutions have stable encodings" (fun () ->
+        (* Processor subgraphs of the frozen specials, as graph6: a change
+           to special.ml will show up here. *)
+        let proc_subgraph inst =
+          let alive = Instance.processor_set inst in
+          let sub, _, _ = Graph.induced_mask inst.Instance.graph alive in
+          sub
+        in
+        List.iter
+          (fun (name, inst, expected) ->
+            check Alcotest.string name expected
+              (Graph6.encode (proc_subgraph inst)))
+          [
+            ("G(6,2) processors", Special.g62 (), "GxdHKc");
+            ("G(8,2) processors", Special.g82 (), "IzEIHCPaG");
+            ("G(7,3) processors", Special.g73 (), "I~KWWMBoW");
+            ("G(4,3) processors", Special.g43 (), "FzM]W");
+          ]);
+  ]
+
+let graph6_props =
+  let open QCheck in
+  [
+    Test.make ~name:"graph6 roundtrip" ~count:200
+      (pair (int_range 1 40) int)
+      (fun (n, seed) ->
+        let rng = Random.State.make [| seed; 5 |] in
+        let b = Graph.builder n in
+        for u = 0 to n - 1 do
+          for v = u + 1 to n - 1 do
+            if Random.State.float rng 1.0 < 0.3 then Graph.add_edge b u v
+          done
+        done;
+        let g = Graph.freeze b in
+        Graph.equal g (Graph6.decode (Graph6.encode g)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Parallel verification                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_tests =
+  [
+    tc_slow "parallel exhaustive matches serial on sound instances" (fun () ->
+        List.iter
+          (fun inst ->
+            let serial = Verify.exhaustive inst in
+            let parallel = Verify.exhaustive_parallel ~domains:3 inst in
+            check Alcotest.int
+              (inst.Instance.name ^ ": same count")
+              serial.Verify.fault_sets_checked
+              parallel.Verify.fault_sets_checked;
+            check Alcotest.bool "both clean" true
+              (Verify.is_k_gd serial && Verify.is_k_gd parallel))
+          [ Small_n.g1 ~k:3; Small_n.g3 ~k:2; Special.g62 () ]);
+    tc "parallel finds counterexamples in broken graphs" (fun () ->
+        let inst = Small_n.g1 ~k:2 in
+        let g = inst.Instance.graph in
+        let b = Graph.builder (Graph.order g) in
+        List.iter
+          (fun (u, v) -> if (u, v) <> (0, 1) then Graph.add_edge b u v)
+          (Graph.edges g);
+        let broken =
+          Instance.make ~graph:(Graph.freeze b)
+            ~kind:(Array.init (Instance.order inst) (Instance.kind_of inst))
+            ~n:1 ~k:2 ~name:"broken" ~strategy:Instance.Generic
+        in
+        let r = Verify.exhaustive_parallel ~domains:2 broken in
+        check Alcotest.bool "not k-GD" false (Verify.is_k_gd r));
+    tc "single domain degenerates to serial behaviour" (fun () ->
+        let inst = Small_n.g2 ~k:2 in
+        let r = Verify.exhaustive_parallel ~domains:1 inst in
+        check Alcotest.int "count"
+          (Gdpn_graph.Combinat.count_up_to (Instance.order inst) 2)
+          r.Verify.fault_sets_checked);
+    tc_slow "parallel partition covers the G(22,4) space exactly" (fun () ->
+        (* The block partition (size, first-element) is the intricate part;
+           check it against the analytic count on a 66,712-set space. *)
+        let inst = Circulant_family.build ~n:22 ~k:4 in
+        let r = Verify.exhaustive_parallel ~domains:4 inst in
+        check Alcotest.int "count"
+          (Gdpn_graph.Combinat.count_up_to (Instance.order inst) 4)
+          r.Verify.fault_sets_checked;
+        check Alcotest.bool "clean" true (Verify.is_k_gd r));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Link faults (E13)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let link_tests =
+  [
+    tc "degrade removes exactly the given edges" (fun () ->
+        let inst = Small_n.g1 ~k:2 in
+        let weak = Link_faults.degrade inst ~links:[ (0, 1) ] in
+        check Alcotest.bool "edge gone" false
+          (Graph.adjacent weak.Instance.graph 0 1);
+        check Alcotest.int "one edge fewer"
+          (Graph.size inst.Instance.graph - 1)
+          (Graph.size weak.Instance.graph);
+        Alcotest.check_raises "unknown edge"
+          (Invalid_argument "Link_faults.degrade: not an edge of the instance")
+          (fun () -> ignore (Link_faults.degrade inst ~links:[ (0, 8) ])));
+    tc "no faults: graceful" (fun () ->
+        match Link_faults.solve (Small_n.g1 ~k:2) ~faults:[] with
+        | Link_faults.Graceful _ -> ()
+        | _ -> Alcotest.fail "expected graceful");
+    tc "node faults flow through unchanged" (fun () ->
+        match
+          Link_faults.solve (Small_n.g2 ~k:2) ~faults:[ Link_faults.Node 0 ]
+        with
+        | Link_faults.Graceful p ->
+          check Alcotest.int "one fewer processor" 3
+            (Pipeline.processor_count p)
+        | _ -> Alcotest.fail "expected graceful");
+    tc "a forced-degraded case in G(1,2)" (fun () ->
+        (* In G(1,2) the two link faults (0,1),(0,2) isolate processor 0
+           from the other processors; terminals cannot bridge, so the only
+           pipelines strand a healthy processor. *)
+        let inst = Small_n.g1 ~k:2 in
+        match
+          Link_faults.solve inst
+            ~faults:[ Link_faults.Link (0, 1); Link_faults.Link (0, 2) ]
+        with
+        | Link_faults.Degraded p ->
+          check Alcotest.bool "at least n processors" true
+            (Pipeline.processor_count p >= 1)
+        | Link_faults.Graceful _ ->
+          Alcotest.fail "processor 0 is unreachable: cannot be graceful"
+        | _ -> Alcotest.fail "must still provide a pipeline");
+    tc_slow "survey: in-spec mixed faults never lose the stream" (fun () ->
+        List.iter
+          (fun inst ->
+            let s = Link_faults.survey_exhaustive inst in
+            check Alcotest.int (inst.Instance.name ^ ": lost") 0
+              s.Link_faults.lost;
+            check Alcotest.bool "length-n guarantee holds" true
+              (s.Link_faults.min_processors >= inst.Instance.n);
+            check Alcotest.bool "graceful dominates" true
+              (s.Link_faults.graceful > 9 * s.Link_faults.fault_sets / 10))
+          [ Small_n.g1 ~k:2; Small_n.g2 ~k:2; Small_n.g3 ~k:2; Special.g62 () ]);
+    tc_slow "G(2,2) is fully gracefully degradable under mixed faults"
+      (fun () ->
+        let s = Link_faults.survey_exhaustive (Small_n.g2 ~k:2) in
+        check Alcotest.int "no degraded cases" 0 s.Link_faults.degraded);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Repair                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let repair_tests =
+  [
+    tc "fault off the pipeline leaves it unchanged" (fun () ->
+        let inst = Small_n.g1 ~k:2 in
+        let faults = Bitset.create (Instance.order inst) in
+        let p =
+          match Reconfig.solve inst ~faults with
+          | Reconfig.Pipeline p -> p
+          | _ -> Alcotest.fail "setup"
+        in
+        (* An input terminal not on the pipeline. *)
+        let unused =
+          List.find
+            (fun t -> not (List.mem t p.Pipeline.nodes))
+            (Instance.inputs inst)
+        in
+        Bitset.add faults unused;
+        match Repair.repair inst ~current:p ~faults ~failed:unused with
+        | Repair.Unchanged _ -> ()
+        | _ -> Alcotest.fail "expected Unchanged");
+    tc "internal processor is spliced out" (fun () ->
+        let inst = Small_n.g1 ~k:3 in
+        let faults = Bitset.create (Instance.order inst) in
+        let p =
+          match Reconfig.solve inst ~faults with
+          | Reconfig.Pipeline p -> p
+          | _ -> Alcotest.fail "setup"
+        in
+        let p = Pipeline.normalise inst p in
+        (* Second processor on the path (internal; clique neighbours). *)
+        let internal = List.nth p.Pipeline.nodes 2 in
+        Bitset.add faults internal;
+        match Repair.repair inst ~current:p ~faults ~failed:internal with
+        | Repair.Spliced q ->
+          check Alcotest.bool "valid" true
+            (Pipeline.is_valid inst ~faults q.Pipeline.nodes);
+          check Alcotest.int "one fewer" 3 (Pipeline.processor_count q)
+        | _ -> Alcotest.fail "expected a splice");
+    tc "endpoint terminal failure is swapped or resolved, never lost"
+      (fun () ->
+        let inst = Small_n.g3 ~k:2 in
+        let faults = Bitset.create (Instance.order inst) in
+        let p =
+          match Reconfig.solve inst ~faults with
+          | Reconfig.Pipeline p -> Pipeline.normalise inst p
+          | _ -> Alcotest.fail "setup"
+        in
+        let t_in = List.hd p.Pipeline.nodes in
+        Bitset.add faults t_in;
+        match Repair.repair inst ~current:p ~faults ~failed:t_in with
+        | Repair.Lost -> Alcotest.fail "in-spec fault cannot lose the pipeline"
+        | Repair.Unchanged _ -> Alcotest.fail "terminal was on the pipeline"
+        | Repair.Spliced q | Repair.Resolved q ->
+          check Alcotest.bool "valid" true
+            (Pipeline.is_valid inst ~faults q.Pipeline.nodes));
+    tc "repair output always validates across a fault storm" (fun () ->
+        let inst = Family.build ~n:12 ~k:2 in
+        let order = Instance.order inst in
+        let rng = Random.State.make [| 31 |] in
+        for _ = 1 to 50 do
+          let faults = Bitset.create order in
+          let p0 =
+            match Reconfig.solve inst ~faults with
+            | Reconfig.Pipeline p -> p
+            | _ -> Alcotest.fail "setup"
+          in
+          (* Two sequential faults repaired one at a time. *)
+          let current = ref p0 in
+          let pick () = Random.State.int rng order in
+          let inject_one () =
+            let rec fresh () =
+              let v = pick () in
+              if Bitset.mem faults v then fresh () else v
+            in
+            let v = fresh () in
+            Bitset.add faults v;
+            match Repair.repair inst ~current:!current ~faults ~failed:v with
+            | Repair.Unchanged p | Repair.Spliced p | Repair.Resolved p ->
+              check Alcotest.bool "valid after repair" true
+                (Pipeline.is_valid inst ~faults p.Pipeline.nodes);
+              current := p
+            | Repair.Lost -> Alcotest.fail "in-spec faults cannot lose"
+          in
+          inject_one ();
+          inject_one ()
+        done);
+    tc "machine counts local repairs" (fun () ->
+        let inst = Family.build ~n:9 ~k:2 in
+        let m = Machine.create inst in
+        (* Fail a terminal that is not on the embedded pipeline: always a
+           local repair. *)
+        let p = Option.get (Machine.pipeline m) in
+        let unused =
+          List.find
+            (fun t -> not (List.mem t p.Pipeline.nodes))
+            (Instance.inputs inst @ Instance.outputs inst)
+        in
+        ignore (Machine.inject m unused);
+        check Alcotest.int "one local repair" 1 (Machine.local_repair_count m));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Image substrate                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let image_tests =
+  [
+    tc "create/get/set and bounds" (fun () ->
+        let img = Image.create ~width:4 ~height:3 ~f:(fun x y -> float_of_int ((10 * y) + x)) in
+        check (Alcotest.float 1e-9) "get" 12.0 (Image.get img 2 1);
+        Image.set img 2 1 99.0;
+        check (Alcotest.float 1e-9) "set" 99.0 (Image.get img 2 1);
+        Alcotest.check_raises "oob" (Invalid_argument "Image.get: out of range")
+          (fun () -> ignore (Image.get img 4 0)));
+    tc "projections preserve total mass" (fun () ->
+        let img = Image.phantom ~size:32 in
+        let t = Image.total img in
+        List.iter
+          (fun slope ->
+            let p = Image.projection img ~slope in
+            check (Alcotest.float 1e-6)
+              (Printf.sprintf "slope %d" slope)
+              t
+              (Array.fold_left ( +. ) 0.0 p))
+          [ -3; -1; 0; 1; 2 ]);
+    tc "row projection of a constant image" (fun () ->
+        let img = Image.create ~width:5 ~height:4 ~f:(fun _ _ -> 2.0) in
+        let r = Image.row_projection img in
+        check Alcotest.int "bins" 4 (Array.length r);
+        Array.iter (fun v -> check (Alcotest.float 1e-9) "sum" 10.0 v) r);
+    tc "a planted line is the argmax of its own projection" (fun () ->
+        let img = Image.create ~width:32 ~height:32 ~f:(fun _ _ -> 0.0) in
+        Image.add_line img ~slope:2 ~intercept:1 ~value:1.0;
+        let p = Image.projection img ~slope:2 in
+        (* The line contributes to exactly one bin. *)
+        let nonzero = Array.to_list p |> List.filter (fun v -> v > 0.0) in
+        check Alcotest.int "single bin" 1 (List.length nonzero));
+    tc "hough_peaks finds planted lines" (fun () ->
+        let img = Image.create ~width:32 ~height:32 ~f:(fun _ _ -> 0.0) in
+        Image.add_line img ~slope:1 ~intercept:3 ~value:1.0;
+        Image.add_line img ~slope:0 ~intercept:10 ~value:1.0;
+        let peaks = Image.hough_peaks img ~slopes:[ -1; 0; 1 ] ~threshold:20.0 in
+        check Alcotest.bool "slope 1" true (List.mem (1, 3) peaks);
+        check Alcotest.bool "slope 0" true (List.mem (0, 10) peaks));
+    tc "back projection brightens the object" (fun () ->
+        let img = Image.phantom ~size:24 in
+        let slopes = [ -2; -1; 0; 1; 2 ] in
+        let recon =
+          Image.back_project ~width:24 ~height:24 ~slopes
+            (Image.sinogram img ~slopes)
+        in
+        (* The first phantom disk centre must be brighter in the
+           reconstruction than a far background corner. *)
+        check Alcotest.bool "contrast" true
+          (Image.get recon 6 6 > Image.get recon 23 0));
+    tc "back projection validates arguments" (fun () ->
+        Alcotest.check_raises "mismatch"
+          (Invalid_argument "Image.back_project: slope/sinogram length mismatch")
+          (fun () ->
+            ignore (Image.back_project ~width:4 ~height:4 ~slopes:[ 0; 1 ] [||])));
+    tc "mean_abs_diff basics" (fun () ->
+        let a = Image.create ~width:2 ~height:2 ~f:(fun _ _ -> 1.0) in
+        let b = Image.create ~width:2 ~height:2 ~f:(fun _ _ -> 3.0) in
+        check (Alcotest.float 1e-9) "diff" 2.0 (Image.mean_abs_diff a b);
+        Alcotest.check_raises "dims"
+          (Invalid_argument "Image.mean_abs_diff: dimension mismatch")
+          (fun () ->
+            ignore
+              (Image.mean_abs_diff a
+                 (Image.create ~width:3 ~height:2 ~f:(fun _ _ -> 0.0)))));
+  ]
+
+let image_props =
+  let open QCheck in
+  [
+    Test.make ~name:"projection mass equals image total for any slope"
+      ~count:100
+      (pair (int_range 2 20) (int_range (-4) 4))
+      (fun (size, slope) ->
+        let rng = Random.State.make [| size; slope |] in
+        let img =
+          Image.create ~width:size ~height:size ~f:(fun _ _ ->
+              Random.State.float rng 1.0)
+        in
+        let p = Image.projection img ~slope in
+        Float.abs (Array.fold_left ( +. ) 0.0 p -. Image.total img) < 1e-6);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Certificates                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let certify_tests =
+  [
+    tc "generate then check succeeds and counts the space" (fun () ->
+        List.iter
+          (fun inst ->
+            let cert = Certify.generate inst in
+            match Certify.check inst cert with
+            | Ok n ->
+              check Alcotest.int inst.Instance.name
+                (Gdpn_graph.Combinat.count_up_to (Instance.order inst)
+                   inst.Instance.k)
+                n
+            | Error e -> Alcotest.failf "%s: %s" inst.Instance.name e)
+          [ Small_n.g1 ~k:1; Small_n.g2 ~k:2; Small_n.g3 ~k:2 ]);
+    tc "tampered witnesses are rejected" (fun () ->
+        let inst = Small_n.g1 ~k:2 in
+        let cert = Certify.generate inst in
+        (* Corrupt a node id near the end of the certificate. *)
+        let bad =
+          String.mapi
+            (fun i c -> if i = String.length cert - 3 then 'x' else c)
+            cert
+        in
+        match Certify.check inst bad with
+        | Ok _ -> Alcotest.fail "tampering must be detected"
+        | Error _ -> ());
+    tc "certificates pin the instance" (fun () ->
+        let cert = Certify.generate (Small_n.g1 ~k:2) in
+        match Certify.check (Small_n.g2 ~k:2) cert with
+        | Ok _ -> Alcotest.fail "wrong instance must be rejected"
+        | Error e ->
+          check Alcotest.bool "names the mismatch" true
+            (Testutil.contains_substring e "different instance"));
+    tc "truncated and malformed certificates are rejected" (fun () ->
+        let inst = Small_n.g1 ~k:1 in
+        List.iter
+          (fun text ->
+            match Certify.check inst text with
+            | Ok _ -> Alcotest.failf "%S must be rejected" text
+            | Error _ -> ())
+          [ ""; "gdpn-cert 1"; "nonsense\nlines\nhere\nand more" ];
+        (* Dropping one witness line breaks the count. *)
+        let cert = Certify.generate inst in
+        let lines = String.split_on_char '\n' cert in
+        let shorter =
+          String.concat "\n"
+            (List.filteri (fun i _ -> i <> List.length lines - 2) lines)
+        in
+        match Certify.check inst shorter with
+        | Ok _ -> Alcotest.fail "missing witness must be detected"
+        | Error _ -> ());
+    tc "a non-k-GD instance cannot be certified" (fun () ->
+        let inst = Small_n.g1 ~k:2 in
+        let g = inst.Instance.graph in
+        let b = Graph.builder (Graph.order g) in
+        List.iter
+          (fun (u, v) -> if (u, v) <> (0, 1) then Graph.add_edge b u v)
+          (Graph.edges g);
+        let broken =
+          Instance.make ~graph:(Graph.freeze b)
+            ~kind:(Array.init (Instance.order inst) (Instance.kind_of inst))
+            ~n:1 ~k:2 ~name:"broken" ~strategy:Instance.Generic
+        in
+        match Certify.generate broken with
+        | (_ : string) -> Alcotest.fail "expected Failure"
+        | exception Failure _ -> ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial fault-set search                                        *)
+(* ------------------------------------------------------------------ *)
+
+let attack_tests =
+  [
+    tc "expansion counter reports work" (fun () ->
+        let inst = Small_n.g3 ~k:3 in
+        let expansions = ref 0 in
+        let faults = Bitset.create (Instance.order inst) in
+        (match Reconfig.solve_generic ~expansions inst ~faults with
+        | Reconfig.Pipeline _ -> ()
+        | _ -> Alcotest.fail "fault-free solve");
+        check Alcotest.bool "counted" true (!expansions > 0));
+    tc "random baseline returns sane statistics" (fun () ->
+        let inst = Small_n.g3 ~k:2 in
+        let mean, worst =
+          Attack.random_baseline
+            ~rng:(Random.State.make [| 1 |])
+            ~trials:30 inst
+        in
+        check Alcotest.bool "mean <= max" true (mean <= worst);
+        check Alcotest.bool "positive" true (mean > 0));
+    tc_slow "hill climbing finds at-least-as-bad sets as random" (fun () ->
+        let inst = Circulant_family.build ~n:19 ~k:4 in
+        let rng = Random.State.make [| 2 |] in
+        let mean, _ = Attack.random_baseline ~rng ~trials:20 ~budget:20_000 inst in
+        let f = Attack.worst_case ~rng ~restarts:1 ~budget:20_000 inst in
+        check Alcotest.int "fault set size" 4 (List.length f.Attack.faults);
+        check Alcotest.bool "worse than the average" true
+          (f.Attack.expansions >= mean);
+        check Alcotest.bool "evaluations counted" true
+          (f.Attack.evaluations > 0);
+        (* Whatever the adversary found, the strategy solver handles it. *)
+        match Reconfig.solve_list inst ~faults:f.Attack.faults with
+        | Reconfig.Pipeline _ -> ()
+        | _ -> Alcotest.fail "in-spec adversarial set must be tolerated");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Layout                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let layout_tests =
+  [
+    tc "linear layout spaces nodes evenly" (fun () ->
+        let inst = Small_n.g1 ~k:1 in
+        let l = Layout.linear inst in
+        check (Alcotest.float 1e-9) "node 0" 0.0 (Layout.position l 0);
+        check (Alcotest.float 1e-9) "node 3" 0.5 (Layout.position l 3);
+        check (Alcotest.float 1e-9) "adjacent spacing" (1.0 /. 6.0)
+          (Layout.edge_length l 0 1));
+    tc "ring distance wraps" (fun () ->
+        let inst = Small_n.g1 ~k:2 (* 9 nodes *) in
+        let l = Layout.linear inst in
+        check (Alcotest.float 1e-9) "wrap 0-8" (1.0 /. 9.0)
+          (Layout.edge_length l 0 8));
+    tc "circulant natural layout keeps wires short without bisectors"
+      (fun () ->
+        let inst = Circulant_family.build ~n:22 ~k:4 in
+        let l = Layout.circulant_natural inst in
+        let m = 16 in
+        (* Longest wires: the I/O clique chords spanning k = 4 of the m = 16
+           column positions (ring offsets only reach p+1 = 3). *)
+        check (Alcotest.float 1e-9) "max wire"
+          (4.0 /. float_of_int m)
+          (Layout.max_edge_length l inst.Instance.graph));
+    tc "bisectors force long wires for odd k" (fun () ->
+        let inst = Circulant_family.build ~n:26 ~k:5 in
+        let l = Layout.circulant_natural inst in
+        (* m = 19, bisector offset 9: ring length 9/19. *)
+        check Alcotest.bool "long wire" true
+          (Layout.max_edge_length l inst.Instance.graph > 0.4));
+    tc "terminal columns are co-located (zero-length wires)" (fun () ->
+        let inst = Circulant_family.build ~n:22 ~k:4 in
+        let l = Layout.circulant_natural inst in
+        (* Ti[1] sits with I[1] sits with S[1]. *)
+        let m = 16 and k = 4 in
+        let i1 = m and ti1 = m + (2 * k) + 2 in
+        check (Alcotest.float 1e-9) "Ti-I wire" 0.0 (Layout.edge_length l i1 ti1);
+        check (Alcotest.float 1e-9) "I-S wire" 0.0 (Layout.edge_length l i1 1));
+    tc "pipeline wirelength is positive and bounded by hops/2" (fun () ->
+        let inst = Circulant_family.build ~n:22 ~k:4 in
+        let l = Layout.circulant_natural inst in
+        match Reconfig.solve_list inst ~faults:[] with
+        | Reconfig.Pipeline p ->
+          let w = Layout.pipeline_wirelength l p in
+          let hops = List.length p.Pipeline.nodes - 1 in
+          check Alcotest.bool "bounds" true
+            (w > 0.0 && w <= float_of_int hops *. 0.5)
+        | _ -> Alcotest.fail "fault-free pipeline exists");
+    tc "non-circulant instances are rejected" (fun () ->
+        Alcotest.check_raises "generic"
+          (Invalid_argument "Layout.circulant_natural: not a circulant-family instance")
+          (fun () -> ignore (Layout.circulant_natural (Small_n.g1 ~k:2))));
+  ]
+
+let () =
+  Alcotest.run "gdpn_extensions"
+    [
+      ("iso", iso_tests);
+      ("iso-props", List.map QCheck_alcotest.to_alcotest iso_props);
+      ("graph6", graph6_tests);
+      ("graph6-props", List.map QCheck_alcotest.to_alcotest graph6_props);
+      ("parallel-verify", parallel_tests);
+      ("link-faults", link_tests);
+      ("repair", repair_tests);
+      ("image", image_tests);
+      ("image-props", List.map QCheck_alcotest.to_alcotest image_props);
+      ("certify", certify_tests);
+      ("attack", attack_tests);
+      ("layout", layout_tests);
+    ]
