@@ -1,0 +1,20 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The tier-1 gate plus a multicore engine smoke: exhaustively verify
+# G(8,2) (137 fault sets) through Engine.Parallel on two domains.
+check: build test
+	GDPN_DOMAINS=2 dune exec bin/gdp.exe -- verify -n 8 -k 2
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

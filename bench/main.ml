@@ -29,45 +29,48 @@ let pf = Format.printf
 (* Part 1: tables                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let verified_tag inst ~exhaustive_up_to =
+(* Sampled verification takes an explicit per-row seed, logged in the tag.
+   Seeding from instance parameters (the old [| order inst |]) silently
+   correlated the fault-sample sequences of same-order instances — every
+   row of a table would re-check the same "random" fault sets. *)
+let verified_tag inst ~seed ~exhaustive_up_to =
   if Instance.order inst <= exhaustive_up_to then
     if Verify.is_k_gd (Verify.exhaustive inst) then "exhaustive"
     else "FAILED"
   else begin
     let r =
-      Verify.sampled
-        ~rng:(Random.State.make [| Instance.order inst |])
-        ~trials:2000 inst
+      Verify.sampled ~rng:(Random.State.make [| seed |]) ~trials:2000 inst
     in
-    if Verify.is_k_gd r then "sampled(2000)" else "FAILED"
+    if Verify.is_k_gd r then Printf.sprintf "sampled(2000)#%d" seed
+    else Printf.sprintf "FAILED#%d" seed
   end
 
 let degree_table k n_max =
   pf "@.--- Table: theorem %s — degree-optimal solutions for k = %d ---@."
     (match k with 1 -> "3.13" | 2 -> "3.15" | 3 -> "3.16" | _ -> "3.17")
     k;
-  pf "%-4s %-10s %-10s %-14s %-30s %s@." "n" "max-deg" "lower-bnd" "verified"
+  pf "%-4s %-10s %-10s %-18s %-30s %s@." "n" "max-deg" "lower-bnd" "verified"
     "construction" "nodes";
   for n = 1 to n_max do
     let inst = Family.build ~n ~k in
-    pf "%-4d %-10d %-10d %-14s %-30s %d@." n
+    pf "%-4d %-10d %-10d %-18s %-30s %d@." n
       (Instance.max_processor_degree inst)
       (Bounds.degree_lower_bound ~n ~k)
-      (verified_tag inst ~exhaustive_up_to:24)
+      (verified_tag inst ~seed:((1000 * k) + n) ~exhaustive_up_to:24)
       inst.Instance.name (Instance.order inst)
   done
 
 let circulant_table () =
   pf "@.--- Table: §3.4 circulant family (Theorem 3.17) ---@.";
-  pf "%-10s %-8s %-10s %-10s %-14s@." "(n,k)" "nodes" "max-deg" "lower-bnd"
+  pf "%-10s %-8s %-10s %-10s %-18s@." "(n,k)" "nodes" "max-deg" "lower-bnd"
     "verified";
   List.iter
     (fun (n, k) ->
       let inst = Circulant_family.build ~n ~k in
-      pf "(%3d,%2d)   %-8d %-10d %-10d %-14s@." n k (Instance.order inst)
+      pf "(%3d,%2d)   %-8d %-10d %-10d %-18s@." n k (Instance.order inst)
         (Instance.max_processor_degree inst)
         (Bounds.degree_lower_bound ~n ~k)
-        (verified_tag inst ~exhaustive_up_to:37))
+        (verified_tag inst ~seed:((100 * n) + k) ~exhaustive_up_to:37))
     [ (22, 4); (26, 5); (27, 5); (40, 4); (50, 6); (60, 7); (100, 8) ]
 
 let impossibility_table () =
@@ -438,6 +441,53 @@ let b10_des =
                   ~tokens:60)));
     ]
 
+let b11_engine =
+  let module Engine = Gdpn_engine.Engine in
+  (* Reconfiguration latency: the same 32 fault sets cycled, once through
+     the engine's plan cache (everything after the first lap is a lookup or
+     a splice) and once with the cache bypassed (ctx reuse only, full
+     solver every call). *)
+  let inst = Circulant_family.build ~n:40 ~k:4 in
+  let order = Instance.order inst in
+  let masks =
+    Array.map
+      (Gdpn_graph.Bitset.of_list order)
+      (fault_sets inst ~seed:12 ~count:inst.Instance.k)
+  in
+  let cached_engine = Engine.create inst in
+  let uncached_engine = Engine.create inst in
+  let i = ref 0 in
+  (* Verification throughput: the same exhaustive fault space (G(4,3), 576
+     fault sets) on one domain vs the default domain count.  On a
+     single-core host the multi-domain row measures pure sharding overhead;
+     with real cores it measures the speedup.  Reports are identical either
+     way (see test_engine). *)
+  let g43 = Special.g43 () in
+  let nd = Stdlib.max 2 (Engine.Parallel.default_domains ()) in
+  Test.make_grouped ~name:"B11-engine"
+    [
+      Test.make ~name:"G(40,4) solve, plan cache"
+        (Staged.stage (fun () ->
+             let faults = masks.(!i land 31) in
+             incr i;
+             Sys.opaque_identity (Engine.solve cached_engine ~faults)));
+      Test.make ~name:"G(40,4) solve, uncached"
+        (Staged.stage (fun () ->
+             let faults = masks.(!i land 31) in
+             incr i;
+             Sys.opaque_identity
+               (Engine.solve ~cache:false uncached_engine ~faults)));
+      Test.make ~name:"G(4,3) exhaustive verify, 1 domain"
+        (Staged.stage (fun () ->
+             Sys.opaque_identity
+               (Engine.Parallel.verify_exhaustive ~domains:1 g43)));
+      Test.make
+        ~name:(Printf.sprintf "G(4,3) exhaustive verify, %d domains" nd)
+        (Staged.stage (fun () ->
+             Sys.opaque_identity
+               (Engine.Parallel.verify_exhaustive ~domains:nd g43)));
+    ]
+
 let all_benches =
   Test.make_grouped ~name:"gdpn"
     [
@@ -451,6 +501,7 @@ let all_benches =
       b8_repair;
       b9_link_faults;
       b10_des;
+      b11_engine;
     ]
 
 let run_benchmarks () =

@@ -14,6 +14,7 @@
 open Cmdliner
 open Gdpn_core
 module Faultsim = Gdpn_faultsim
+module Engine = Gdpn_engine.Engine
 module Compare = Gdpn_baselines.Compare
 module Hayes = Gdpn_baselines.Hayes
 module Spares = Gdpn_baselines.Spares
@@ -107,20 +108,28 @@ let verify_cmd =
   in
   let domains_arg =
     Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"D"
-           ~doc:"Exhaust in parallel over $(docv) OCaml domains.")
+           ~doc:"Verify in parallel over $(docv) OCaml domains (default: the \
+                 GDPN_DOMAINS environment variable, else the recommended \
+                 domain count).")
   in
   let run n k merged sample domains seed =
     let inst = build_instance n k merged in
     pf "%a@." Instance.pp inst;
-    let universe =
-      if merged then Some (Instance.processors inst) else None
+    let d =
+      match domains with Some d -> d | None -> Engine.Parallel.default_domains ()
     in
     let report =
-      match (sample, domains) with
-      | Some trials, _ ->
-        Verify.sampled ~rng:(Random.State.make [| seed |]) ~trials inst
-      | None, Some d when not merged -> Verify.exhaustive_parallel ~domains:d inst
-      | None, _ -> Verify.exhaustive ?universe inst
+      match sample with
+      | Some trials ->
+        pf "sampled verification: seed=%d domains=%d@." seed d;
+        Engine.Parallel.verify_sampled ~seed ~trials ~domains:d inst
+      | None when merged ->
+        (* The merged transform restricts faults to processors; the sharded
+           enumerator covers all nodes, so keep the sequential path here. *)
+        Verify.exhaustive ~universe:(Instance.processors inst) inst
+      | None ->
+        pf "exhaustive verification: domains=%d@." d;
+        Engine.Parallel.verify_exhaustive ~domains:d inst
     in
     pf "%a@." Verify.pp_report report;
     if Verify.is_k_gd report then 0 else 1
@@ -272,7 +281,10 @@ let certify_cmd =
   let run n k file =
     let inst = Family.build ~n ~k in
     pf "%a@." Instance.pp inst;
-    (match Certify.generate inst with
+    (* Through the engine: size-s witnesses splice from their cached
+       size-(s-1) predecessors instead of re-running the solver. *)
+    let engine = Engine.create inst in
+    (match Engine.certify engine with
     | cert ->
       let oc = open_out file in
       output_string oc cert;

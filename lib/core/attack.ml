@@ -9,10 +9,10 @@ type finding = {
   evaluations : int;
 }
 
-let probe ~budget inst mask =
+let probe ?ctx ~budget inst mask =
   let expansions = ref 0 in
   let outcome =
-    match Reconfig.solve_generic ~budget ~expansions inst ~faults:mask with
+    match Reconfig.solve_generic ~budget ~expansions ?ctx inst ~faults:mask with
     | Reconfig.Pipeline _ -> `Found
     | Reconfig.No_pipeline -> `None
     | Reconfig.Gave_up -> `Gave_up
@@ -23,9 +23,13 @@ let worst_case ~rng ?(restarts = 5) ?(budget = 500_000) inst =
   let order = Instance.order inst in
   let k = inst.Instance.k in
   let evaluations = ref 0 in
+  (* Hill climbing evaluates thousands of candidate sets: one reusable
+     context serves them all.  Expansion counts are ctx-independent, so the
+     search trajectory is unchanged. *)
+  let ctx = Reconfig.make_ctx inst in
   let eval faults =
     incr evaluations;
-    probe ~budget inst (Bitset.of_list order faults)
+    probe ~ctx ~budget inst (Bitset.of_list order faults)
   in
   let best = ref { faults = []; expansions = 0; outcome = `Found;
                    restarts; evaluations = 0 } in
@@ -95,11 +99,12 @@ let worst_case ~rng ?(restarts = 5) ?(budget = 500_000) inst =
 let random_baseline ~rng ~trials ?(budget = 500_000) inst =
   let order = Instance.order inst in
   let k = inst.Instance.k in
+  let ctx = Reconfig.make_ctx inst in
   let total = ref 0 in
   let worst = ref 0 in
   for _ = 1 to trials do
     let faults = Array.to_list (Combinat.sample rng order k) in
-    let score, _ = probe ~budget inst (Bitset.of_list order faults) in
+    let score, _ = probe ~ctx ~budget inst (Bitset.of_list order faults) in
     total := !total + score;
     worst := max !worst score
   done;

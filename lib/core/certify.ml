@@ -3,9 +3,18 @@ module Combinat = Gdpn_graph.Combinat
 
 let digest inst = Digest.to_hex (Digest.string (Serial.to_string inst))
 
-let generate inst =
+let generate ?solve inst =
   let order = Instance.order inst in
   let k = inst.Instance.k in
+  let solve =
+    match solve with
+    | Some f -> f
+    | None ->
+      (* One context for the whole enumeration: certificate generation is
+         exactly the repeated-solve workload the ctx exists for. *)
+      let ctx = Reconfig.make_ctx inst in
+      fun ~faults -> Reconfig.solve ~ctx inst ~faults
+  in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "gdpn-cert 1\n";
   Buffer.add_string buf (Printf.sprintf "instance %s\n" (digest inst));
@@ -17,7 +26,7 @@ let generate inst =
       for i = 0 to len - 1 do
         Bitset.add mask set.(i)
       done;
-      match Reconfig.solve inst ~faults:mask with
+      match solve ~faults:mask with
       | Reconfig.Pipeline p ->
         Buffer.add_string buf
           (Printf.sprintf "w %s|%s\n"

@@ -21,8 +21,15 @@
     Certificates enumerate every fault set of size [0..k] in the standard
     order, so completeness is checkable by counting. *)
 
-val generate : Instance.t -> string
-(** Solve every fault set and record the witnesses.
+val generate :
+  ?solve:(faults:Gdpn_graph.Bitset.t -> Reconfig.outcome) ->
+  Instance.t ->
+  string
+(** Solve every fault set and record the witnesses.  By default a single
+    reusable search context ({!Reconfig.make_ctx}) serves the whole
+    enumeration; [solve] overrides the solver — the engine layer passes its
+    plan-cached solver, which splices most witnesses from their
+    one-fault-smaller predecessors instead of re-searching.
     Raises [Failure] if any fault set has no pipeline (the instance is not
     k-GD, so no certificate exists). *)
 

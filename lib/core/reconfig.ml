@@ -27,7 +27,17 @@ let healthy_terminal inst ~alive kind p =
 (* Generic spanning-path solver                                        *)
 (* ------------------------------------------------------------------ *)
 
-let generic ?(budget = default_budget) ?expansions inst ~faults =
+(* Run the spanning-path search through a caller-supplied ctx when its
+   capacity matches this instance (extension recursion hands sub-instances
+   of smaller order, which fall back to a fresh ctx). *)
+let ham_search ?budget ?expansions ?ctx g ~alive ~starts ~ends =
+  match ctx with
+  | Some c when Hamilton.ctx_capacity c = Graph.order g ->
+    Hamilton.solve_into ?budget ?expansions c g ~alive ~starts ~ends
+  | Some _ | None ->
+    Hamilton.spanning_path ?budget ?expansions g ~alive ~starts ~ends
+
+let generic ?(budget = default_budget) ?expansions ?ctx inst ~faults =
   let order = Instance.order inst in
   let alive = Bitset.full order in
   Bitset.diff_into alive faults;
@@ -48,7 +58,7 @@ let generic ?(budget = default_budget) ?expansions inst ~faults =
     if Bitset.is_empty starts || Bitset.is_empty ends then No_pipeline
     else
       match
-        Hamilton.spanning_path ~budget ?expansions inst.Instance.graph
+        ham_search ~budget ?expansions ?ctx inst.Instance.graph
           ~alive:procs_alive ~starts ~ends
       with
       | Hamilton.No_path -> No_pipeline
@@ -125,7 +135,7 @@ let clique_scan inst ~faults =
    (an input terminal of the inner instance, now a processor).  The inner
    pipeline's input endpoint is one of those relabelled nodes. *)
 
-let rec extension ?budget inst inner ~faults =
+let rec extension ?budget ?ctx inst inner ~faults =
   let graph = inst.Instance.graph in
   let inner_order = Instance.order inner in
   let fresh_terminals = Instance.inputs inst in
@@ -143,6 +153,8 @@ let rec extension ?budget inst inner ~faults =
     List.filter (fun t -> Bitset.mem faults t) fresh_terminals
   in
   let solve_inner inner_faults =
+    (* The inner instance has smaller order: the top-level ctx cannot be
+       reused there, so the recursion runs ctx-free. *)
     match solve ?budget inner ~faults:inner_faults with
     | Pipeline p -> Some (Pipeline.normalise inner p)
     | No_pipeline | Gave_up -> None
@@ -156,10 +168,10 @@ let rec extension ?budget inst inner ~faults =
   | [] -> (
     (* Case 1: no fresh terminal is faulty. *)
     match solve_inner (restrict_faults ()) with
-    | None -> generic ?budget inst ~faults
+    | None -> generic ?budget ?ctx inst ~faults
     | Some inner_pipe -> (
       match inner_pipe.Pipeline.nodes with
-      | [] -> generic ?budget inst ~faults
+      | [] -> generic ?budget ?ctx inst ~faults
       | i1 :: _ ->
         let u =
           List.filter
@@ -181,17 +193,17 @@ let rec extension ?budget inst inner ~faults =
         fresh_terminals
     in
     match i4_candidate with
-    | None -> generic ?budget inst ~faults
+    | None -> generic ?budget ?ctx inst ~faults
     | Some j4 -> (
       let i4 = mate j4 in
       let inner_faults = restrict_faults () in
       Bitset.add inner_faults i4;
       ignore j3;
       match solve_inner inner_faults with
-      | None -> generic ?budget inst ~faults
+      | None -> generic ?budget ?ctx inst ~faults
       | Some inner_pipe -> (
         match inner_pipe.Pipeline.nodes with
-        | [] -> generic ?budget inst ~faults
+        | [] -> generic ?budget ?ctx inst ~faults
         | i1 :: _ ->
           let u =
             List.filter
@@ -200,7 +212,7 @@ let rec extension ?budget inst inner ~faults =
           in
           finish ((j4 :: i4 :: u) @ inner_pipe.Pipeline.nodes))))
 
-and circulant ?budget inst ~m ~faults =
+and circulant ?budget ?ctx inst ~m ~faults =
   (* Region decomposition for the §3.4 family (the shape the Theorem 3.17
      embedding takes): one clique run through the healthy I nodes, a
      spanning sweep of the healthy ring nodes between two S bridges, one
@@ -259,7 +271,7 @@ and circulant ?budget inst ~m ~faults =
     else
       let sub_budget = 100_000 in
       match
-        Hamilton.spanning_path ~budget:sub_budget graph ~alive:ring_alive
+        ham_search ~budget:sub_budget ?ctx graph ~alive:ring_alive
           ~starts:(Bitset.of_list (Instance.order inst) [ b ])
           ~ends:(Bitset.of_list (Instance.order inst) [ c ])
       with
@@ -284,29 +296,31 @@ and circulant ?budget inst ~m ~faults =
   match found with
   | Some nodes when Pipeline.is_valid inst ~faults nodes ->
     Pipeline { Pipeline.nodes }
-  | Some _ | None -> generic ?budget inst ~faults
+  | Some _ | None -> generic ?budget ?ctx inst ~faults
 
-and dispatch ?budget inst ~faults =
+and dispatch ?budget ?ctx inst ~faults =
   match inst.Instance.strategy with
-  | Instance.Generic -> generic ?budget inst ~faults
+  | Instance.Generic -> generic ?budget ?ctx inst ~faults
   | Instance.Processor_clique -> clique_scan inst ~faults
-  | Instance.Extension inner -> extension ?budget inst inner ~faults
-  | Instance.Circulant_layout { m } -> circulant ?budget inst ~m ~faults
+  | Instance.Extension inner -> extension ?budget ?ctx inst inner ~faults
+  | Instance.Circulant_layout { m } -> circulant ?budget ?ctx inst ~m ~faults
 
-and solve ?budget inst ~faults =
-  match dispatch ?budget inst ~faults with
+and solve ?budget ?ctx inst ~faults =
+  match dispatch ?budget ?ctx inst ~faults with
   | Pipeline p when Pipeline.is_valid inst ~faults p.Pipeline.nodes ->
     Pipeline p
   | Pipeline _ ->
     (* A constructive solver produced a bogus witness: fall back to the
        generic solver rather than returning it.  (This indicates a bug; the
        test suite asserts it never happens for in-spec fault sets.) *)
-    generic ?budget inst ~faults
+    generic ?budget ?ctx inst ~faults
   | (No_pipeline | Gave_up) as r -> r
 
 let solve_list ?budget inst ~faults =
   solve ?budget inst
     ~faults:(Bitset.of_list (Instance.order inst) faults)
 
-let solve_generic ?budget ?expansions inst ~faults =
-  generic ?budget ?expansions inst ~faults
+let solve_generic ?budget ?expansions ?ctx inst ~faults =
+  generic ?budget ?expansions ?ctx inst ~faults
+
+let make_ctx inst = Hamilton.make_ctx (Instance.order inst)

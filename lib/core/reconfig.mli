@@ -29,9 +29,21 @@ type outcome =
   | No_pipeline  (** proven: no pipeline exists for this fault set *)
   | Gave_up  (** search budget exhausted before a conclusion *)
 
-val solve : ?budget:int -> Instance.t -> faults:Gdpn_graph.Bitset.t -> outcome
+val solve :
+  ?budget:int ->
+  ?ctx:Gdpn_graph.Hamilton.ctx ->
+  Instance.t ->
+  faults:Gdpn_graph.Bitset.t ->
+  outcome
 (** Strategy-dispatching solver.  [budget] bounds backtracking expansions
-    in the generic solver (default 2_000_000). *)
+    in the generic solver (default 2_000_000).  [ctx] is a reusable search
+    context ({!make_ctx}); passing one makes repeated solves reuse the
+    backtracker's scratch state instead of reallocating it.  Results are
+    identical with or without a ctx. *)
+
+val make_ctx : Instance.t -> Gdpn_graph.Hamilton.ctx
+(** A search context sized for this instance, for use with {!solve} /
+    {!solve_generic}.  Not domain-safe: allocate one per domain. *)
 
 val solve_list : ?budget:int -> Instance.t -> faults:int list -> outcome
 (** Convenience wrapper taking the fault set as a list of node ids. *)
@@ -39,6 +51,7 @@ val solve_list : ?budget:int -> Instance.t -> faults:int list -> outcome
 val solve_generic :
   ?budget:int ->
   ?expansions:int ref ->
+  ?ctx:Gdpn_graph.Hamilton.ctx ->
   Instance.t ->
   faults:Gdpn_graph.Bitset.t ->
   outcome

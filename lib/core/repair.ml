@@ -108,22 +108,33 @@ let try_splice inst ~faults ~failed nodes =
     end)
   | _ -> None
 
-let repair ?budget inst ~current ~faults ~failed =
+(* The local-only part of [repair]: [Some] on the no-search outcomes
+   (fault off the pipeline, or a successful splice), [None] when a full
+   reconfiguration would be needed.  The engine's plan cache uses this to
+   derive a plan from a cached one-fault-smaller predecessor without
+   running the solver. *)
+let patch inst ~current ~faults ~failed =
   let current = Pipeline.normalise inst current in
   let nodes = current.Pipeline.nodes in
-  let full () =
-    match Reconfig.solve ?budget inst ~faults with
-    | Reconfig.Pipeline p -> Resolved p
-    | Reconfig.No_pipeline | Reconfig.Gave_up -> Lost
-  in
   if List.mem failed nodes |> not then begin
     (* The fault missed the pipeline (an unused terminal); the embedding
        survives as-is — but revalidate rather than trust the caller. *)
-    if Pipeline.is_valid inst ~faults nodes then Unchanged current
-    else full ()
+    if Pipeline.is_valid inst ~faults nodes then Some (`Unchanged current)
+    else None
   end
   else
     match try_splice inst ~faults ~failed nodes with
     | Some patched when Pipeline.is_valid inst ~faults patched ->
-      Spliced { Pipeline.nodes = patched }
-    | Some _ | None -> full ()
+      Some (`Spliced { Pipeline.nodes = patched })
+    | Some _ | None -> None
+
+let repair ?budget ?ctx inst ~current ~faults ~failed =
+  let full () =
+    match Reconfig.solve ?budget ?ctx inst ~faults with
+    | Reconfig.Pipeline p -> Resolved p
+    | Reconfig.No_pipeline | Reconfig.Gave_up -> Lost
+  in
+  match patch inst ~current ~faults ~failed with
+  | Some (`Unchanged p) -> Unchanged p
+  | Some (`Spliced p) -> Spliced p
+  | None -> full ()

@@ -28,6 +28,7 @@ type result =
 
 val repair :
   ?budget:int ->
+  ?ctx:Gdpn_graph.Hamilton.ctx ->
   Instance.t ->
   current:Pipeline.t ->
   faults:Gdpn_graph.Bitset.t ->
@@ -40,3 +41,14 @@ val repair :
 
 val is_local : result -> bool
 (** True for [Unchanged] and [Spliced] — the no-search outcomes. *)
+
+val patch :
+  Instance.t ->
+  current:Pipeline.t ->
+  faults:Gdpn_graph.Bitset.t ->
+  failed:int ->
+  [ `Unchanged of Pipeline.t | `Spliced of Pipeline.t ] option
+(** The local-only part of {!repair}: [Some] for the no-search outcomes,
+    [None] when only a full reconfiguration can answer.  Never runs the
+    solver; the returned pipeline is always revalidated.  The engine layer
+    uses this to derive plans from cached predecessors. *)

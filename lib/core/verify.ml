@@ -9,11 +9,16 @@ type report = {
   gave_up : int;
 }
 
-let check_mask ?budget inst mask =
-  match Reconfig.solve ?budget inst ~faults:mask with
+let check_mask ?budget ?solve inst mask =
+  let outcome =
+    match solve with
+    | Some f -> f ~faults:mask
+    | None -> Reconfig.solve ?budget inst ~faults:mask
+  in
+  match outcome with
   | Reconfig.Pipeline p -> (
-    (* [Reconfig.solve] already validates, but re-check here so the verifier
-       does not trust the solver. *)
+    (* The solver already validates, but re-check here so the verifier
+       does not trust it (nor any [solve] override). *)
     match Pipeline.validate inst ~faults:mask p.Pipeline.nodes with
     | Ok _ -> Ok ()
     | Error e -> Error ("invalid witness: " ^ e))
@@ -23,7 +28,7 @@ let check_mask ?budget inst mask =
 let check_fault_set ?budget inst faults =
   check_mask ?budget inst (Bitset.of_list (Instance.order inst) faults)
 
-let run_checks ?budget ?(max_failures = 5) inst iter_sets =
+let run_checks ?budget ?solve ?(max_failures = 5) inst iter_sets =
   let checked = ref 0 in
   let failures = ref [] in
   let gave_up = ref 0 in
@@ -37,7 +42,7 @@ let run_checks ?budget ?(max_failures = 5) inst iter_sets =
            Bitset.add mask buf.(i)
          done;
          incr checked;
-         (match check_mask ?budget inst mask with
+         (match check_mask ?budget ?solve inst mask with
          | Ok () -> ()
          | Error reason ->
            if reason = "solver gave up" then incr gave_up;
@@ -53,27 +58,27 @@ let run_checks ?budget ?(max_failures = 5) inst iter_sets =
     gave_up = !gave_up;
   }
 
-let exhaustive ?budget ?max_failures ?universe inst =
+let exhaustive ?budget ?solve ?max_failures ?universe inst =
   let order = Instance.order inst in
   let k = inst.Instance.k in
   match universe with
   | None ->
-    run_checks ?budget ?max_failures inst (fun f ->
+    run_checks ?budget ?solve ?max_failures inst (fun f ->
         Combinat.iter_subsets_up_to order k (fun buf len -> f buf len))
   | Some nodes ->
     let nodes = Array.of_list nodes in
     let translated = Array.make (Array.length nodes) 0 in
-    run_checks ?budget ?max_failures inst (fun f ->
+    run_checks ?budget ?solve ?max_failures inst (fun f ->
         Combinat.iter_subsets_up_to (Array.length nodes) k (fun buf len ->
             for i = 0 to len - 1 do
               translated.(i) <- nodes.(buf.(i))
             done;
             f translated len))
 
-let sampled ~rng ~trials ?budget ?max_failures inst =
+let sampled ~rng ~trials ?budget ?solve ?max_failures inst =
   let order = Instance.order inst in
   let k = inst.Instance.k in
-  run_checks ?budget ?max_failures inst (fun f ->
+  run_checks ?budget ?solve ?max_failures inst (fun f ->
       for _ = 1 to trials do
         let buf = Combinat.sample_up_to rng order k in
         f buf (Array.length buf)
@@ -102,13 +107,17 @@ let exhaustive_parallel ?budget ?(max_failures = 5) ?domains inst =
     let failures = ref [] in
     let gave_up = ref 0 in
     let mask = Bitset.create order in
+    (* Per-domain search context: repeated solves inside one domain reuse
+       the backtracker's scratch state. *)
+    let ctx = Reconfig.make_ctx inst in
+    let solve ~faults = Reconfig.solve ?budget ~ctx inst ~faults in
     let check_one buf len =
       Bitset.clear mask;
       for i = 0 to len - 1 do
         Bitset.add mask buf.(i)
       done;
       incr checked;
-      match check_mask ?budget inst mask with
+      match check_mask ?budget ~solve inst mask with
       | Ok () -> ()
       | Error reason ->
         if reason = "solver gave up" then incr gave_up;

@@ -17,7 +17,12 @@ type report = {
 }
 
 val exhaustive :
-  ?budget:int -> ?max_failures:int -> ?universe:int list -> Instance.t -> report
+  ?budget:int ->
+  ?solve:(faults:Gdpn_graph.Bitset.t -> Reconfig.outcome) ->
+  ?max_failures:int ->
+  ?universe:int list ->
+  Instance.t ->
+  report
 (** Check every fault set of size [0..k] drawn from [universe] (default:
     all nodes, terminals included; pass [Instance.processors t] for the
     merged-terminal model where I/O devices are fault-free).
@@ -28,11 +33,14 @@ val sampled :
   rng:Random.State.t ->
   trials:int ->
   ?budget:int ->
+  ?solve:(faults:Gdpn_graph.Bitset.t -> Reconfig.outcome) ->
   ?max_failures:int ->
   Instance.t ->
   report
 (** Check [trials] fault sets drawn uniformly (size uniform on [0..k],
-    contents uniform for that size). *)
+    contents uniform for that size).  Callers must thread an explicitly
+    chosen seed into [rng] — deriving it from instance parameters silently
+    correlates the fault-sample sequences of same-order instances. *)
 
 val exhaustive_parallel :
   ?budget:int -> ?max_failures:int -> ?domains:int -> Instance.t -> report
@@ -65,5 +73,16 @@ val tolerance : ?budget:int -> ?cap:int -> Instance.t -> int
 
 val check_fault_set : ?budget:int -> Instance.t -> int list -> (unit, string) result
 (** Check one fault set: solve and revalidate the witness. *)
+
+val check_mask :
+  ?budget:int ->
+  ?solve:(faults:Gdpn_graph.Bitset.t -> Reconfig.outcome) ->
+  Instance.t ->
+  Gdpn_graph.Bitset.t ->
+  (unit, string) result
+(** {!check_fault_set} on a prebuilt mask.  [solve] overrides the solver
+    call (the engine layer passes its context-reusing solver here); the
+    returned witness is revalidated regardless, so a dishonest override
+    cannot make verification pass. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,312 @@
+module Bitset = Gdpn_graph.Bitset
+module Combinat = Gdpn_graph.Combinat
+module Hamilton = Gdpn_graph.Hamilton
+open Gdpn_core
+
+(* ------------------------------------------------------------------ *)
+(* Engine: per-instance solver state                                   *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  mutable lookups : int;
+  mutable cache_hits : int;
+  mutable splices : int;
+  mutable full_solves : int;
+}
+
+let fresh_stats () =
+  { lookups = 0; cache_hits = 0; splices = 0; full_solves = 0 }
+
+type t = {
+  inst : Instance.t;
+  budget : int;
+  ctx : Hamilton.ctx;
+  cache : (string, Reconfig.outcome) Hashtbl.t;
+  cache_limit : int;
+  stats : stats;
+  scratch : Bitset.t;  (** predecessor-mask scratch for the splice probe *)
+}
+
+let default_budget = 2_000_000
+let default_cache_limit = 1 lsl 16
+
+let create ?(budget = default_budget) ?(cache_limit = default_cache_limit)
+    inst =
+  {
+    inst;
+    budget;
+    ctx = Reconfig.make_ctx inst;
+    cache = Hashtbl.create 256;
+    cache_limit;
+    stats = fresh_stats ();
+    scratch = Bitset.create (Instance.order inst);
+  }
+
+let instance t = t.inst
+let budget t = t.budget
+let stats t = t.stats
+let cache_size t = Hashtbl.length t.cache
+
+let reset t =
+  Hashtbl.reset t.cache;
+  t.stats.lookups <- 0;
+  t.stats.cache_hits <- 0;
+  t.stats.splices <- 0;
+  t.stats.full_solves <- 0
+
+let remember t key outcome =
+  if Hashtbl.length t.cache < t.cache_limit then Hashtbl.add t.cache key outcome
+
+let full_solve t ~faults =
+  t.stats.full_solves <- t.stats.full_solves + 1;
+  Reconfig.solve ~budget:t.budget ~ctx:t.ctx t.inst ~faults
+
+(* Cheap local repair first, global re-solve second (the paper's §4
+   reconfiguration discussion): look for a cached plan of some predecessor
+   mask [faults \ {v}] and patch it around [v] without searching. *)
+let splice_from_cache t ~faults =
+  let exception Found of Reconfig.outcome in
+  try
+    Bitset.iter
+      (fun v ->
+        Bitset.blit ~src:faults ~dst:t.scratch;
+        Bitset.remove t.scratch v;
+        match Hashtbl.find_opt t.cache (Bitset.to_key t.scratch) with
+        | Some (Reconfig.Pipeline current) -> (
+          match Repair.patch t.inst ~current ~faults ~failed:v with
+          | Some (`Unchanged p) | Some (`Spliced p) ->
+            t.stats.splices <- t.stats.splices + 1;
+            raise (Found (Reconfig.Pipeline p))
+          | None -> ())
+        | Some (Reconfig.No_pipeline | Reconfig.Gave_up) | None -> ())
+      faults;
+    None
+  with Found o -> Some o
+
+let solve ?(cache = true) t ~faults =
+  if not cache then full_solve t ~faults
+  else begin
+    t.stats.lookups <- t.stats.lookups + 1;
+    let key = Bitset.to_key faults in
+    match Hashtbl.find_opt t.cache key with
+    | Some outcome ->
+      t.stats.cache_hits <- t.stats.cache_hits + 1;
+      outcome
+    | None ->
+      let outcome =
+        match splice_from_cache t ~faults with
+        | Some o -> o
+        | None -> full_solve t ~faults
+      in
+      remember t key outcome;
+      outcome
+  end
+
+let solve_list ?cache t ~faults =
+  solve ?cache t ~faults:(Bitset.of_list (Instance.order t.inst) faults)
+
+(* ------------------------------------------------------------------ *)
+(* Engine-backed workloads                                             *)
+(* ------------------------------------------------------------------ *)
+
+let verify_exhaustive ?max_failures ?universe t =
+  Verify.exhaustive ~budget:t.budget
+    ~solve:(fun ~faults -> solve ~cache:false t ~faults)
+    ?max_failures ?universe t.inst
+
+let verify_sampled ~seed ~trials ?max_failures t =
+  Verify.sampled
+    ~rng:(Random.State.make [| seed |])
+    ~trials ~budget:t.budget
+    ~solve:(fun ~faults -> solve ~cache:false t ~faults)
+    ?max_failures t.inst
+
+let certify t = Certify.generate ~solve:(fun ~faults -> solve t ~faults) t.inst
+
+let attack ~rng ?restarts t =
+  Attack.worst_case ~rng ?restarts ~budget:(min t.budget 500_000) t.inst
+
+let pp_stats ppf s =
+  Format.fprintf ppf "lookups=%d hits=%d splices=%d solves=%d" s.lookups
+    s.cache_hits s.splices s.full_solves
+
+(* ------------------------------------------------------------------ *)
+(* Parallel: domain-sharded verification                               *)
+(* ------------------------------------------------------------------ *)
+
+module Parallel = struct
+  let default_domains () =
+    match Sys.getenv_opt "GDPN_DOMAINS" with
+    | Some s when int_of_string_opt (String.trim s) <> None ->
+      Stdlib.max 1 (Option.get (int_of_string_opt (String.trim s)))
+    | Some _ | None -> Stdlib.max 1 (Domain.recommended_domain_count () - 1)
+
+  let resolve_domains = function
+    | Some d -> Stdlib.max 1 d
+    | None -> default_domains ()
+
+  (* A recorded failure, tagged with the global rank of its fault set in
+     the sequential enumeration order.  Merging keeps the lowest-ranked
+     [max_failures] across all domains, which reproduces the sequential
+     report byte for byte: same failures, same order, same early-stop
+     count. *)
+  type tagged = { rank : int; failure : Verify.failure }
+
+  let insert_capped cap tagged list =
+    let rec ins = function
+      | [] -> [ tagged ]
+      | x :: rest when tagged.rank < x.rank -> tagged :: x :: rest
+      | x :: rest -> x :: ins rest
+    in
+    let l = ins list in
+    if List.length l > cap then List.filteri (fun i _ -> i < cap) l else l
+
+  (* Merge per-domain tagged failures into a [Verify.report] identical to
+     the sequential one over [total] fault sets. *)
+  let merge ~max_failures ~total per_domain =
+    let cap = Stdlib.max 1 max_failures in
+    let all =
+      List.sort
+        (fun a b -> compare a.rank b.rank)
+        (List.concat per_domain)
+    in
+    let kept = List.filteri (fun i _ -> i < cap) all in
+    let gave_up =
+      List.length
+        (List.filter (fun t -> t.failure.Verify.reason = "solver gave up") kept)
+    in
+    let checked =
+      if List.length all >= cap && kept <> [] then
+        (* The sequential path stops right after recording the cap-th
+           failure: it has enumerated exactly rank+1 fault sets. *)
+        (List.nth kept (List.length kept - 1)).rank + 1
+      else total
+    in
+    {
+      Verify.fault_sets_checked = checked;
+      failures = List.map (fun t -> t.failure) kept;
+      gave_up;
+    }
+
+  (* Shard an indexed stream of fault sets over domains.  [blocks] is an
+     array of work units; [enum_block] enumerates a block's fault sets as
+     [(rank, buf, len)] through a callback.  Returns the merged report. *)
+  let run_sharded ?budget ~max_failures ~domains ~total inst blocks
+      enum_block =
+    let order = Instance.order inst in
+    let cap = Stdlib.max 1 max_failures in
+    let next = Atomic.make 0 in
+    (* Once some domain holds [cap] failures, every block whose lowest
+       possible rank exceeds that domain's highest kept rank is dead
+       weight; [cutoff] propagates a safe upper bound. *)
+    let cutoff = Atomic.make max_int in
+    let tighten r =
+      let rec go () =
+        let current = Atomic.get cutoff in
+        if r < current && not (Atomic.compare_and_set cutoff current r) then
+          go ()
+      in
+      go ()
+    in
+    let run_domain () =
+      let ctx = Reconfig.make_ctx inst in
+      let solve ~faults = Reconfig.solve ?budget ~ctx inst ~faults in
+      let mask = Bitset.create order in
+      let kept = ref [] in
+      let check rank buf len =
+        Bitset.clear mask;
+        for i = 0 to len - 1 do
+          Bitset.add mask buf.(i)
+        done;
+        match Verify.check_mask ?budget ~solve inst mask with
+        | Ok () -> ()
+        | Error reason ->
+          let failure =
+            { Verify.faults = Array.to_list (Array.sub buf 0 len); reason }
+          in
+          kept := insert_capped cap { rank; failure } !kept;
+          if List.length !kept >= cap then
+            tighten (List.nth !kept (List.length !kept - 1)).rank
+      in
+      let rec drain () =
+        let idx = Atomic.fetch_and_add next 1 in
+        if idx < Array.length blocks then begin
+          let block = blocks.(idx) in
+          enum_block block ~skip_above:(Atomic.get cutoff) check;
+          drain ()
+        end
+      in
+      drain ();
+      !kept
+    in
+    let workers =
+      List.init (domains - 1) (fun _ -> Domain.spawn run_domain)
+    in
+    (* The calling domain participates instead of idling. *)
+    let own = run_domain () in
+    let per_domain = own :: List.map Domain.join workers in
+    merge ~max_failures:cap ~total per_domain
+
+  let verify_exhaustive ?budget ?(max_failures = 5) ?domains inst =
+    let order = Instance.order inst in
+    let k = inst.Instance.k in
+    let domains = resolve_domains domains in
+    let total = Combinat.count_up_to order k in
+    (* Work units: one block per (size, first element) — all size-[s]
+       subsets whose smallest element is [f0] — plus the empty set as its
+       own block.  Each block's base rank in the sequential enumeration
+       (sizes ascending, lexicographic within a size) is precomputed from
+       binomials, so failures can be tagged with exact global ranks. *)
+    let blocks = ref [ (0, 0, 0) ] (* (size, f0, base rank) *) in
+    for s = 1 to Stdlib.min k order do
+      let base = ref (Combinat.count_up_to order (s - 1)) in
+      for f0 = 0 to order - 1 do
+        let tail_universe = order - f0 - 1 in
+        if s - 1 <= tail_universe then begin
+          blocks := (s, f0, !base) :: !blocks;
+          base := !base + Combinat.binomial tail_universe (s - 1)
+        end
+      done
+    done;
+    let blocks = Array.of_list (List.rev !blocks) in
+    let enum_block (s, f0, base) ~skip_above check =
+      if base <= skip_above then
+        if s = 0 then check base [||] 0
+        else begin
+          let buf = Array.make s 0 in
+          let local = ref 0 in
+          Combinat.iter_choose (order - f0 - 1) (s - 1) (fun tail ->
+              buf.(0) <- f0;
+              Array.iteri (fun i x -> buf.(i + 1) <- f0 + 1 + x) tail;
+              check (base + !local) buf s;
+              incr local)
+        end
+    in
+    run_sharded ?budget ~max_failures ~domains ~total inst blocks enum_block
+
+  let verify_sampled ~seed ~trials ?budget ?(max_failures = 5) ?domains inst
+      =
+    let order = Instance.order inst in
+    let k = inst.Instance.k in
+    let domains = resolve_domains domains in
+    (* Draw the whole trial sequence up front on one RNG — byte-identical
+       to the sequential [Verify.sampled] stream for the same seed — then
+       shard only the solving. *)
+    let rng = Random.State.make [| seed |] in
+    let sets = Array.make trials [||] in
+    for i = 0 to trials - 1 do
+      sets.(i) <- Combinat.sample_up_to rng order k
+    done;
+    let chunk = Stdlib.max 1 (trials / (domains * 8)) in
+    let nblocks = (trials + chunk - 1) / chunk in
+    let blocks = Array.init nblocks (fun b -> b * chunk) in
+    let enum_block start ~skip_above check =
+      if start <= skip_above then
+        for i = start to Stdlib.min (start + chunk - 1) (trials - 1) do
+          let buf = sets.(i) in
+          check i buf (Array.length buf)
+        done
+    in
+    run_sharded ?budget ~max_failures ~domains ~total:trials inst blocks
+      enum_block
+end

@@ -1,0 +1,119 @@
+(** The engine layer: reusable solver state, fault-plan caching, and
+    multicore verification.
+
+    {b Why it exists.}  Everything expensive in this repository reduces to
+    "solve the reconfiguration problem for one fault set", repeated at
+    scale: exhaustive verification enumerates [C(order, <=k)] fault sets,
+    certification witnesses each of them, the simulator re-solves on every
+    mid-run fault, and the adversarial search probes thousands of candidate
+    sets.  The seed implementation re-ran {!Gdpn_core.Reconfig.solve} from
+    scratch each time, allocating fresh search state per call and using one
+    core.  The engine fixes all three axes:
+
+    - {b ctx reuse} — one {!Gdpn_core.Reconfig.make_ctx} per engine; the
+      backtracker's bitsets and degree scratch are allocated once;
+    - {b fault-plan cache} — solved outcomes are cached under the canonical
+      fault-mask key ({!Gdpn_graph.Bitset.to_key}).  On a miss the engine
+      first tries to {e splice} a plan from a cached one-fault-smaller
+      predecessor ({!Gdpn_core.Repair.patch}) — cheap local repair first,
+      global re-solve second, mirroring the paper's §4 reconfiguration
+      discussion;
+    - {b domain sharding} ({!Parallel}) — fault-space enumeration fanned
+      out over OCaml 5 domains with per-domain ctxs and deterministic
+      result merging.
+
+    An [Engine.t] is {e not} domain-safe; {!Parallel} builds per-domain
+    state internally. *)
+
+type t
+
+type stats = {
+  mutable lookups : int;  (** cached-solve calls *)
+  mutable cache_hits : int;  (** answered from the plan cache *)
+  mutable splices : int;  (** derived from a cached predecessor plan *)
+  mutable full_solves : int;  (** full strategy-solver runs *)
+}
+
+val create : ?budget:int -> ?cache_limit:int -> Gdpn_core.Instance.t -> t
+(** [budget] bounds solver expansions per solve (default 2_000_000);
+    [cache_limit] bounds retained plans (default 65536 — beyond it the
+    engine keeps solving correctly but stops inserting). *)
+
+val instance : t -> Gdpn_core.Instance.t
+val budget : t -> int
+
+val solve :
+  ?cache:bool -> t -> faults:Gdpn_graph.Bitset.t -> Gdpn_core.Reconfig.outcome
+(** Like {!Gdpn_core.Reconfig.solve} but through the engine: plan cache,
+    splice-before-solve, ctx reuse.  [~cache:false] bypasses lookup,
+    splice and insertion (still reuses the ctx) — verification uses this so
+    its verdicts are exactly the plain solver's.  Spliced witnesses are
+    revalidated by {!Gdpn_core.Repair.patch} before being returned, so a
+    [Pipeline] outcome is always genuine. *)
+
+val solve_list :
+  ?cache:bool -> t -> faults:int list -> Gdpn_core.Reconfig.outcome
+
+val stats : t -> stats
+val cache_size : t -> int
+
+val reset : t -> unit
+(** Drop all cached plans and zero the counters. *)
+
+val verify_exhaustive :
+  ?max_failures:int -> ?universe:int list -> t -> Gdpn_core.Verify.report
+(** {!Gdpn_core.Verify.exhaustive} through the engine's ctx (uncached
+    checks; see {!solve}). *)
+
+val verify_sampled :
+  seed:int -> trials:int -> ?max_failures:int -> t -> Gdpn_core.Verify.report
+(** {!Gdpn_core.Verify.sampled} through the engine's ctx.  The RNG is
+    derived from the explicit [seed] alone — never from instance
+    parameters, which would correlate the fault-sample sequences of
+    same-order instances. *)
+
+val certify : t -> string
+(** {!Gdpn_core.Certify.generate} through the cached solver: witnesses for
+    size-[s] fault sets are spliced from their cached size-[s-1]
+    predecessors whenever the local patch applies. *)
+
+val attack : rng:Random.State.t -> ?restarts:int -> t -> Gdpn_core.Attack.finding
+(** {!Gdpn_core.Attack.worst_case} on this engine's instance (the attack
+    probes measure the {e generic} solver and manage their own ctx). *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** Multicore verification: shard the fault-space enumeration over OCaml 5
+    domains.  Reports are {e byte-identical} to the sequential
+    {!Gdpn_core.Verify} paths: every fault set is tagged with its global
+    rank in the sequential enumeration order, each domain keeps only its
+    lowest-ranked failures, and the merge reproduces the sequential
+    failure list, early-stop count and gave-up tally exactly. *)
+module Parallel : sig
+  val default_domains : unit -> int
+  (** [GDPN_DOMAINS] when set to a positive integer, otherwise
+      [Domain.recommended_domain_count () - 1], at least 1. *)
+
+  val verify_exhaustive :
+    ?budget:int ->
+    ?max_failures:int ->
+    ?domains:int ->
+    Gdpn_core.Instance.t ->
+    Gdpn_core.Verify.report
+  (** Check every fault set of size [0..k].  The space is split into
+      (size, first-element) blocks with precomputed base ranks, drained
+      through an atomic work counter by [domains] workers (the calling
+      domain included), each with a private solver ctx. *)
+
+  val verify_sampled :
+    seed:int ->
+    trials:int ->
+    ?budget:int ->
+    ?max_failures:int ->
+    ?domains:int ->
+    Gdpn_core.Instance.t ->
+    Gdpn_core.Verify.report
+  (** Sampled verification: the full trial sequence is drawn up front from
+      [seed] on one RNG (byte-identical to the sequential stream), then
+      only the solving is sharded. *)
+end

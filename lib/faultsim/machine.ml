@@ -1,8 +1,9 @@
 open Gdpn_core
 module Bitset = Gdpn_graph.Bitset
+module Engine = Gdpn_engine.Engine
 
 type t = {
-  inst : Instance.t;
+  engine : Engine.t;
   fault_mask : Bitset.t;
   local_repair : bool;
   mutable fault_list : int list;
@@ -15,19 +16,36 @@ type inject_result = Remapped of Pipeline.t | Unchanged | Lost
 
 let solver_budget = ref 2_000_000
 
+(* Solve the current mask through the engine.  With [local_repair] the
+   cached path applies: a plan for the predecessor mask is in the cache
+   from the previous remap, so most single faults are absorbed by a splice
+   instead of a search, and revisited masks are answered from the plan
+   cache outright.  Without it every call runs the full solver (the
+   B8/E14 ablation baseline) — still on the engine's reusable ctx. *)
 let resolve t =
-  match Reconfig.solve ~budget:!solver_budget t.inst ~faults:t.fault_mask with
+  let before = (Engine.stats t.engine).Engine.full_solves in
+  let outcome = Engine.solve ~cache:t.local_repair t.engine ~faults:t.fault_mask in
+  let solved_fully = (Engine.stats t.engine).Engine.full_solves > before in
+  match outcome with
   | Reconfig.Pipeline p ->
     t.current <- Some p;
-    Some p
+    (Some p, not solved_fully)
   | Reconfig.No_pipeline | Reconfig.Gave_up ->
     t.current <- None;
-    None
+    (None, not solved_fully)
 
-let create ?(local_repair = true) inst =
+let create ?engine ?(local_repair = true) inst =
+  let engine =
+    match engine with
+    | Some e ->
+      if Engine.instance e != inst then
+        invalid_arg "Machine.create: engine built for a different instance";
+      e
+    | None -> Engine.create ~budget:!solver_budget inst
+  in
   let t =
     {
-      inst;
+      engine;
       fault_mask = Bitset.create (Instance.order inst);
       local_repair;
       fault_list = [];
@@ -39,7 +57,8 @@ let create ?(local_repair = true) inst =
   ignore (resolve t);
   t
 
-let instance t = t.inst
+let instance t = Engine.instance t.engine
+let engine t = t.engine
 let fault_count t = List.length t.fault_list
 let faults t = List.rev t.fault_list
 let remap_count t = t.remaps
@@ -49,7 +68,7 @@ let healthy_processor_count t =
   List.length
     (List.filter
        (fun p -> not (Bitset.mem t.fault_mask p))
-       (Instance.processors t.inst))
+       (Instance.processors (instance t)))
 
 let used_processor_count t =
   match t.current with None -> 0 | Some p -> Pipeline.processor_count p
@@ -61,32 +80,19 @@ let utilization t =
 
 let local_repair_count t = t.local_repairs
 
+let plan_cache_hits t = (Engine.stats t.engine).Engine.cache_hits
+
 let inject t node =
-  if node < 0 || node >= Instance.order t.inst then
+  if node < 0 || node >= Instance.order (instance t) then
     invalid_arg "Machine.inject: node out of range";
   if Bitset.mem t.fault_mask node then Unchanged
   else begin
     Bitset.add t.fault_mask node;
     t.fault_list <- node :: t.fault_list;
     t.remaps <- t.remaps + 1;
-    match t.current with
-    | None -> ( match resolve t with Some p -> Remapped p | None -> Lost)
-    | Some _ when not t.local_repair -> (
-      match resolve t with Some p -> Remapped p | None -> Lost)
-    | Some current -> (
-      (* Try the O(degree) local patch before the full solver. *)
-      match
-        Repair.repair ~budget:!solver_budget t.inst ~current
-          ~faults:t.fault_mask ~failed:node
-      with
-      | Repair.Unchanged p | Repair.Spliced p ->
-        t.local_repairs <- t.local_repairs + 1;
-        t.current <- Some p;
-        Remapped p
-      | Repair.Resolved p ->
-        t.current <- Some p;
-        Remapped p
-      | Repair.Lost ->
-        t.current <- None;
-        Lost)
+    match resolve t with
+    | Some p, local ->
+      if local then t.local_repairs <- t.local_repairs + 1;
+      Remapped p
+    | None, _ -> Lost
   end

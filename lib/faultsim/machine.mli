@@ -1,10 +1,14 @@
 (** Network state: a solution-graph instance, its accumulated faults, and
     the currently embedded pipeline.
 
-    Injecting a fault triggers reconfiguration ({!Gdpn_core.Reconfig}); the
-    machine records whether a pipeline could be re-embedded and how many
-    remaps have happened.  A machine whose fault count exceeds [k] may
-    legitimately lose its pipeline. *)
+    Injecting a fault triggers reconfiguration through the engine layer
+    ({!Gdpn_engine.Engine}): the plan for the predecessor fault mask is in
+    the engine's cache from the previous remap, so most single faults are
+    absorbed by an O(degree) splice, revisited masks are answered from the
+    plan cache outright, and only genuinely new situations run the full
+    strategy solver.  The machine records whether a pipeline could be
+    re-embedded and how many remaps have happened.  A machine whose fault
+    count exceeds [k] may legitimately lose its pipeline. *)
 
 type t
 
@@ -13,13 +17,21 @@ type inject_result =
   | Unchanged  (** node already faulty: no-op *)
   | Lost  (** no pipeline exists any more *)
 
-val create : ?local_repair:bool -> Gdpn_core.Instance.t -> t
+val create :
+  ?engine:Gdpn_engine.Engine.t -> ?local_repair:bool -> Gdpn_core.Instance.t -> t
 (** Fresh machine with no faults and the initial pipeline embedded.
-    [local_repair] (default true) enables the O(degree) splice path in
-    {!inject}; disable it to force full reconfiguration on every fault
-    (the B8/E14 ablation baseline). *)
+    [engine] reuses an existing engine (and its warm plan cache) instead of
+    building a fresh one — it must wrap the same instance.  [local_repair]
+    (default true) enables the cached path in {!inject} (plan cache plus
+    O(degree) splice); disable it to force full reconfiguration on every
+    fault (the B8/E14 ablation baseline). *)
 
 val instance : t -> Gdpn_core.Instance.t
+
+val engine : t -> Gdpn_engine.Engine.t
+(** The engine this machine solves through (shared when [create ?engine]
+    was used). *)
+
 val fault_count : t -> int
 val faults : t -> int list
 val remap_count : t -> int
@@ -43,8 +55,12 @@ val inject : t -> int -> inject_result
     ({!Gdpn_core.Repair}), then the full strategy solver. *)
 
 val local_repair_count : t -> int
-(** How many injections were absorbed by a local splice instead of a full
-    reconfiguration. *)
+(** How many injections were absorbed without a full strategy-solver run —
+    by a plan-cache hit or a local splice. *)
+
+val plan_cache_hits : t -> int
+(** Fault masks answered from the engine's plan cache (counts across every
+    machine sharing this engine). *)
 
 val solver_budget : int ref
 (** Expansion budget handed to the reconfiguration solver (exposed so

@@ -5,6 +5,8 @@ type metrics = {
   throughput : float;
   mean_utilization : float;
   remaps : int;
+  local_repairs : int;
+  plan_cache_hits : int;
   stages_migrated : int;
   pipeline_lost : bool;
   output_checksum : float;
@@ -149,6 +151,8 @@ let run ~machine ~stages ~source ~frame_length ~rounds ?(schedule = [])
        else 1000.0 *. float_of_int fp /. float_of_int !total_work);
     mean_utilization = (if fp = 0 then 0.0 else !util_sum /. float_of_int fp);
     remaps = Machine.remap_count machine;
+    local_repairs = Machine.local_repair_count machine;
+    plan_cache_hits = Machine.plan_cache_hits machine;
     stages_migrated = !migrated;
     pipeline_lost = !lost;
     output_checksum = !checksum;
@@ -156,7 +160,8 @@ let run ~machine ~stages ~source ~frame_length ~rounds ?(schedule = [])
 
 let pp_metrics ppf m =
   Format.fprintf ppf
-    "frames=%d/%d work=%d throughput=%.3f util=%.3f remaps=%d migrated=%d%s"
+    "frames=%d/%d work=%d throughput=%.3f util=%.3f remaps=%d local=%d \
+     cached=%d migrated=%d%s"
     m.frames_processed m.rounds m.total_work m.throughput m.mean_utilization
-    m.remaps m.stages_migrated
+    m.remaps m.local_repairs m.plan_cache_hits m.stages_migrated
     (if m.pipeline_lost then " LOST" else "")

@@ -18,6 +18,10 @@ type metrics = {
   throughput : float;  (** frames per 1000 work units *)
   mean_utilization : float;  (** averaged over processed frames *)
   remaps : int;
+  local_repairs : int;
+      (** remaps absorbed by the engine's cached path (plan-cache hit or
+          local splice) instead of a full solver run *)
+  plan_cache_hits : int;  (** fault masks answered from the plan cache *)
   stages_migrated : int;
       (** stages whose hosting processor changed across remaps — the state
           that would have to move over the network in a real system *)

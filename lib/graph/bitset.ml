@@ -13,19 +13,6 @@ let create capacity =
 
 let capacity t = t.capacity
 
-let full capacity =
-  let t = create capacity in
-  let nw = Array.length t.words in
-  for w = 0 to nw - 1 do
-    t.words.(w) <- -1 lsr (Sys.int_size - bits_per_word)
-  done;
-  (* Mask off the tail beyond [capacity]. *)
-  let used_in_last = capacity - (nw - 1) * bits_per_word in
-  if used_in_last < bits_per_word then
-    t.words.(nw - 1) <- t.words.(nw - 1) land ((1 lsl used_in_last) - 1);
-  if capacity = 0 then t.words.(0) <- 0;
-  t
-
 let copy t = { t with words = Array.copy t.words }
 
 let blit ~src ~dst =
@@ -49,6 +36,21 @@ let remove t i =
   t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
 
 let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let fill t =
+  let nw = Array.length t.words in
+  for w = 0 to nw - 1 do
+    t.words.(w) <- -1 lsr (Sys.int_size - bits_per_word)
+  done;
+  let used_in_last = t.capacity - ((nw - 1) * bits_per_word) in
+  if used_in_last < bits_per_word then
+    t.words.(nw - 1) <- t.words.(nw - 1) land ((1 lsl used_in_last) - 1);
+  if t.capacity = 0 then t.words.(0) <- 0
+
+let full capacity =
+  let t = create capacity in
+  fill t;
+  t
 
 let popcount x =
   let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
@@ -117,6 +119,29 @@ let choose t =
     iter (fun i -> raise (Found i)) t;
     None
   with Found i -> Some i
+
+let compare a b =
+  assert (a.capacity = b.capacity);
+  let nw = Array.length a.words in
+  let rec go w =
+    if w = nw then 0
+    else
+      let c = Stdlib.compare a.words.(w) b.words.(w) in
+      if c <> 0 then c else go (w + 1)
+  in
+  go 0
+
+let hash t = Hashtbl.hash t.words
+
+let to_key t =
+  (* 8 bytes per word, little-endian: a canonical, allocation-cheap string
+     key for hash tables (equal sets over equal capacities get equal keys). *)
+  let nw = Array.length t.words in
+  let b = Bytes.create (nw * 8) in
+  for w = 0 to nw - 1 do
+    Bytes.set_int64_le b (w * 8) (Int64.of_int t.words.(w))
+  done;
+  Bytes.unsafe_to_string b
 
 let count_common a b =
   assert (a.capacity = b.capacity);

@@ -27,6 +27,11 @@ val add : t -> int -> unit
 val remove : t -> int -> unit
 val clear : t -> unit
 
+val fill : t -> unit
+(** In-place version of {!full}: make [t] contain every element of its
+    universe without allocating.  Solver contexts use [fill] + {!diff_into}
+    to rebuild alive sets between calls. *)
+
 val cardinal : t -> int
 (** Number of elements, computed by popcount over the words. *)
 
@@ -64,5 +69,17 @@ val choose : t -> int option
 
 val count_common : t -> t -> int
 (** [count_common a b] is [cardinal (a ∩ b)] without allocating. *)
+
+val compare : t -> t -> int
+(** Total order on equal-capacity sets (word-lexicographic); suitable for
+    [Map]/[Set] keys and deterministic result merging. *)
+
+val hash : t -> int
+(** Structural hash consistent with {!equal}. *)
+
+val to_key : t -> string
+(** Canonical byte-string key of the contents: equal sets (over equal
+    capacities) produce equal keys.  Used by the engine's fault-plan cache
+    to key solved fault masks. *)
 
 val pp : Format.formatter -> t -> unit

@@ -6,10 +6,35 @@ exception Out_of_budget
    - [remaining]: alive nodes not yet on the path (excludes the head);
    - [trail]: the path so far, head first (reversed at the end);
    - [rem_deg]: for each remaining node, its number of remaining neighbours,
-     updated incrementally when the head moves. *)
+     updated incrementally when the head moves.
 
-let search ~budget ~expansions:expansions_out g ~alive ~starts ~ends =
+   All of that state lives in a [ctx] so repeated solves over the same
+   graph order reuse the bitsets and arrays instead of reallocating them
+   (the engine layer keeps one ctx per instance, and one per domain when
+   verifying in parallel). *)
+
+type ctx = {
+  cap : int;  (** graph order the scratch is sized for *)
+  remaining : Bitset.t;
+  seen : Bitset.t;  (** connectivity-prune scratch *)
+  pool : Bitset.t;  (** start/end candidate scratch *)
+  rem_deg : int array;
+}
+
+let make_ctx cap =
+  {
+    cap;
+    remaining = Bitset.create cap;
+    seen = Bitset.create cap;
+    pool = Bitset.create cap;
+    rem_deg = Array.make (max 1 cap) 0;
+  }
+
+let ctx_capacity ctx = ctx.cap
+
+let search ctx ~budget ~expansions:expansions_out g ~alive ~starts ~ends =
   let n = Graph.order g in
+  if ctx.cap <> n then invalid_arg "Hamilton.search: ctx capacity mismatch";
   let total = Bitset.cardinal alive in
   if total = 0 then No_path
   else begin
@@ -21,8 +46,8 @@ let search ~budget ~expansions:expansions_out g ~alive ~starts ~ends =
       | Some b when !expansions > b -> raise Out_of_budget
       | _ -> ()
     in
-    let remaining = Bitset.create n in
-    let rem_deg = Array.make n 0 in
+    let remaining = ctx.remaining in
+    let rem_deg = ctx.rem_deg in
     let ends_remaining = ref 0 in
 
     let init_from start =
@@ -78,7 +103,8 @@ let search ~budget ~expansions:expansions_out g ~alive ~starts ~ends =
         else begin
           (* Connectivity: every remaining node reachable from the head
              through remaining nodes. *)
-          let seen = Bitset.create n in
+          let seen = ctx.seen in
+          Bitset.clear seen;
           let stack = ref [] in
           Graph.iter_neighbours g head (fun u ->
               if Bitset.mem remaining u && not (Bitset.mem seen u) then begin
@@ -129,9 +155,9 @@ let search ~budget ~expansions:expansions_out g ~alive ~starts ~ends =
     in
 
     let start_candidates =
-      let s = Bitset.copy starts in
-      Bitset.inter_into s alive;
-      Bitset.elements s
+      Bitset.blit ~src:starts ~dst:ctx.pool;
+      Bitset.inter_into ctx.pool alive;
+      Bitset.elements ctx.pool
     in
     try
       List.iter
@@ -145,35 +171,38 @@ let search ~budget ~expansions:expansions_out g ~alive ~starts ~ends =
     | Out_of_budget -> Budget_exceeded
   end
 
-let spanning_path ?budget ?expansions g ~alive ~starts ~ends =
+let solve_into ?budget ?expansions ctx g ~alive ~starts ~ends =
   (* Start from the smaller candidate pool: a spanning path reversed swaps
      the roles of [starts] and [ends]. *)
   let count set =
-    let s = Bitset.copy set in
-    Bitset.inter_into s alive;
-    Bitset.cardinal s
+    Bitset.count_common set alive
   in
   if count ends < count starts then
-    match search ~budget ~expansions g ~alive ~starts:ends ~ends:starts with
+    match search ctx ~budget ~expansions g ~alive ~starts:ends ~ends:starts with
     | Path p -> Path (List.rev p)
     | (No_path | Budget_exceeded) as r -> r
-  else search ~budget ~expansions g ~alive ~starts ~ends
+  else search ctx ~budget ~expansions g ~alive ~starts ~ends
 
-let spanning_cycle ?budget g ~alive =
+let spanning_path ?budget ?expansions g ~alive ~starts ~ends =
+  solve_into ?budget ?expansions (make_ctx (Graph.order g)) g ~alive ~starts
+    ~ends
+
+let spanning_cycle ?budget ?ctx g ~alive =
   match Bitset.choose alive with
   | None -> No_path
   | Some start ->
     if Bitset.cardinal alive <= 2 then No_path
     else begin
       let n = Graph.order g in
+      let ctx = match ctx with Some c -> c | None -> make_ctx n in
       let starts = Bitset.create n in
       Bitset.add starts start;
       let ends = Bitset.create n in
       Graph.iter_neighbours g start (fun u ->
           if Bitset.mem alive u then Bitset.add ends u);
-      (* [search] (not [spanning_path]): the pool-swap optimisation would
+      (* [search] (not [solve_into]): the pool-swap optimisation would
          move the anchored start. *)
-      search ~budget ~expansions:None g ~alive ~starts ~ends
+      search ctx ~budget ~expansions:None g ~alive ~starts ~ends
     end
 
 let spanning_path_exists ?budget g ~alive ~starts ~ends =

@@ -21,6 +21,33 @@ type result =
   | No_path  (** Proven absence: the search space was exhausted. *)
   | Budget_exceeded  (** Expansion budget ran out before a conclusion. *)
 
+type ctx
+(** Reusable search state: the [remaining]/[seen]/candidate bitsets and the
+    per-node degree scratch, preallocated for one graph order.  A ctx makes
+    repeated solves allocation-free in the solver's hot state; it holds no
+    result, so it can be reused across arbitrary [alive]/[starts]/[ends]
+    combinations of the same order.  Not domain-safe: use one ctx per
+    domain. *)
+
+val make_ctx : int -> ctx
+(** [make_ctx order] preallocates scratch for graphs of the given order. *)
+
+val ctx_capacity : ctx -> int
+(** The graph order the ctx was sized for. *)
+
+val solve_into :
+  ?budget:int ->
+  ?expansions:int ref ->
+  ctx ->
+  Graph.t ->
+  alive:Bitset.t ->
+  starts:Bitset.t ->
+  ends:Bitset.t ->
+  result
+(** {!spanning_path} through a caller-owned ctx: identical results, no
+    scratch allocation.  Raises [Invalid_argument] when the ctx capacity
+    differs from the graph order. *)
+
 val spanning_path :
   ?budget:int ->
   ?expansions:int ref ->
@@ -47,7 +74,7 @@ val spanning_path_exists :
 (** Convenience wrapper; [Budget_exceeded] maps to [false]. *)
 
 val spanning_cycle :
-  ?budget:int -> Graph.t -> alive:Bitset.t -> result
+  ?budget:int -> ?ctx:ctx -> Graph.t -> alive:Bitset.t -> result
 (** A cycle visiting every alive node exactly once (returned as the node
     sequence without repeating the closing node; the last node is adjacent
     to the first).  Reduces to {!spanning_path}: fix the smallest alive
