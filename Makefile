@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench bench-smoke clean
 
 all: build
 
@@ -9,12 +9,21 @@ test:
 	dune runtest
 
 # The tier-1 gate plus a multicore engine smoke: exhaustively verify
-# G(8,2) (137 fault sets) through Engine.Parallel on two domains.
+# G(8,2) (137 fault sets) through Engine.Parallel on two domains, then
+# cross-check orbit-reduced verification against full enumeration
+# (verdict, counts and orbit-expanded failure sets must agree).
 check: build test
 	GDPN_DOMAINS=2 dune exec bin/gdp.exe -- verify -n 8 -k 2
+	GDPN_DOMAINS=2 dune exec bin/gdp.exe -- verify -n 8 -k 2 --symmetry --crosscheck
 
 bench:
 	dune exec bench/main.exe
+
+# Fast bench sanity: just the B12 symmetry group, with the JSON emitter
+# (the committed BENCH_PR2.json is regenerated the same way, minus the
+# temp path).
+bench-smoke:
+	dune exec bench/main.exe -- --only B12 --json /tmp/gdpn-bench-smoke.json
 
 clean:
 	dune clean

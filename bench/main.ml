@@ -488,58 +488,300 @@ let b11_engine =
                (Engine.Parallel.verify_exhaustive ~domains:nd g43)));
     ]
 
-let all_benches =
-  Test.make_grouped ~name:"gdpn"
+let b12_symmetry =
+  (* Orbit-reduced vs full exhaustive verification (PR 2).  The timed
+     orbit rows pay the whole symmetry path except the group computation
+     itself (a few ms, one-off per instance in practice): orbit
+     enumeration plus one solve per representative.  G(3,5)'s group has
+     order 32 (16 label automorphisms × the input/output reversal); the
+     circulant's solution graph keeps only the reversal (the ring's
+     rotations do not survive the terminal attachments), so its honest
+     ceiling is 2×.  The trivial-group rows measure the degradation
+     guarantee: G(3,2) has no symmetry at all, and the [~symmetry]
+     argument must cost within noise of the plain path. *)
+  let g35 = Small_n.g3 ~k:5 in
+  let g35_sym = Instance.symmetry g35 in
+  let circ = Circulant_family.build ~n:22 ~k:4 in
+  let circ_sym = Instance.symmetry circ in
+  let triv = Small_n.g3 ~k:2 in
+  let triv_sym = Instance.symmetry triv in
+  Test.make_grouped ~name:"B12-symmetry"
     [
-      b1_construction;
-      b2_reconfig_small_k;
-      b3_reconfig_circulant;
-      b4_verification;
-      b5_simulator;
-      b6_baselines;
-      b7_ablation;
-      b8_repair;
-      b9_link_faults;
-      b10_des;
-      b11_engine;
+      Test.make ~name:"group computation G(3,5)"
+        (Staged.stage (fun () -> Sys.opaque_identity (Instance.symmetry g35)));
+      Test.make ~name:"G(3,5) exhaustive, full"
+        (Staged.stage (fun () -> Sys.opaque_identity (Verify.exhaustive g35)));
+      Test.make ~name:"G(3,5) exhaustive, orbit-reduced"
+        (Staged.stage (fun () ->
+             Sys.opaque_identity (Verify.exhaustive ~symmetry:g35_sym g35)));
+      Test.make ~name:"G(22,4) circulant exhaustive, full"
+        (Staged.stage (fun () -> Sys.opaque_identity (Verify.exhaustive circ)));
+      Test.make ~name:"G(22,4) circulant exhaustive, orbit-reduced"
+        (Staged.stage (fun () ->
+             Sys.opaque_identity (Verify.exhaustive ~symmetry:circ_sym circ)));
+      Test.make ~name:"G(3,2) trivial group, plain path"
+        (Staged.stage (fun () -> Sys.opaque_identity (Verify.exhaustive triv)));
+      Test.make ~name:"G(3,2) trivial group, symmetry fallback"
+        (Staged.stage (fun () ->
+             Sys.opaque_identity (Verify.exhaustive ~symmetry:triv_sym triv)));
     ]
 
-let run_benchmarks () =
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+let groups =
+  [
+    ("B1-construction", b1_construction);
+    ("B2-reconfig-small-k", b2_reconfig_small_k);
+    ("B3-reconfig-circulant", b3_reconfig_circulant);
+    ("B4-verification", b4_verification);
+    ("B5-simulator", b5_simulator);
+    ("B6-baselines", b6_baselines);
+    ("B7-ablation-constructive-vs-generic", b7_ablation);
+    ("B8-repair-vs-resolve", b8_repair);
+    ("B9-link-faults", b9_link_faults);
+    ("B10-discrete-event", b10_des);
+    ("B11-engine", b11_engine);
+    ("B12-symmetry", b12_symmetry);
+  ]
+
+type row = {
+  row_name : string;
+  ns_per_run : float option;
+  minor_words_per_run : float option;
+  r2 : float option;
+}
+
+let estimate r =
+  match Analyze.OLS.estimates r with Some (t :: _) -> Some t | _ -> None
+
+let run_benchmarks ?(only = "") () =
+  let selected =
+    List.filter
+      (fun (name, _) ->
+        String.length only <= String.length name
+        && String.sub name 0 (String.length only) = only)
+      groups
   in
-  let instances = Toolkit.Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None
-      ~stabilize:false ()
-  in
-  let raw = Benchmark.all cfg instances all_benches in
-  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
-  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
-  pf "@.--- Microbenchmarks (monotonic clock per run) ---@.";
-  pf "%-64s %14s %8s@." "benchmark" "time/run" "r²";
-  List.iter
-    (fun (name, r) ->
-      let time =
-        match Analyze.OLS.estimates r with
-        | Some (t :: _) ->
-          if t > 1e9 then Printf.sprintf "%.3f s" (t /. 1e9)
-          else if t > 1e6 then Printf.sprintf "%.3f ms" (t /. 1e6)
-          else if t > 1e3 then Printf.sprintf "%.3f µs" (t /. 1e3)
-          else Printf.sprintf "%.1f ns" t
-        | Some [] | None -> "n/a"
-      in
-      let r2 =
-        match Analyze.OLS.r_square r with
-        | Some v -> Printf.sprintf "%.4f" v
-        | None -> "-"
-      in
-      pf "%-64s %14s %8s@." name time r2)
+  if selected = [] then begin
+    pf "no benchmark group matches prefix %S; groups:@." only;
+    List.iter (fun (name, _) -> pf "  %s@." name) groups;
+    []
+  end
+  else begin
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances =
+      Toolkit.Instance.[ monotonic_clock; minor_allocated ]
+    in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None
+        ~stabilize:false ()
+    in
+    let raw =
+      Benchmark.all cfg instances
+        (Test.make_grouped ~name:"gdpn" (List.map snd selected))
+    in
+    let times = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+    let allocs = Analyze.all ols Toolkit.Instance.minor_allocated raw in
+    let rows =
+      Hashtbl.fold
+        (fun name r acc ->
+          {
+            row_name = name;
+            ns_per_run = estimate r;
+            minor_words_per_run =
+              Option.bind (Hashtbl.find_opt allocs name) estimate;
+            r2 = Analyze.OLS.r_square r;
+          }
+          :: acc)
+        times []
+    in
+    let rows =
+      List.sort (fun a b -> compare a.row_name b.row_name) rows
+    in
+    pf "@.--- Microbenchmarks (monotonic clock / minor words per run) ---@.";
+    pf "%-64s %14s %14s %8s@." "benchmark" "time/run" "minor w/run" "r²";
+    List.iter
+      (fun row ->
+        let time =
+          match row.ns_per_run with
+          | Some t ->
+            if t > 1e9 then Printf.sprintf "%.3f s" (t /. 1e9)
+            else if t > 1e6 then Printf.sprintf "%.3f ms" (t /. 1e6)
+            else if t > 1e3 then Printf.sprintf "%.3f µs" (t /. 1e3)
+            else Printf.sprintf "%.1f ns" t
+          | None -> "n/a"
+        in
+        let words =
+          match row.minor_words_per_run with
+          | Some w when w >= 1e6 -> Printf.sprintf "%.2fM" (w /. 1e6)
+          | Some w when w >= 1e3 -> Printf.sprintf "%.1fk" (w /. 1e3)
+          | Some w -> Printf.sprintf "%.1f" w
+          | None -> "n/a"
+        in
+        let r2 =
+          match row.r2 with
+          | Some v -> Printf.sprintf "%.4f" v
+          | None -> "-"
+        in
+        pf "%-64s %14s %14s %8s@." row.row_name time words r2)
+      rows;
     rows
+  end
+
+(* ------------------------------------------------------------------ *)
+(* B12 companion: solver-call counts (exact, measured once)            *)
+(* ------------------------------------------------------------------ *)
+
+type sym_stat = {
+  stat_name : string;
+  nodes : int;
+  stat_k : int;
+  group_order : int;
+  fault_sets : int;
+  full_calls : int;
+  orbit_calls : int;
+  verdicts_equal : bool;
+}
+
+let symmetry_stats () =
+  let module Auto = Gdpn_graph.Auto in
+  List.map
+    (fun (name, inst) ->
+      let sym = Instance.symmetry inst in
+      let full = Verify.exhaustive inst in
+      let orbit = Verify.exhaustive ~symmetry:sym inst in
+      {
+        stat_name = name;
+        nodes = Instance.order inst;
+        stat_k = inst.Instance.k;
+        group_order = Auto.order sym;
+        fault_sets = full.Verify.fault_sets_checked;
+        full_calls = full.Verify.solver_calls;
+        orbit_calls = orbit.Verify.solver_calls;
+        verdicts_equal = Verify.is_k_gd full = Verify.is_k_gd orbit;
+      })
+    [
+      ("G(1,5)", Small_n.g1 ~k:5);
+      ("G(2,5)", Small_n.g2 ~k:5);
+      ("G(3,5)", Small_n.g3 ~k:5);
+      ("circulant G(22,4)", Circulant_family.build ~n:22 ~k:4);
+      ("G(3,2) trivial", Small_n.g3 ~k:2);
+    ]
+
+let print_symmetry_stats stats =
+  pf "@.--- B12 companion: solver calls, full vs orbit-reduced ---@.";
+  pf "%-20s %6s %4s %8s %10s %10s %10s %8s@." "instance" "nodes" "k"
+    "|group|" "sets" "full" "orbit" "ratio";
+  List.iter
+    (fun s ->
+      pf "%-20s %6d %4d %8d %10d %10d %10d %7.2fx@." s.stat_name s.nodes
+        s.stat_k s.group_order s.fault_sets s.full_calls s.orbit_calls
+        (float_of_int s.full_calls /. float_of_int (max 1 s.orbit_calls)))
+    stats
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission (hand-rolled: no JSON dependency in the image)        *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float = function
+  | Some f when Float.is_finite f -> Printf.sprintf "%.6g" f
+  | Some _ | None -> "null"
+
+let write_json ~path rows stats =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"pr\": 2,\n";
+  Buffer.add_string buf
+    "  \"config\": {\"quota_s\": 0.5, \"limit\": 2000, \"bootstrap\": 0},\n";
+  Buffer.add_string buf "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i row ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"ns_per_run\": %s, \
+            \"minor_words_per_run\": %s, \"r2\": %s}%s\n"
+           (json_escape row.row_name)
+           (json_float row.ns_per_run)
+           (json_float row.minor_words_per_run)
+           (json_float row.r2)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"symmetry_solver_calls\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"instance\": \"%s\", \"nodes\": %d, \"k\": %d, \
+            \"group_order\": %d, \"fault_sets\": %d, \"full_calls\": %d, \
+            \"orbit_calls\": %d, \"reduction\": %s, \"verdicts_equal\": %b}%s\n"
+           (json_escape s.stat_name) s.nodes s.stat_k s.group_order
+           s.fault_sets s.full_calls s.orbit_calls
+           (json_float
+              (Some
+                 (float_of_int s.full_calls
+                 /. float_of_int (max 1 s.orbit_calls))))
+           s.verdicts_equal
+           (if i = List.length stats - 1 then "" else ",")))
+    stats;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    "  \"notes\": \"Orbit-reduced exhaustive verification (PR 2). The \
+     circulant solution graph's only solvability-preserving symmetry is \
+     the input/output reversal (the ring rotations do not survive the \
+     labeled terminal attachments), so its solver-call reduction ceiling \
+     is 2x; clique-core families reach the group-order-bounded \
+     reductions.\"\n";
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  pf "wrote %s@." path
 
 let () =
-  pf "gdpn reproduction harness — tables and benchmarks@.";
-  tables ();
-  run_benchmarks ();
+  (* Modes: no args — tables then all benchmarks (the original harness);
+     [--only PREFIX] — skip tables, run matching benchmark groups;
+     [--json FILE] — skip tables, run benchmarks (filtered by --only if
+     given), compute the B12 solver-call stats, write machine-readable
+     rows to FILE. *)
+  let json_path = ref None in
+  let only = ref "" in
+  let rec parse = function
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse rest
+    | "--only" :: prefix :: rest ->
+      only := prefix;
+      parse rest
+    | [] -> ()
+    | arg :: _ ->
+      prerr_endline ("usage: main.exe [--json FILE] [--only PREFIX]; got " ^ arg);
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let bench_only = !json_path <> None || !only <> "" in
+  pf "gdpn reproduction harness — %s@."
+    (if bench_only then "benchmarks" else "tables and benchmarks");
+  if not bench_only then tables ();
+  let rows = run_benchmarks ~only:!only () in
+  (match !json_path with
+  | Some path ->
+    let stats = symmetry_stats () in
+    print_symmetry_stats stats;
+    write_json ~path rows stats
+  | None -> ());
   pf "@.done.@."

@@ -112,32 +112,98 @@ let verify_cmd =
                  GDPN_DOMAINS environment variable, else the recommended \
                  domain count).")
   in
-  let run n k merged sample domains seed =
+  let symmetry_arg =
+    Arg.(value & flag & info [ "symmetry" ]
+           ~doc:"Orbit-reduced exhaustive verification: compute the \
+                 instance's solvability-preserving symmetry group and solve \
+                 only one fault set per orbit.")
+  in
+  let crosscheck_arg =
+    Arg.(value & flag & info [ "crosscheck" ]
+           ~doc:"With --symmetry: additionally run the full enumeration and \
+                 compare verdicts, counts and (orbit-expanded) failure \
+                 sets.  Exits 3 on disagreement.")
+  in
+  let run n k merged sample domains seed symmetry crosscheck =
+    let module Auto = Gdpn_graph.Auto in
     let inst = build_instance n k merged in
     pf "%a@." Instance.pp inst;
     let d =
       match domains with Some d -> d | None -> Engine.Parallel.default_domains ()
     in
+    (* The merged transform restricts faults to processors; terminals are
+       fault-free in that model. *)
+    let universe = if merged then Some (Instance.processors inst) else None in
+    let group =
+      if symmetry then begin
+        let g = Instance.symmetry inst in
+        pf "symmetry: group order %d, %d generators%s@." (Auto.order g)
+          (List.length (Auto.generators g))
+          (if Auto.is_trivial g then
+             " — trivial group, using plain enumeration"
+           else "");
+        Some g
+      end
+      else None
+    in
     let report =
       match sample with
       | Some trials ->
+        if symmetry then
+          pf "note: --symmetry applies to exhaustive mode only@.";
         pf "sampled verification: seed=%d domains=%d@." seed d;
         Engine.Parallel.verify_sampled ~seed ~trials ~domains:d inst
       | None when merged ->
-        (* The merged transform restricts faults to processors; the sharded
-           enumerator covers all nodes, so keep the sequential path here. *)
-        Verify.exhaustive ~universe:(Instance.processors inst) inst
+        (* The sharded enumerator covers all nodes, so the restricted
+           universe keeps the sequential path here. *)
+        Verify.exhaustive ?universe ?symmetry:group inst
       | None ->
         pf "exhaustive verification: domains=%d@." d;
-        Engine.Parallel.verify_exhaustive ~domains:d inst
+        Engine.Parallel.verify_exhaustive ~domains:d ?symmetry:group inst
     in
     pf "%a@." Verify.pp_report report;
-    if Verify.is_k_gd report then 0 else 1
+    if report.Verify.solver_calls < report.Verify.fault_sets_checked then
+      pf "orbit reduction: %d solver calls covered %d fault sets (%.1fx \
+          fewer)@."
+        report.Verify.solver_calls report.Verify.fault_sets_checked
+        (float_of_int report.Verify.fault_sets_checked
+        /. float_of_int (max 1 report.Verify.solver_calls));
+    let crosscheck_failed =
+      match group with
+      | Some g when crosscheck && sample = None ->
+        let cap = 1_000_000 in
+        let full = Verify.exhaustive ~max_failures:cap ?universe inst in
+        let orb =
+          Verify.exhaustive ~max_failures:cap ?universe ~symmetry:g inst
+        in
+        let full_sets =
+          List.sort compare
+            (List.map
+               (fun f -> List.sort compare f.Verify.faults)
+               full.Verify.failures)
+        in
+        let orb_sets = Verify.expanded_failure_sets ~symmetry:g orb in
+        let agree =
+          Verify.is_k_gd full = Verify.is_k_gd orb
+          && full.Verify.fault_sets_checked = orb.Verify.fault_sets_checked
+          && full_sets = orb_sets
+        in
+        pf "crosscheck vs full enumeration: %s (full %d sets / orbit %d \
+            solver calls)@."
+          (if agree then "PASS" else "FAIL")
+          full.Verify.solver_calls orb.Verify.solver_calls;
+        not agree
+      | _ ->
+        if crosscheck then
+          pf "note: --crosscheck requires --symmetry and exhaustive mode@.";
+        false
+    in
+    if crosscheck_failed then 3 else if Verify.is_k_gd report then 0 else 1
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify k-graceful-degradability.")
     Term.(const run $ n_arg $ k_arg $ merged_arg $ sample_arg $ domains_arg
-          $ seed_arg)
+          $ seed_arg $ symmetry_arg $ crosscheck_arg)
 
 (* -------------------- table -------------------- *)
 

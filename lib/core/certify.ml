@@ -1,5 +1,6 @@
 module Bitset = Gdpn_graph.Bitset
 module Combinat = Gdpn_graph.Combinat
+module Auto = Gdpn_graph.Auto
 
 let digest inst = Digest.to_hex (Digest.string (Serial.to_string inst))
 
@@ -41,12 +42,252 @@ let generate ?solve inst =
                 (List.init len (fun i -> string_of_int set.(i))))));
   Buffer.contents buf
 
+(* Orbit-compressed certificates: the generators of the symmetry group,
+   then one witness per fault-set orbit with its declared orbit size.
+   The checker re-derives every orbit member itself and transports the
+   witness across, so the compression adds no trust in the generator. *)
+let generate_orbits ?solve ~symmetry inst =
+  if Auto.is_trivial symmetry then generate ?solve inst
+  else begin
+    let order = Instance.order inst in
+    if Auto.degree symmetry <> order then
+      invalid_arg "Certify.generate_orbits: symmetry degree <> order";
+    let k = inst.Instance.k in
+    let solve =
+      match solve with
+      | Some f -> f
+      | None ->
+        let ctx = Reconfig.make_ctx inst in
+        fun ~faults -> Reconfig.solve ~ctx inst ~faults
+    in
+    let reps = Auto.fault_orbits symmetry ~max_size:k in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "gdpn-cert 2\n";
+    Buffer.add_string buf (Printf.sprintf "instance %s\n" (digest inst));
+    Buffer.add_string buf
+      (Printf.sprintf "sets %d\n" (Combinat.count_up_to order k));
+    let gens = Auto.generators symmetry in
+    Buffer.add_string buf (Printf.sprintf "gens %d\n" (List.length gens));
+    List.iter
+      (fun p ->
+        Buffer.add_string buf
+          (Printf.sprintf "p %s\n"
+             (String.concat " "
+                (List.map string_of_int (Array.to_list p)))))
+      gens;
+    Buffer.add_string buf (Printf.sprintf "orbits %d\n" (Array.length reps));
+    let mask = Bitset.create order in
+    Array.iter
+      (fun { Auto.set; size } ->
+        Bitset.clear mask;
+        Array.iter (Bitset.add mask) set;
+        match solve ~faults:mask with
+        | Reconfig.Pipeline p ->
+          Buffer.add_string buf
+            (Printf.sprintf "w %s|%d|%s\n"
+               (String.concat ","
+                  (List.map string_of_int (Array.to_list set)))
+               size
+               (String.concat " " (List.map string_of_int p.Pipeline.nodes)))
+        | Reconfig.No_pipeline | Reconfig.Gave_up ->
+          failwith
+            (Printf.sprintf
+               "Certify.generate_orbits: fault set {%s} has no pipeline"
+               (String.concat ","
+                  (List.map string_of_int (Array.to_list set)))))
+      reps;
+    Buffer.contents buf
+  end
+
+(* v2 checking.  Soundness argument for completeness: every member the
+   checker derives is validated to be a subset of size <= k (sizes and
+   distinctness are preserved by the verified permutations), duplicates
+   across the whole certificate are rejected, and the grand total must
+   equal [count_up_to order k] — so by counting, the orbits cover every
+   fault set exactly once. *)
+let check_v2 inst rest =
+  let order = Instance.order inst in
+  let k = inst.Instance.k in
+  let expected = Combinat.count_up_to order k in
+  let parse_prefixed prefix line =
+    match String.split_on_char ' ' line with
+    | p :: n :: [] when p = prefix -> int_of_string_opt n
+    | _ -> None
+  in
+  (* Each generator must be solvability-preserving: a graph automorphism
+     that either preserves node kinds or swaps the input and output
+     classes wholesale (a reversal). *)
+  let kind_compatible p =
+    let preserves = ref true in
+    let reverses = ref true in
+    Array.iteri
+      (fun v img ->
+        let kv = Instance.kind_of inst v and ki = Instance.kind_of inst img in
+        if not (Label.equal kv ki) then preserves := false;
+        let swapped =
+          match kv with
+          | Label.Processor -> Label.equal ki Label.Processor
+          | Label.Input -> Label.equal ki Label.Output
+          | Label.Output -> Label.equal ki Label.Input
+        in
+        if not swapped then reverses := false)
+      p;
+    !preserves || !reverses
+  in
+  let exception Bad of string in
+  try
+    let sets_line, rest =
+      match rest with l :: r -> (l, r) | [] -> raise (Bad "truncated")
+    in
+    (match parse_prefixed "sets" sets_line with
+    | Some d when d = expected -> ()
+    | Some d ->
+      raise
+        (Bad
+           (Printf.sprintf "certificate declares %d fault sets, instance needs %d"
+              d expected))
+    | None -> raise (Bad (Printf.sprintf "bad sets line %S" sets_line)));
+    let ngens, rest =
+      match rest with
+      | l :: r -> (
+        match parse_prefixed "gens" l with
+        | Some n when n >= 0 -> (n, r)
+        | _ -> raise (Bad (Printf.sprintf "bad gens line %S" l)))
+      | [] -> raise (Bad "truncated")
+    in
+    let parse_perm line =
+      match String.split_on_char ' ' line with
+      | "p" :: imgs ->
+        let p = Array.of_list (List.filter_map int_of_string_opt imgs) in
+        if
+          Array.length p = order
+          && Auto.is_automorphism inst.Instance.graph p
+          && kind_compatible p
+        then p
+        else raise (Bad (Printf.sprintf "bad generator %S" line))
+      | _ -> raise (Bad (Printf.sprintf "bad generator line %S" line))
+    in
+    let rec take_gens n acc rest =
+      if n = 0 then (List.rev acc, rest)
+      else
+        match rest with
+        | l :: r -> take_gens (n - 1) (parse_perm l :: acc) r
+        | [] -> raise (Bad "truncated generator list")
+    in
+    let gens, rest = take_gens ngens [] rest in
+    let norbits, orbit_lines =
+      match rest with
+      | l :: r -> (
+        match parse_prefixed "orbits" l with
+        | Some n when n >= 0 -> (n, r)
+        | _ -> raise (Bad (Printf.sprintf "bad orbits line %S" l)))
+      | [] -> raise (Bad "truncated")
+    in
+    if List.length orbit_lines <> norbits then
+      raise
+        (Bad
+           (Printf.sprintf "certificate contains %d orbit lines, declares %d"
+              (List.length orbit_lines) norbits));
+    let seen = Hashtbl.create (2 * expected) in
+    let covered = ref 0 in
+    let mask = Bitset.create order in
+    let key_of set = String.concat "," (List.map string_of_int set) in
+    let validate_member name set nodes =
+      if List.exists (fun v -> v < 0 || v >= order) set then
+        raise (Bad (Printf.sprintf "%s: node out of range" name));
+      if List.length (List.sort_uniq compare set) <> List.length set then
+        raise (Bad (Printf.sprintf "%s: repeated fault" name));
+      if List.length set > k then
+        raise (Bad (Printf.sprintf "%s: more than k faults" name));
+      let key = key_of (List.sort compare set) in
+      if Hashtbl.mem seen key then
+        raise (Bad (Printf.sprintf "%s: fault set covered twice" name));
+      Hashtbl.replace seen key ();
+      incr covered;
+      Bitset.clear mask;
+      List.iter (Bitset.add mask) set;
+      match Pipeline.validate inst ~faults:mask nodes with
+      | Ok _ -> ()
+      | Error e ->
+        raise
+          (Bad
+             (Printf.sprintf "witness for {%s} invalid: %s"
+                (key_of (List.sort compare set))
+                e))
+    in
+    List.iter
+      (fun line ->
+        match String.split_on_char '|' line with
+        | [ left; size_s; nodes_s ]
+          when String.length left >= 2 && String.sub left 0 2 = "w " -> (
+          let faults_s = String.sub left 2 (String.length left - 2) in
+          let rep =
+            List.filter_map int_of_string_opt
+              (List.filter
+                 (fun s -> s <> "")
+                 (String.split_on_char ',' faults_s))
+          in
+          let nodes =
+            List.filter_map int_of_string_opt
+              (String.split_on_char ' ' nodes_s)
+          in
+          match int_of_string_opt size_s with
+          | None -> raise (Bad (Printf.sprintf "bad orbit size in %S" line))
+          | Some declared_size ->
+            (* BFS over the orbit, tracking the permutation that maps the
+               representative to each member so the witness can be
+               transported.  The pipeline definition admits both
+               orientations, so reversal images validate as-is. *)
+            let orbit_seen = Hashtbl.create 16 in
+            let queue = Queue.create () in
+            let identity = Array.init order Fun.id in
+            let sorted_img perm = List.sort compare (List.map (fun v -> perm.(v)) rep) in
+            Hashtbl.replace orbit_seen (key_of (List.sort compare rep)) ();
+            Queue.add identity queue;
+            let members = ref 0 in
+            while not (Queue.is_empty queue) do
+              let perm = Queue.pop queue in
+              incr members;
+              validate_member
+                (Printf.sprintf "orbit of {%s}" faults_s)
+                (List.map (fun v -> perm.(v)) rep)
+                (List.map (fun v -> perm.(v)) nodes);
+              List.iter
+                (fun g ->
+                  let composed = Array.map (fun v -> g.(v)) perm in
+                  let k2 = key_of (sorted_img composed) in
+                  if not (Hashtbl.mem orbit_seen k2) then begin
+                    Hashtbl.replace orbit_seen k2 ();
+                    Queue.add composed queue
+                  end)
+                gens
+            done;
+            if !members <> declared_size then
+              raise
+                (Bad
+                   (Printf.sprintf
+                      "orbit of {%s} has %d members, certificate declares %d"
+                      faults_s !members declared_size)))
+        | _ -> raise (Bad (Printf.sprintf "bad orbit line %S" line)))
+      orbit_lines;
+    if !covered <> expected then
+      raise
+        (Bad
+           (Printf.sprintf "orbits cover %d fault sets, instance needs %d"
+              !covered expected));
+    Ok expected
+  with Bad msg -> Error msg
+
 let check inst text =
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
   let lines =
     List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
   in
   match lines with
+  | "gdpn-cert 2" :: digest_line :: rest ->
+    if digest_line <> Printf.sprintf "instance %s" (digest inst) then
+      err "certificate is for a different instance"
+    else check_v2 inst rest
   | header :: digest_line :: sets_line :: witnesses -> (
     if header <> "gdpn-cert 1" then err "bad header %S" header
     else if digest_line <> Printf.sprintf "instance %s" (digest inst) then

@@ -19,7 +19,28 @@
     v}
 
     Certificates enumerate every fault set of size [0..k] in the standard
-    order, so completeness is checkable by counting. *)
+    order, so completeness is checkable by counting.
+
+    The {e orbit-compressed} v2 format instead records the generators of a
+    solvability-preserving symmetry group and one witness per fault-set
+    orbit:
+
+    {v
+    gdpn-cert 2
+    instance <hex digest>
+    sets <count>
+    gens <g>
+    p <img of 0> <img of 1> ...     one line per generator
+    orbits <count>
+    w <f1,f2,..>|<orbit size>|<n1 n2 ..>
+    v}
+
+    The checker validates each generator (graph automorphism, node kinds
+    preserved or input/output classes swapped wholesale), re-derives every
+    orbit member itself, transports the witness along the permutation, and
+    validates it for the member — so compression adds no trust.
+    Completeness again reduces to counting: members are distinct valid
+    fault sets and their grand total must equal the full count. *)
 
 val generate :
   ?solve:(faults:Gdpn_graph.Bitset.t -> Reconfig.outcome) ->
@@ -33,10 +54,22 @@ val generate :
     Raises [Failure] if any fault set has no pipeline (the instance is not
     k-GD, so no certificate exists). *)
 
+val generate_orbits :
+  ?solve:(faults:Gdpn_graph.Bitset.t -> Reconfig.outcome) ->
+  symmetry:Gdpn_graph.Auto.group ->
+  Instance.t ->
+  string
+(** Orbit-compressed (v2) certificate: solve one representative per orbit
+    of [symmetry] (typically [Instance.symmetry inst]) and record the
+    generators alongside the witnesses.  Falls back to {!generate} when
+    the group is trivial.  Raises [Failure] if a representative has no
+    pipeline. *)
+
 val check : Instance.t -> string -> (int, string) result
-(** Validate a certificate against an instance: digest match, complete
-    enumeration, and every witness valid for its fault set.  Returns the
-    number of fault sets certified. *)
+(** Validate a certificate (either format, dispatched on the header)
+    against an instance: digest match, complete enumeration — directly in
+    v1, by orbit expansion and counting in v2 — and every witness valid
+    for its fault set.  Returns the number of fault sets certified. *)
 
 val digest : Instance.t -> string
 (** Hex digest of the instance's canonical serialization. *)

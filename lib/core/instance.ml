@@ -83,6 +83,35 @@ let exit_processors t = adjacent_processors t (outputs t)
 let max_processor_degree t =
   List.fold_left (fun m v -> max m (Graph.degree t.graph v)) 0 (processors t)
 
+let symmetry ?(reversal = true) t =
+  let colour v =
+    match t.kind.(v) with
+    | Label.Processor -> 0
+    | Label.Input -> 1
+    | Label.Output -> 2
+  in
+  let pure = Gdpn_graph.Auto.automorphisms ~colour t.graph in
+  if not (reversal && (inputs t <> [] || outputs t <> [])) then pure
+  else
+    (* A graph automorphism swapping the input and output classes maps
+       pipelines to reversed pipelines, which are pipelines too, so it
+       preserves fault-set solvability just like the pure group.  It swaps
+       colours, hence lies outside [pure]; its square and its conjugates of
+       [pure] are colour-preserving, hence inside — so adjoining it exactly
+       doubles the group. *)
+    let swapped v =
+      match t.kind.(v) with
+      | Label.Processor -> 0
+      | Label.Input -> 2
+      | Label.Output -> 1
+    in
+    match
+      Gdpn_graph.Iso.find_isomorphism ~colour_a:colour ~colour_b:swapped
+        t.graph t.graph
+    with
+    | Some phi -> Gdpn_graph.Auto.adjoin_involution pure phi
+    | None -> pure
+
 let relabel t ~perm =
   let n = order t in
   if Array.length perm <> n then invalid_arg "Instance.relabel: length";

@@ -81,6 +81,17 @@ val max_processor_degree : t -> int
 (** Maximum degree over processor nodes (the quantity the paper's
     degree-optimality results bound). *)
 
+val symmetry : ?reversal:bool -> t -> Gdpn_graph.Auto.group
+(** The group of solvability-preserving symmetries of the instance: all
+    graph automorphisms preserving node kinds, plus (unless
+    [~reversal:false]) one input/output reversal — an automorphism swapping
+    the input and output terminal classes — when one exists.  A reversal
+    maps every pipeline to a reversed pipeline, which the paper's
+    definition also admits, so fault sets in the same orbit under this
+    group have identical reconfigurability.  Worst-case exponential in the
+    instance order (isomorphism backtracking); fine at verification
+    scale. *)
+
 val relabel : t -> perm:int array -> t
 (** [relabel t ~perm] renames node [v] to [perm.(v)] ([perm] must be a
     permutation of [0..order-1]).  The result uses the [Generic]

@@ -1,10 +1,12 @@
 module Bitset = Gdpn_graph.Bitset
 module Combinat = Gdpn_graph.Combinat
+module Auto = Gdpn_graph.Auto
 
-type failure = { faults : int list; reason : string }
+type failure = { faults : int list; reason : string; orbit : int }
 
 type report = {
   fault_sets_checked : int;
+  solver_calls : int;
   failures : failure list;
   gave_up : int;
 }
@@ -47,33 +49,91 @@ let run_checks ?budget ?solve ?(max_failures = 5) inst iter_sets =
          | Error reason ->
            if reason = "solver gave up" then incr gave_up;
            failures :=
-             { faults = Array.to_list (Array.sub buf 0 len); reason }
+             { faults = Array.to_list (Array.sub buf 0 len); reason; orbit = 1 }
              :: !failures;
            if List.length !failures >= max_failures then raise Stop);
          ())
    with Stop -> ());
   {
     fault_sets_checked = !checked;
+    solver_calls = !checked;
     failures = List.rev !failures;
     gave_up = !gave_up;
   }
 
-let exhaustive ?budget ?solve ?max_failures ?universe inst =
+(* Orbit-reduced exhaustive mode: check one representative per orbit of
+   the symmetry group and scale every count by the orbit size.  Sound
+   because the group's elements preserve fault-set solvability (label
+   automorphisms map pipelines to pipelines; a reversal maps them to
+   reversed pipelines, which the definition also admits), so all members
+   of an orbit share the representative's outcome. *)
+let exhaustive_orbits ?budget ?solve ?(max_failures = 5) ?universe group inst =
+  let order = Instance.order inst in
+  if Auto.degree group <> order then
+    invalid_arg "Verify.exhaustive: symmetry group degree <> instance order";
+  let universe = Option.map Array.of_list universe in
+  let reps = Auto.fault_orbits ?universe group ~max_size:inst.Instance.k in
+  let checked = ref 0 in
+  let calls = ref 0 in
+  let gave_up = ref 0 in
+  let failures = ref [] in
+  let mask = Bitset.create order in
+  let exception Stop in
+  (try
+     Array.iter
+       (fun { Auto.set; size } ->
+         Bitset.clear mask;
+         Array.iter (Bitset.add mask) set;
+         checked := !checked + size;
+         incr calls;
+         match check_mask ?budget ?solve inst mask with
+         | Ok () -> ()
+         | Error reason ->
+           if reason = "solver gave up" then gave_up := !gave_up + size;
+           failures :=
+             { faults = Array.to_list set; reason; orbit = size } :: !failures;
+           if List.length !failures >= max_failures then raise Stop)
+       reps
+   with Stop -> ());
+  {
+    fault_sets_checked = !checked;
+    solver_calls = !calls;
+    failures = List.rev !failures;
+    gave_up = !gave_up;
+  }
+
+let exhaustive ?budget ?solve ?max_failures ?universe ?symmetry inst =
   let order = Instance.order inst in
   let k = inst.Instance.k in
-  match universe with
-  | None ->
-    run_checks ?budget ?solve ?max_failures inst (fun f ->
-        Combinat.iter_subsets_up_to order k (fun buf len -> f buf len))
-  | Some nodes ->
-    let nodes = Array.of_list nodes in
-    let translated = Array.make (Array.length nodes) 0 in
-    run_checks ?budget ?solve ?max_failures inst (fun f ->
-        Combinat.iter_subsets_up_to (Array.length nodes) k (fun buf len ->
-            for i = 0 to len - 1 do
-              translated.(i) <- nodes.(buf.(i))
-            done;
-            f translated len))
+  (match symmetry with
+  | Some group when Auto.degree group <> order ->
+    invalid_arg "Verify.exhaustive: symmetry group degree <> instance order"
+  | Some _ | None -> ());
+  match symmetry with
+  | Some group when not (Auto.is_trivial group) ->
+    exhaustive_orbits ?budget ?solve ?max_failures ?universe group inst
+  | Some _ | None -> (
+    match universe with
+    | None ->
+      run_checks ?budget ?solve ?max_failures inst (fun f ->
+          Combinat.iter_subsets_up_to order k (fun buf len -> f buf len))
+    | Some nodes ->
+      let nodes = Array.of_list nodes in
+      let translated = Array.make (Array.length nodes) 0 in
+      run_checks ?budget ?solve ?max_failures inst (fun f ->
+          Combinat.iter_subsets_up_to (Array.length nodes) k (fun buf len ->
+              for i = 0 to len - 1 do
+                translated.(i) <- nodes.(buf.(i))
+              done;
+              f translated len)))
+
+let expanded_failure_sets ~symmetry r =
+  List.sort compare
+    (List.concat_map
+       (fun { faults; orbit = _; reason = _ } ->
+         List.map Array.to_list
+           (Auto.orbit_of_set symmetry (Array.of_list faults)))
+       r.failures)
 
 let sampled ~rng ~trials ?budget ?solve ?max_failures inst =
   let order = Instance.order inst in
@@ -122,7 +182,7 @@ let exhaustive_parallel ?budget ?(max_failures = 5) ?domains inst =
       | Error reason ->
         if reason = "solver gave up" then incr gave_up;
         failures :=
-          { faults = Array.to_list (Array.sub buf 0 len); reason }
+          { faults = Array.to_list (Array.sub buf 0 len); reason; orbit = 1 }
           :: !failures;
         if List.length !failures >= max_failures then Atomic.set stop true
     in
@@ -154,7 +214,7 @@ let exhaustive_parallel ?budget ?(max_failures = 5) ?domains inst =
     let mask = Bitset.create order in
     match check_mask ?budget inst mask with
     | Ok () -> []
-    | Error reason -> [ { faults = []; reason } ]
+    | Error reason -> [ { faults = []; reason; orbit = 1 } ]
   in
   let workers = List.init domains (fun _ -> Domain.spawn run_domain) in
   let results = List.map Domain.join workers in
@@ -167,7 +227,7 @@ let exhaustive_parallel ?budget ?(max_failures = 5) ?domains inst =
   (* Domains stop soon after the shared flag is set, but each may already
      hold findings; keep the promised cap. *)
   let failures = List.filteri (fun i _ -> i < max_failures) failures in
-  { fault_sets_checked = checked; failures; gave_up }
+  { fault_sets_checked = checked; solver_calls = checked; failures; gave_up }
 
 let is_k_gd r = r.failures = [] && r.gave_up = 0
 
@@ -197,15 +257,22 @@ let tolerance ?budget ?cap inst =
   | None -> cap
 
 let pp_report ppf r =
-  Format.fprintf ppf "checked %d fault sets: %s" r.fault_sets_checked
+  Format.fprintf ppf "checked %d fault sets%s: %s" r.fault_sets_checked
+    (if r.solver_calls < r.fault_sets_checked then
+       Format.asprintf " (%d orbit representatives solved)" r.solver_calls
+     else "")
     (if is_k_gd r then "all tolerated"
      else
-       Format.asprintf "%d failures (first: {%s} — %s)%s"
+       Format.asprintf "%d failures (first: {%s}%s — %s)%s"
          (List.length r.failures)
          (match r.failures with
          | { faults; _ } :: _ ->
            String.concat "," (List.map string_of_int faults)
          | [] -> "")
+         (match r.failures with
+         | { orbit; _ } :: _ when orbit > 1 ->
+           Format.asprintf " ×%d orbit" orbit
+         | _ -> "")
          (match r.failures with { reason; _ } :: _ -> reason | [] -> "")
          (if r.gave_up > 0 then Format.asprintf " (%d gave up)" r.gave_up
           else ""))

@@ -8,10 +8,18 @@
 type failure = {
   faults : int list;  (** the offending fault set *)
   reason : string;  (** why it failed (no pipeline / solver gave up) *)
+  orbit : int;
+      (** number of fault sets this failure stands for: 1 in plain modes;
+          the orbit size under the symmetry group in orbit-reduced mode
+          (then [faults] is the orbit's min-lex representative) *)
 }
 
 type report = {
   fault_sets_checked : int;
+      (** fault sets covered, orbit-expanded in symmetry mode *)
+  solver_calls : int;
+      (** solver invocations actually made; equals [fault_sets_checked]
+          except in orbit-reduced mode, where it counts representatives *)
   failures : failure list;  (** at most [max_failures], in discovery order *)
   gave_up : int;  (** fault sets where the solver exhausted its budget *)
 }
@@ -21,13 +29,30 @@ val exhaustive :
   ?solve:(faults:Gdpn_graph.Bitset.t -> Reconfig.outcome) ->
   ?max_failures:int ->
   ?universe:int list ->
+  ?symmetry:Gdpn_graph.Auto.group ->
   Instance.t ->
   report
 (** Check every fault set of size [0..k] drawn from [universe] (default:
     all nodes, terminals included; pass [Instance.processors t] for the
     merged-terminal model where I/O devices are fault-free).
     [max_failures] (default 5) bounds the retained counterexamples;
-    enumeration stops early once reached. *)
+    enumeration stops early once reached.
+
+    [symmetry] (typically [Instance.symmetry inst]) switches to
+    orbit-reduced enumeration: only one representative per orbit of the
+    group is solved, [fault_sets_checked] and [gave_up] are scaled by
+    orbit sizes, and failures carry their orbit size.  The verdict
+    ({!is_k_gd}) is unchanged because group elements preserve fault-set
+    solvability.  A trivial group degrades to the plain path.  Raises
+    [Invalid_argument] if the group's degree differs from the instance
+    order or [universe] is not group-invariant. *)
+
+val expanded_failure_sets :
+  symmetry:Gdpn_graph.Auto.group -> report -> int list list
+(** All concrete fault sets the report's failures stand for: each failure
+    orbit-expanded under [symmetry], sorted.  With the trivial group this
+    is just the failures' fault sets, so it is safe to apply uniformly
+    when cross-checking orbit-reduced runs against plain ones. *)
 
 val sampled :
   rng:Random.State.t ->

@@ -1,7 +1,18 @@
 module Bitset = Gdpn_graph.Bitset
 module Combinat = Gdpn_graph.Combinat
 module Hamilton = Gdpn_graph.Hamilton
+module Auto = Gdpn_graph.Auto
 open Gdpn_core
+
+(* Plan cache keyed on the masks themselves: lookups hash the caller's
+   mask in place, so cache hits allocate nothing (the old string-key
+   scheme paid a [Bitset.to_key] allocation per probe). *)
+module Masks = Hashtbl.Make (struct
+  type t = Bitset.t
+
+  let equal = Bitset.equal
+  let hash = Bitset.hash
+end)
 
 (* ------------------------------------------------------------------ *)
 (* Engine: per-instance solver state                                   *)
@@ -21,7 +32,7 @@ type t = {
   inst : Instance.t;
   budget : int;
   ctx : Hamilton.ctx;
-  cache : (string, Reconfig.outcome) Hashtbl.t;
+  cache : Reconfig.outcome Masks.t;
   cache_limit : int;
   stats : stats;
   scratch : Bitset.t;  (** predecessor-mask scratch for the splice probe *)
@@ -36,7 +47,7 @@ let create ?(budget = default_budget) ?(cache_limit = default_cache_limit)
     inst;
     budget;
     ctx = Reconfig.make_ctx inst;
-    cache = Hashtbl.create 256;
+    cache = Masks.create 256;
     cache_limit;
     stats = fresh_stats ();
     scratch = Bitset.create (Instance.order inst);
@@ -45,17 +56,20 @@ let create ?(budget = default_budget) ?(cache_limit = default_cache_limit)
 let instance t = t.inst
 let budget t = t.budget
 let stats t = t.stats
-let cache_size t = Hashtbl.length t.cache
+let cache_size t = Masks.length t.cache
 
 let reset t =
-  Hashtbl.reset t.cache;
+  Masks.reset t.cache;
   t.stats.lookups <- 0;
   t.stats.cache_hits <- 0;
   t.stats.splices <- 0;
   t.stats.full_solves <- 0
 
-let remember t key outcome =
-  if Hashtbl.length t.cache < t.cache_limit then Hashtbl.add t.cache key outcome
+(* The caller mutates its mask between calls, so the cache must own its
+   keys: copy on insert (misses only — hits stay allocation-free). *)
+let remember t mask outcome =
+  if Masks.length t.cache < t.cache_limit then
+    Masks.add t.cache (Bitset.copy mask) outcome
 
 let full_solve t ~faults =
   t.stats.full_solves <- t.stats.full_solves + 1;
@@ -71,7 +85,7 @@ let splice_from_cache t ~faults =
       (fun v ->
         Bitset.blit ~src:faults ~dst:t.scratch;
         Bitset.remove t.scratch v;
-        match Hashtbl.find_opt t.cache (Bitset.to_key t.scratch) with
+        match Masks.find_opt t.cache t.scratch with
         | Some (Reconfig.Pipeline current) -> (
           match Repair.patch t.inst ~current ~faults ~failed:v with
           | Some (`Unchanged p) | Some (`Spliced p) ->
@@ -87,8 +101,7 @@ let solve ?(cache = true) t ~faults =
   if not cache then full_solve t ~faults
   else begin
     t.stats.lookups <- t.stats.lookups + 1;
-    let key = Bitset.to_key faults in
-    match Hashtbl.find_opt t.cache key with
+    match Masks.find_opt t.cache faults with
     | Some outcome ->
       t.stats.cache_hits <- t.stats.cache_hits + 1;
       outcome
@@ -98,7 +111,7 @@ let solve ?(cache = true) t ~faults =
         | Some o -> o
         | None -> full_solve t ~faults
       in
-      remember t key outcome;
+      remember t faults outcome;
       outcome
   end
 
@@ -109,10 +122,10 @@ let solve_list ?cache t ~faults =
 (* Engine-backed workloads                                             *)
 (* ------------------------------------------------------------------ *)
 
-let verify_exhaustive ?max_failures ?universe t =
+let verify_exhaustive ?max_failures ?universe ?symmetry t =
   Verify.exhaustive ~budget:t.budget
     ~solve:(fun ~faults -> solve ~cache:false t ~faults)
-    ?max_failures ?universe t.inst
+    ?max_failures ?universe ?symmetry t.inst
 
 let verify_sampled ~seed ~trials ?max_failures t =
   Verify.sampled
@@ -121,7 +134,11 @@ let verify_sampled ~seed ~trials ?max_failures t =
     ~solve:(fun ~faults -> solve ~cache:false t ~faults)
     ?max_failures t.inst
 
-let certify t = Certify.generate ~solve:(fun ~faults -> solve t ~faults) t.inst
+let certify ?(symmetry = true) t =
+  let solve ~faults = solve t ~faults in
+  if symmetry then
+    Certify.generate_orbits ~solve ~symmetry:(Instance.symmetry t.inst) t.inst
+  else Certify.generate ~solve t.inst
 
 let attack ~rng ?restarts t =
   Attack.worst_case ~rng ?restarts ~budget:(min t.budget 500_000) t.inst
@@ -162,8 +179,12 @@ module Parallel = struct
     if List.length l > cap then List.filteri (fun i _ -> i < cap) l else l
 
   (* Merge per-domain tagged failures into a [Verify.report] identical to
-     the sequential one over [total] fault sets. *)
-  let merge ~max_failures ~total per_domain =
+     the sequential one.  [counts stop] maps the early-stop rank (or
+     [None] when enumeration ran to completion) to the pair
+     [(fault_sets_checked, solver_calls)] — the indirection lets the
+     orbit-reduced mode translate representative ranks into
+     orbit-expanded set counts. *)
+  let merge ~max_failures ~counts per_domain =
     let cap = Stdlib.max 1 max_failures in
     let all =
       List.sort
@@ -172,27 +193,35 @@ module Parallel = struct
     in
     let kept = List.filteri (fun i _ -> i < cap) all in
     let gave_up =
-      List.length
-        (List.filter (fun t -> t.failure.Verify.reason = "solver gave up") kept)
+      List.fold_left
+        (fun acc t ->
+          if t.failure.Verify.reason = "solver gave up" then
+            acc + t.failure.Verify.orbit
+          else acc)
+        0 kept
     in
-    let checked =
+    let checked, calls =
       if List.length all >= cap && kept <> [] then
         (* The sequential path stops right after recording the cap-th
-           failure: it has enumerated exactly rank+1 fault sets. *)
-        (List.nth kept (List.length kept - 1)).rank + 1
-      else total
+           failure: it has enumerated exactly the ranks up to and
+           including that failure's. *)
+        counts (Some (List.nth kept (List.length kept - 1)).rank)
+      else counts None
     in
     {
       Verify.fault_sets_checked = checked;
+      solver_calls = calls;
       failures = List.map (fun t -> t.failure) kept;
       gave_up;
     }
 
   (* Shard an indexed stream of fault sets over domains.  [blocks] is an
      array of work units; [enum_block] enumerates a block's fault sets as
-     [(rank, buf, len)] through a callback.  Returns the merged report. *)
-  let run_sharded ?budget ~max_failures ~domains ~total inst blocks
-      enum_block =
+     [(rank, buf, len)] through a callback.  [orbit_of] gives the number
+     of fault sets the rank-th item stands for (1 outside symmetry mode).
+     Returns the merged report. *)
+  let run_sharded ?budget ?(orbit_of = fun _ -> 1) ~max_failures ~domains
+      ~counts inst blocks enum_block =
     let order = Instance.order inst in
     let cap = Stdlib.max 1 max_failures in
     let next = Atomic.make 0 in
@@ -222,7 +251,11 @@ module Parallel = struct
         | Ok () -> ()
         | Error reason ->
           let failure =
-            { Verify.faults = Array.to_list (Array.sub buf 0 len); reason }
+            {
+              Verify.faults = Array.to_list (Array.sub buf 0 len);
+              reason;
+              orbit = orbit_of rank;
+            }
           in
           kept := insert_capped cap { rank; failure } !kept;
           if List.length !kept >= cap then
@@ -245,12 +278,50 @@ module Parallel = struct
     (* The calling domain participates instead of idling. *)
     let own = run_domain () in
     let per_domain = own :: List.map Domain.join workers in
-    merge ~max_failures:cap ~total per_domain
+    merge ~max_failures:cap ~counts per_domain
 
-  let verify_exhaustive ?budget ?(max_failures = 5) ?domains inst =
+  (* Orbit-reduced sharding: the work items are orbit representatives
+     (fewer but individually heavier than raw fault sets), so the block
+     partition is rebalanced into small contiguous chunks drained through
+     the shared counter.  Ranks are representative indices; [counts]
+     translates them back into orbit-expanded totals via prefix sums. *)
+  let verify_exhaustive_orbits ?budget ~max_failures ~domains group inst =
+    let k = inst.Instance.k in
+    let reps = Auto.fault_orbits group ~max_size:k in
+    let nreps = Array.length reps in
+    let prefix = Array.make (nreps + 1) 0 in
+    for i = 0 to nreps - 1 do
+      prefix.(i + 1) <- prefix.(i) + reps.(i).Auto.size
+    done;
+    let counts = function
+      | Some stop_rank -> (prefix.(stop_rank + 1), stop_rank + 1)
+      | None -> (prefix.(nreps), nreps)
+    in
+    let chunk = Stdlib.max 1 (nreps / (domains * 8)) in
+    let nblocks = (nreps + chunk - 1) / chunk in
+    let blocks = Array.init nblocks (fun b -> b * chunk) in
+    let enum_block start ~skip_above check =
+      if start <= skip_above then
+        for i = start to Stdlib.min (start + chunk - 1) (nreps - 1) do
+          let set = reps.(i).Auto.set in
+          check i set (Array.length set)
+        done
+    in
+    run_sharded ?budget
+      ~orbit_of:(fun r -> reps.(r).Auto.size)
+      ~max_failures ~domains ~counts inst blocks enum_block
+
+  let verify_exhaustive ?budget ?(max_failures = 5) ?domains ?symmetry inst =
     let order = Instance.order inst in
     let k = inst.Instance.k in
     let domains = resolve_domains domains in
+    match symmetry with
+    | Some group when not (Auto.is_trivial group) ->
+      if Auto.degree group <> order then
+        invalid_arg
+          "Engine.Parallel.verify_exhaustive: symmetry degree <> order";
+      verify_exhaustive_orbits ?budget ~max_failures ~domains group inst
+    | Some _ | None ->
     let total = Combinat.count_up_to order k in
     (* Work units: one block per (size, first element) — all size-[s]
        subsets whose smallest element is [f0] — plus the empty set as its
@@ -282,7 +353,8 @@ module Parallel = struct
               incr local)
         end
     in
-    run_sharded ?budget ~max_failures ~domains ~total inst blocks enum_block
+    let counts = function Some r -> (r + 1, r + 1) | None -> (total, total) in
+    run_sharded ?budget ~max_failures ~domains ~counts inst blocks enum_block
 
   let verify_sampled ~seed ~trials ?budget ?(max_failures = 5) ?domains inst
       =
@@ -307,6 +379,9 @@ module Parallel = struct
           check i buf (Array.length buf)
         done
     in
-    run_sharded ?budget ~max_failures ~domains ~total:trials inst blocks
-      enum_block
+    let counts = function
+      | Some r -> (r + 1, r + 1)
+      | None -> (trials, trials)
+    in
+    run_sharded ?budget ~max_failures ~domains ~counts inst blocks enum_block
 end

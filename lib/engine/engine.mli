@@ -12,9 +12,10 @@
 
     - {b ctx reuse} — one {!Gdpn_core.Reconfig.make_ctx} per engine; the
       backtracker's bitsets and degree scratch are allocated once;
-    - {b fault-plan cache} — solved outcomes are cached under the canonical
-      fault-mask key ({!Gdpn_graph.Bitset.to_key}).  On a miss the engine
-      first tries to {e splice} a plan from a cached one-fault-smaller
+    - {b fault-plan cache} — solved outcomes are cached in a hashtable
+      keyed on the fault masks themselves ({!Gdpn_graph.Bitset.hash} /
+      [equal]), so hits allocate nothing.  On a miss the engine first
+      tries to {e splice} a plan from a cached one-fault-smaller
       predecessor ({!Gdpn_core.Repair.patch}) — cheap local repair first,
       global re-solve second, mirroring the paper's §4 reconfiguration
       discussion;
@@ -61,9 +62,14 @@ val reset : t -> unit
 (** Drop all cached plans and zero the counters. *)
 
 val verify_exhaustive :
-  ?max_failures:int -> ?universe:int list -> t -> Gdpn_core.Verify.report
+  ?max_failures:int ->
+  ?universe:int list ->
+  ?symmetry:Gdpn_graph.Auto.group ->
+  t ->
+  Gdpn_core.Verify.report
 (** {!Gdpn_core.Verify.exhaustive} through the engine's ctx (uncached
-    checks; see {!solve}). *)
+    checks; see {!solve}).  [symmetry] enables orbit-reduced
+    enumeration. *)
 
 val verify_sampled :
   seed:int -> trials:int -> ?max_failures:int -> t -> Gdpn_core.Verify.report
@@ -72,10 +78,14 @@ val verify_sampled :
     parameters, which would correlate the fault-sample sequences of
     same-order instances. *)
 
-val certify : t -> string
-(** {!Gdpn_core.Certify.generate} through the cached solver: witnesses for
+val certify : ?symmetry:bool -> t -> string
+(** Certificate generation through the cached solver: witnesses for
     size-[s] fault sets are spliced from their cached size-[s-1]
-    predecessors whenever the local patch applies. *)
+    predecessors whenever the local patch applies.  By default the
+    instance's symmetry group is computed and, when nontrivial, the
+    orbit-compressed v2 format is emitted
+    ({!Gdpn_core.Certify.generate_orbits}); pass [~symmetry:false] to
+    force the flat v1 enumeration. *)
 
 val attack : rng:Random.State.t -> ?restarts:int -> t -> Gdpn_core.Attack.finding
 (** {!Gdpn_core.Attack.worst_case} on this engine's instance (the attack
@@ -98,12 +108,20 @@ module Parallel : sig
     ?budget:int ->
     ?max_failures:int ->
     ?domains:int ->
+    ?symmetry:Gdpn_graph.Auto.group ->
     Gdpn_core.Instance.t ->
     Gdpn_core.Verify.report
   (** Check every fault set of size [0..k].  The space is split into
       (size, first-element) blocks with precomputed base ranks, drained
       through an atomic work counter by [domains] workers (the calling
-      domain included), each with a private solver ctx. *)
+      domain included), each with a private solver ctx.
+
+      With a nontrivial [symmetry] group, only orbit representatives are
+      sharded — fewer but individually heavier work items, so the
+      partition switches to small contiguous chunks of the representative
+      array.  Counts are orbit-expanded through prefix sums during the
+      merge; the result equals the sequential
+      [Verify.exhaustive ~symmetry] report field for field. *)
 
   val verify_sampled :
     seed:int ->

@@ -1,0 +1,248 @@
+(* Label-coloured automorphism groups and fault-set orbits.
+
+   Generators come out of a stabilizer chain: for each base point
+   [b = 0, 1, ...] we look for automorphisms that fix [0..b-1] pointwise
+   and move [b] to some [w > b], searching with [Iso.find_isomorphism]
+   under individualization colours (the fixed prefix gets unique tags in
+   both copies; [b] in the domain and [w] in the codomain share one more
+   tag).  Because each level's orbit is computed exactly, the group order
+   is the product of the level orbit sizes (orbit-stabilizer), and the
+   union of the level generators generates the whole group. *)
+
+type group = {
+  degree : int;
+  gens : int array list;
+  order : int; (* saturates at [max_int] *)
+}
+
+let trivial degree =
+  if degree < 0 then invalid_arg "Auto.trivial: negative degree";
+  { degree; gens = []; order = 1 }
+
+let degree g = g.degree
+let order g = g.order
+let generators g = g.gens
+let is_trivial g = g.gens = []
+
+let sat_mul a b = if a > 0 && b > max_int / a then max_int else a * b
+
+let is_permutation perm n =
+  Array.length perm = n
+  &&
+  let seen = Array.make n false in
+  Array.for_all
+    (fun v -> v >= 0 && v < n && not seen.(v) && (seen.(v) <- true; true))
+    perm
+
+(* Edge preservation; colour preservation is checked separately because
+   reversal symmetries (input <-> output swaps) are deliberately not
+   colour-preserving. *)
+let is_automorphism g perm =
+  let n = Graph.order g in
+  is_permutation perm n
+  &&
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    Graph.iter_neighbours g v (fun u ->
+        if not (Graph.adjacent g perm.(v) perm.(u)) then ok := false)
+  done;
+  !ok
+
+let automorphisms ?(colour = fun _ -> 0) g =
+  let n = Graph.order g in
+  if n = 0 then trivial 0
+  else begin
+    (* Densely renumber the base colours so individualization tags
+       (>= nclasses) cannot collide with them. *)
+    let table = Hashtbl.create 16 in
+    let next = ref 0 in
+    let base =
+      Array.init n (fun v ->
+          let c = colour v in
+          match Hashtbl.find_opt table c with
+          | Some d -> d
+          | None ->
+            let d = !next in
+            incr next;
+            Hashtbl.replace table c d;
+            d)
+    in
+    let nclasses = !next in
+    (* Refined classes bound the orbits: only [w] in [b]'s class can be an
+       image of [b] under a colour-preserving automorphism. *)
+    let refined = Iso.refined_colours ~colour:(fun v -> base.(v)) g in
+    let gens = ref [] in
+    let order = ref 1 in
+    (* Search for an automorphism fixing [0..b-1] pointwise and mapping
+       [b] to [w]: give the prefix unique matching tags and force [b] in
+       the domain copy onto [w] in the codomain copy with one more tag. *)
+    let search b w =
+      let ca v =
+        if v < b then nclasses + v
+        else if v = b then nclasses + n
+        else base.(v)
+      in
+      let cb v =
+        if v < b then nclasses + v
+        else if v = w then nclasses + n
+        else base.(v)
+      in
+      Iso.find_isomorphism ~colour_a:ca ~colour_b:cb g g
+    in
+    let orbit = Array.make n false in
+    let closure b =
+      (* Orbit of [b] under the generators found so far that fix the
+         prefix [0..b-1] pointwise. *)
+      Array.fill orbit 0 n false;
+      orbit.(b) <- true;
+      let level_gens =
+        List.filter
+          (fun p ->
+            let rec fixes i = i >= b || (p.(i) = i && fixes (i + 1)) in
+            fixes 0)
+          !gens
+      in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        for v = 0 to n - 1 do
+          if orbit.(v) then
+            List.iter
+              (fun p ->
+                if not orbit.(p.(v)) then begin
+                  orbit.(p.(v)) <- true;
+                  changed := true
+                end)
+              level_gens
+        done
+      done
+    in
+    for b = 0 to n - 2 do
+      closure b;
+      for w = b + 1 to n - 1 do
+        if (not orbit.(w)) && refined.(w) = refined.(b) then begin
+          match search b w with
+          | Some p ->
+            gens := p :: !gens;
+            closure b
+          | None -> ()
+        end
+      done;
+      let sz = Array.fold_left (fun a x -> if x then a + 1 else a) 0 orbit in
+      order := sat_mul !order sz
+    done;
+    { degree = n; gens = List.rev !gens; order = !order }
+  end
+
+let adjoin_involution g perm =
+  if not (is_permutation perm g.degree) then
+    invalid_arg "Auto.adjoin_involution: not a permutation of the degree";
+  let identity =
+    let id = ref true in
+    Array.iteri (fun i v -> if i <> v then id := false) perm;
+    !id
+  in
+  if identity then invalid_arg "Auto.adjoin_involution: identity";
+  { g with gens = perm :: g.gens; order = sat_mul g.order 2 }
+
+(* ------------------------------------------------------------------ *)
+(* Orbits of vertex sets                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Compact hash keys for sorted int sets; two bytes per element caps the
+   degree at 65536, far beyond any instance this repo verifies. *)
+let key_of set =
+  let len = Array.length set in
+  let b = Bytes.create (2 * len) in
+  for i = 0 to len - 1 do
+    let v = Array.unsafe_get set i in
+    Bytes.unsafe_set b (2 * i) (Char.unsafe_chr (v land 0xff));
+    Bytes.unsafe_set b ((2 * i) + 1) (Char.unsafe_chr ((v lsr 8) land 0xff))
+  done;
+  Bytes.unsafe_to_string b
+
+let apply_sorted p set =
+  let img = Array.map (fun v -> p.(v)) set in
+  Array.sort compare img;
+  img
+
+let orbit_of_set g set =
+  let set =
+    let s = Array.copy set in
+    Array.sort compare s;
+    s
+  in
+  let seen = Hashtbl.create 16 in
+  Hashtbl.replace seen (key_of set) ();
+  let members = ref [ set ] in
+  let queue = Queue.create () in
+  Queue.add set queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun p ->
+        let img = apply_sorted p s in
+        let k = key_of img in
+        if not (Hashtbl.mem seen k) then begin
+          Hashtbl.replace seen k ();
+          members := img :: !members;
+          Queue.add img queue
+        end)
+      g.gens
+  done;
+  List.rev !members
+
+let canonical_set g set =
+  match orbit_of_set g set with
+  | [] -> assert false
+  | first :: rest -> List.fold_left min first rest
+
+let invariant_universe g univ =
+  let inside = Array.make g.degree false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= g.degree then
+        invalid_arg "Auto.invariant_universe: node out of range";
+      inside.(v) <- true)
+    univ;
+  List.for_all
+    (fun p -> Array.for_all (fun v -> inside.(p.(v))) univ)
+    g.gens
+
+type rep = { set : int array; size : int }
+
+let fault_orbits ?universe g ~max_size =
+  if max_size < 0 then invalid_arg "Auto.fault_orbits: negative max_size";
+  if g.degree > 0xffff then
+    invalid_arg "Auto.fault_orbits: degree too large for set keys";
+  let univ =
+    match universe with
+    | None -> Array.init g.degree Fun.id
+    | Some u ->
+      if not (invariant_universe g u) then
+        invalid_arg "Auto.fault_orbits: universe not invariant under group";
+      let u = Array.copy u in
+      Array.sort compare u;
+      u
+  in
+  let nu = Array.length univ in
+  let reps = ref [] in
+  if is_trivial g then
+    (* Every orbit is a singleton; skip the hashing entirely. *)
+    Combinat.iter_subsets_up_to nu max_size (fun buf len ->
+        reps := { set = Array.init len (fun i -> univ.(buf.(i))); size = 1 } :: !reps)
+  else begin
+    (* Enumeration is lexicographic within each size (and sizes ascend),
+       orbits preserve size, and [univ] is sorted — so the first member of
+       an orbit we meet is its min-lex representative. *)
+    let seen = Hashtbl.create 4096 in
+    Combinat.iter_subsets_up_to nu max_size (fun buf len ->
+        let set = Array.init len (fun i -> univ.(buf.(i))) in
+        let key = key_of set in
+        if not (Hashtbl.mem seen key) then begin
+          let members = orbit_of_set g set in
+          List.iter (fun s -> Hashtbl.replace seen (key_of s) ()) members;
+          reps := { set; size = List.length members } :: !reps
+        end)
+  end;
+  Array.of_list (List.rev !reps)

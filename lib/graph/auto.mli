@@ -1,0 +1,78 @@
+(** Label-coloured automorphism groups and orbits of fault sets.
+
+    Two fault sets related by a solvability-preserving automorphism have
+    identical reconfiguration outcomes, so exhaustive verification only
+    needs one representative per orbit, weighted by the orbit size.  This
+    module computes generators of the colour-preserving automorphism group
+    of a graph (reusing {!Iso}'s refinement and backtracking), supports
+    adjoining one extra solvability-preserving involution (the
+    input/output reversal symmetry of pipeline instances), and enumerates
+    orbit representatives of all vertex sets up to a given size. *)
+
+type group
+(** A permutation group on [0..degree-1], held as a generator list with a
+    precomputed order. *)
+
+val trivial : int -> group
+(** The trivial group on [degree] points. *)
+
+val automorphisms : ?colour:(int -> int) -> Graph.t -> group
+(** Generators and exact order of the full group of automorphisms of [g]
+    preserving [colour] (default: all nodes one colour), via a stabilizer
+    chain over the node ordering.  Worst-case exponential like any
+    isomorphism backtracker; intended for the few-dozen-node instances
+    this repo verifies. *)
+
+val adjoin_involution : group -> int array -> group
+(** [adjoin_involution g phi] extends [g] with one extra generator and
+    doubles the reported order.
+
+    Contract (not checkable here, the caller must guarantee it): [g] is
+    the {e full} group of colour-preserving automorphisms of some graph,
+    and [phi] is a graph automorphism outside [g] whose square lies in
+    [g] and that swaps two colour classes wholesale (e.g. the
+    input/output reversal of a pipeline instance).  Then [⟨g, phi⟩ = g ∪
+    phi·g], which has exactly twice the order.  Orbit computations are
+    correct for any generator set regardless; only {!order} relies on the
+    contract.  Raises [Invalid_argument] if [phi] is not a permutation of
+    the right degree or is the identity. *)
+
+val is_automorphism : Graph.t -> int array -> bool
+(** Whether [perm] is a permutation of the nodes preserving adjacency
+    (colours are deliberately not checked — reversal symmetries swap the
+    terminal classes).  Used by the certificate checker to validate
+    untrusted generators. *)
+
+val degree : group -> int
+
+val order : group -> int
+(** Exact group order (saturating at [max_int]). *)
+
+val generators : group -> int array list
+
+val is_trivial : group -> bool
+
+val orbit_of_set : group -> int array -> int array list
+(** All images of the given vertex set under the group, each sorted
+    ascending, starting with the (sorted) input set itself. *)
+
+val canonical_set : group -> int array -> int array
+(** Lexicographically least member of the set's orbit. *)
+
+val invariant_universe : group -> int array -> bool
+(** Whether the group maps the given vertex set into itself (then orbits
+    of its subsets stay inside it). *)
+
+type rep = { set : int array; size : int }
+(** One orbit of fault sets: its min-lex representative and the number of
+    sets in the orbit. *)
+
+val fault_orbits : ?universe:int array -> group -> max_size:int -> rep array
+(** One representative per orbit of subsets of [universe] (default: all
+    nodes) of size [0..max_size], in the order {!Combinat.iter_subsets_up_to}
+    would first reach them (sizes ascending, lexicographic within a size) —
+    so each representative is min-lex in its orbit, and the orbit sizes sum
+    to [Combinat.count_up_to |universe| max_size].  Raises
+    [Invalid_argument] if [universe] is not invariant under the group.
+    Memory is proportional to the total number of subsets when the group
+    is nontrivial. *)

@@ -19,6 +19,12 @@ type ctx = {
   seen : Bitset.t;  (** connectivity-prune scratch *)
   pool : Bitset.t;  (** start/end candidate scratch *)
   rem_deg : int array;
+  mutable cand : int array;
+      (** candidate stack shared by all DFS levels: each [extend] frame
+          occupies [cand.(base .. sp-1)], so the inner loop never
+          allocates (the old code built and [List.sort]ed a fresh list per
+          expansion) *)
+  mutable cand_sp : int;
 }
 
 let make_ctx cap =
@@ -28,13 +34,29 @@ let make_ctx cap =
     seen = Bitset.create cap;
     pool = Bitset.create cap;
     rem_deg = Array.make (max 1 cap) 0;
+    cand = Array.make (max 16 cap) 0;
+    cand_sp = 0;
   }
+
+let push_cand ctx u =
+  let len = Array.length ctx.cand in
+  if ctx.cand_sp = len then begin
+    let bigger = Array.make (2 * len) 0 in
+    Array.blit ctx.cand 0 bigger 0 len;
+    ctx.cand <- bigger
+  end;
+  ctx.cand.(ctx.cand_sp) <- u;
+  ctx.cand_sp <- ctx.cand_sp + 1
 
 let ctx_capacity ctx = ctx.cap
 
 let search ctx ~budget ~expansions:expansions_out g ~alive ~starts ~ends =
   let n = Graph.order g in
   if ctx.cap <> n then invalid_arg "Hamilton.search: ctx capacity mismatch";
+  (* A [Found] / [Out_of_budget] raise unwinds past the frames' stack
+     restores; the candidate stack is only live during one search, so
+     resetting here makes that harmless. *)
+  ctx.cand_sp <- 0;
   let total = Bitset.cardinal alive in
   if total = 0 then No_path
   else begin
@@ -136,21 +158,37 @@ let search ctx ~budget ~expansions:expansions_out g ~alive ~starts ~ends =
         if Bitset.mem ends head then raise (Found trail)
       end
       else if feasible head then begin
-        (* Candidates sorted by Warnsdorff: fewest onward moves first. *)
-        let cands =
-          Graph.fold_neighbours g head
-            (fun acc u -> if Bitset.mem remaining u then u :: acc else acc)
-            []
-        in
-        let cands =
-          List.sort (fun a b -> compare rem_deg.(a) rem_deg.(b)) cands
-        in
-        List.iter
-          (fun u ->
-            occupy u;
-            extend u (u :: trail);
-            release u)
-          cands
+        (* Candidates sorted by Warnsdorff: fewest onward moves first.
+           This frame's candidates live at [cand.(base .. sp-1)];
+           insertion sort in place keeps the visit order identical to the
+           old per-expansion [List.sort] (degree ascending, ties by
+           descending node id — the fold built its list reversed and the
+           sort was stable). *)
+        let base = ctx.cand_sp in
+        Graph.iter_neighbours g head (fun u ->
+            if Bitset.mem remaining u then push_cand ctx u);
+        let sp = ctx.cand_sp in
+        for i = base + 1 to sp - 1 do
+          let x = ctx.cand.(i) in
+          let dx = rem_deg.(x) in
+          let j = ref i in
+          while
+            !j > base
+            && (let p = ctx.cand.(!j - 1) in
+                rem_deg.(p) > dx || (rem_deg.(p) = dx && p < x))
+          do
+            ctx.cand.(!j) <- ctx.cand.(!j - 1);
+            decr j
+          done;
+          ctx.cand.(!j) <- x
+        done;
+        for i = base to sp - 1 do
+          let u = ctx.cand.(i) in
+          occupy u;
+          extend u (u :: trail);
+          release u
+        done;
+        ctx.cand_sp <- base
       end
     in
 

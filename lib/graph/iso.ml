@@ -28,13 +28,35 @@ let refine_shared graphs_colours =
             renumber (colours.(v), Array.to_list nbr)) ))
     graphs_colours
 
-let refined_pair ?(rounds = 2) a ca b cb =
-  let state = ref [ (a, ca); (b, cb) ] in
-  for _ = 1 to rounds do
-    state := refine_shared !state
-  done;
-  match !state with
+(* Refinement only ever splits colour classes (a node's old colour is part
+   of its signature), so iterating until the class count stops growing
+   reaches the coarsest stable partition.  Terminates in at most
+   [total nodes] rounds. *)
+let count_classes state =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun (_, colours) ->
+      Array.iter (fun c -> Hashtbl.replace table c ()) colours)
+    state;
+  Hashtbl.length table
+
+let refine_stable state =
+  let rec go state classes =
+    let state' = refine_shared state in
+    let classes' = count_classes state' in
+    if classes' <= classes then state' else go state' classes'
+  in
+  go state (count_classes state)
+
+let refined_pair a ca b cb =
+  match refine_stable [ (a, ca); (b, cb) ] with
   | [ (_, ca'); (_, cb') ] -> (ca', cb')
+  | _ -> assert false
+
+let refined_colours ?(colour = default_colour) g =
+  let n = Graph.order g in
+  match refine_stable [ (g, Array.init n colour) ] with
+  | [ (_, c) ] -> c
   | _ -> assert false
 
 let colour_multiset colours = List.sort compare (Array.to_list colours)

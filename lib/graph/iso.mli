@@ -25,6 +25,13 @@ val find_isomorphism :
   int array option
 (** The witness mapping [a -> b], if one exists. *)
 
+val refined_colours : ?colour:(int -> int) -> Graph.t -> int array
+(** Weisfeiler-Leman colour refinement of [colour], iterated to the
+    coarsest stable partition.  Nodes related by a colour-preserving
+    automorphism always end up in the same class (the converse need not
+    hold), so the classes are a sound candidate filter when searching for
+    automorphisms. *)
+
 val certificate : ?colour:(int -> int) -> Graph.t -> string
 (** A cheap invariant string (sorted degree/colour/neighbourhood profile,
     iterated twice).  Equal certificates are necessary but not sufficient
