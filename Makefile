@@ -11,17 +11,20 @@ test:
 # The tier-1 gate plus a multicore engine smoke: exhaustively verify
 # G(8,2) (137 fault sets) through Engine.Parallel on two domains, then
 # cross-check orbit-reduced verification against full enumeration
-# (verdict, counts and orbit-expanded failure sets must agree).
+# (verdict, counts and orbit-expanded failure sets must agree), then a
+# traced run whose JSONL output must end with the metrics snapshot.
 check: build test
 	GDPN_DOMAINS=2 dune exec bin/gdp.exe -- verify -n 8 -k 2
 	GDPN_DOMAINS=2 dune exec bin/gdp.exe -- verify -n 8 -k 2 --symmetry --crosscheck
+	GDPN_DOMAINS=2 dune exec bin/gdp.exe -- verify -n 8 -k 2 --symmetry --trace-out /tmp/gdpn-check-trace.jsonl
+	tail -1 /tmp/gdpn-check-trace.jsonl | grep -q '"snapshot"'
 
 bench:
 	dune exec bench/main.exe
 
 # Fast bench sanity: just the B12 symmetry group, with the JSON emitter
-# (the committed BENCH_PR2.json is regenerated the same way, minus the
-# temp path).
+# (the committed BENCH_PR3.json is regenerated the same way, minus the
+# temp path and the group filter).
 bench-smoke:
 	dune exec bench/main.exe -- --only B12 --json /tmp/gdpn-bench-smoke.json
 

@@ -704,7 +704,7 @@ let json_float = function
 let write_json ~path rows stats =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"pr\": 2,\n";
+  Buffer.add_string buf "  \"pr\": 3,\n";
   Buffer.add_string buf
     "  \"config\": {\"quota_s\": 0.5, \"limit\": 2000, \"bootstrap\": 0},\n";
   Buffer.add_string buf "  \"benchmarks\": [\n";
@@ -739,6 +739,13 @@ let write_json ~path rows stats =
            (if i = List.length stats - 1 then "" else ",")))
     stats;
   Buffer.add_string buf "  ],\n";
+  (* Registry state accumulated over the whole benchmark run: solver and
+     cache counters give the run a coarse self-audit (e.g. that the
+     plan-cache rows actually hit the cache). *)
+  Buffer.add_string buf "  \"metrics\": ";
+  Buffer.add_string buf
+    (Gdpn_obs.Metrics.snapshot_to_json (Gdpn_obs.Metrics.snapshot ()));
+  Buffer.add_string buf ",\n";
   Buffer.add_string buf
     "  \"notes\": \"Orbit-reduced exhaustive verification (PR 2). The \
      circulant solution graph's only solvability-preserving symmetry is \

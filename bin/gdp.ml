@@ -18,8 +18,30 @@ module Engine = Gdpn_engine.Engine
 module Compare = Gdpn_baselines.Compare
 module Hayes = Gdpn_baselines.Hayes
 module Spares = Gdpn_baselines.Spares
+module Metrics = Gdpn_obs.Metrics
+module Span = Gdpn_obs.Span
 
 let pf = Format.printf
+
+(* Run [f] with the span sink pointed at [path] (when given); on the way
+   out, append the final metrics snapshot so the trace file carries its
+   own totals, then restore the null sink. *)
+let with_trace trace_out f =
+  match trace_out with
+  | None -> f ()
+  | Some path ->
+    Span.set_jsonl path;
+    Fun.protect
+      ~finally:(fun () ->
+        Span.emit_snapshot (Metrics.snapshot ());
+        Span.close ();
+        pf "wrote trace to %s@." path)
+      f
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Write a JSONL span trace to $(docv); the last line is a \
+               snapshot of the metrics registry.")
 
 (* -------------------- shared arguments -------------------- *)
 
@@ -124,7 +146,8 @@ let verify_cmd =
                  compare verdicts, counts and (orbit-expanded) failure \
                  sets.  Exits 3 on disagreement.")
   in
-  let run n k merged sample domains seed symmetry crosscheck =
+  let run n k merged sample domains seed symmetry crosscheck trace_out =
+    with_trace trace_out @@ fun () ->
     let module Auto = Gdpn_graph.Auto in
     let inst = build_instance n k merged in
     pf "%a@." Instance.pp inst;
@@ -203,7 +226,7 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify k-graceful-degradability.")
     Term.(const run $ n_arg $ k_arg $ merged_arg $ sample_arg $ domains_arg
-          $ seed_arg $ symmetry_arg $ crosscheck_arg)
+          $ seed_arg $ symmetry_arg $ crosscheck_arg $ trace_out_arg)
 
 (* -------------------- table -------------------- *)
 
@@ -259,7 +282,8 @@ let simulate_cmd =
     Arg.(value & opt int 0 & info [ "inject" ] ~docv:"F"
            ~doc:"Number of random faults to inject during the run.")
   in
-  let run n k stages rounds inject seed =
+  let run n k stages rounds inject seed trace_out =
+    with_trace trace_out @@ fun () ->
     let inst = Family.build ~n ~k in
     let stage_chain =
       match Faultsim.Workload.parse stages with
@@ -283,7 +307,7 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Stream a workload under fault injection.")
     Term.(const run $ n_arg $ k_arg $ stages_arg $ rounds_arg $ count_arg
-          $ seed_arg)
+          $ seed_arg $ trace_out_arg)
 
 (* -------------------- figure -------------------- *)
 
@@ -646,6 +670,57 @@ let trace_cmd =
        ~doc:"Run a traced simulation and print the event log as CSV.")
     Term.(const run $ n_arg $ k_arg $ rounds_arg $ count_arg $ seed_arg)
 
+(* -------------------- stats -------------------- *)
+
+let stats_cmd =
+  let rounds_arg =
+    Arg.(value & opt int 50 & info [ "rounds" ] ~docv:"R"
+           ~doc:"Simulation rounds in the workload.")
+  in
+  let inject_arg =
+    Arg.(value & opt int 2 & info [ "inject" ] ~docv:"F"
+           ~doc:"Random faults injected during the simulation.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the snapshot as one JSON object instead of a table.")
+  in
+  let run n k rounds inject seed json trace_out =
+    with_trace trace_out @@ fun () ->
+    let inst = Family.build ~n ~k in
+    (* A representative workload that exercises every instrumented layer:
+       an exhaustive verification (solver + verify counters), then a
+       fault-injected simulation (engine cache + machine + runner). *)
+    let engine = Engine.create inst in
+    let report = Engine.verify_exhaustive engine in
+    let machine = Faultsim.Machine.create ~engine inst in
+    let rng = Faultsim.Stream.Prng.create seed in
+    let schedule =
+      if inject = 0 then []
+      else Faultsim.Injector.random ~rng inst ~count:inject ~rounds
+    in
+    let metrics =
+      Faultsim.Runner.run ~machine
+        ~stages:(Faultsim.Stage.video_codec ())
+        ~source:(Faultsim.Stream.Sine_mixture [ (0.013, 1.0) ])
+        ~frame_length:256 ~rounds ~schedule ~seed ()
+    in
+    let snap = Metrics.snapshot () in
+    if json then print_endline (Metrics.snapshot_to_json snap)
+    else begin
+      pf "%a@." Instance.pp inst;
+      pf "workload: verify (%a), simulate (%a)@." Verify.pp_report report
+        Faultsim.Runner.pp_metrics metrics;
+      pf "@.%a@." Metrics.pp_snapshot snap
+    end;
+    0
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a representative workload and dump the metrics registry.")
+    Term.(const run $ n_arg $ k_arg $ rounds_arg $ inject_arg $ seed_arg
+          $ json_arg $ trace_out_arg)
+
 (* -------------------- impossibility -------------------- *)
 
 let impossibility_cmd =
@@ -676,5 +751,5 @@ let () =
             simulate_cmd; figure_cmd; impossibility_cmd; links_cmd;
             tolerance_cmd; trace_cmd; save_cmd; check_cmd; survival_cmd;
             draw_cmd; bounds_cmd; console_cmd; plan_cmd; certify_cmd;
-            check_cert_cmd; census_cmd;
+            check_cert_cmd; census_cmd; stats_cmd;
           ]))

@@ -1,6 +1,16 @@
 module Bitset = Gdpn_graph.Bitset
 module Combinat = Gdpn_graph.Combinat
 module Auto = Gdpn_graph.Auto
+module Metrics = Gdpn_obs.Metrics
+
+(* Observability instruments (process-wide, see Gdpn_obs.Metrics).
+   [verify.solver_calls] counts in {!check_mask}, the one choke point
+   every verification mode funnels through — sequential, orbit-reduced
+   and the parallel shards alike — so the counter matches the report's
+   [solver_calls] whenever no early-stop cut the enumeration short. *)
+let m_solver_calls = Metrics.counter "verify.solver_calls"
+let m_orbits_checked = Metrics.counter "verify.orbits_checked"
+let m_calls_saved = Metrics.counter "verify.solver_calls_saved"
 
 type failure = { faults : int list; reason : string; orbit : int }
 
@@ -12,6 +22,7 @@ type report = {
 }
 
 let check_mask ?budget ?solve inst mask =
+  Metrics.incr m_solver_calls;
   let outcome =
     match solve with
     | Some f -> f ~faults:mask
@@ -86,6 +97,8 @@ let exhaustive_orbits ?budget ?solve ?(max_failures = 5) ?universe group inst =
          Array.iter (Bitset.add mask) set;
          checked := !checked + size;
          incr calls;
+         Metrics.incr m_orbits_checked;
+         Metrics.add m_calls_saved (size - 1);
          match check_mask ?budget ?solve inst mask with
          | Ok () -> ()
          | Error reason ->

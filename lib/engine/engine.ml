@@ -2,7 +2,29 @@ module Bitset = Gdpn_graph.Bitset
 module Combinat = Gdpn_graph.Combinat
 module Hamilton = Gdpn_graph.Hamilton
 module Auto = Gdpn_graph.Auto
+module Metrics = Gdpn_obs.Metrics
+module Span = Gdpn_obs.Span
+module Mclock = Gdpn_obs.Mclock
 open Gdpn_core
+
+(* Observability instruments (process-wide, see Gdpn_obs.Metrics).
+   The cache-hit path deliberately stays clock-free: a hit is a hashtable
+   probe measured in nanoseconds, and even one [Mclock.now_ns] pair would
+   dominate it (the B11 bench row).  Only misses get a latency sample. *)
+let m_cache_hits = Metrics.counter "engine.cache_hits"
+let m_cache_misses = Metrics.counter "engine.cache_misses"
+let m_cache_evictions = Metrics.counter "engine.cache_evictions"
+let m_splices = Metrics.counter "engine.splices"
+let m_full_solves = Metrics.counter "engine.full_solves"
+let h_solve_miss = Metrics.histogram "engine.solve_miss_ns"
+let h_verify = Metrics.histogram "engine.verify_ns"
+let h_shard = Metrics.histogram "engine.parallel_shard_ns"
+
+(* Same cells as Verify's own instruments (registration is idempotent by
+   name): the orbit-reduced parallel path accounts its representatives
+   here, where the orbit sizes are known. *)
+let m_orbits_checked = Metrics.counter "verify.orbits_checked"
+let m_calls_saved = Metrics.counter "verify.solver_calls_saved"
 
 (* Plan cache keyed on the masks themselves: lookups hash the caller's
    mask in place, so cache hits allocate nothing (the old string-key
@@ -70,9 +92,14 @@ let reset t =
 let remember t mask outcome =
   if Masks.length t.cache < t.cache_limit then
     Masks.add t.cache (Bitset.copy mask) outcome
+  else
+    (* The cache never evicts residents; at the limit it declines the
+       insert, which is what this counter records. *)
+    Metrics.incr m_cache_evictions
 
 let full_solve t ~faults =
   t.stats.full_solves <- t.stats.full_solves + 1;
+  Metrics.incr m_full_solves;
   Reconfig.solve ~budget:t.budget ~ctx:t.ctx t.inst ~faults
 
 (* Cheap local repair first, global re-solve second (the paper's §4
@@ -90,6 +117,7 @@ let splice_from_cache t ~faults =
           match Repair.patch t.inst ~current ~faults ~failed:v with
           | Some (`Unchanged p) | Some (`Spliced p) ->
             t.stats.splices <- t.stats.splices + 1;
+            Metrics.incr m_splices;
             raise (Found (Reconfig.Pipeline p))
           | None -> ())
         | Some (Reconfig.No_pipeline | Reconfig.Gave_up) | None -> ())
@@ -104,14 +132,23 @@ let solve ?(cache = true) t ~faults =
     match Masks.find_opt t.cache faults with
     | Some outcome ->
       t.stats.cache_hits <- t.stats.cache_hits + 1;
+      Metrics.incr m_cache_hits;
       outcome
     | None ->
+      Metrics.incr m_cache_misses;
+      let start = Mclock.now_ns () in
       let outcome =
         match splice_from_cache t ~faults with
         | Some o -> o
         | None -> full_solve t ~faults
       in
       remember t faults outcome;
+      let dur = Mclock.now_ns () - start in
+      Metrics.observe h_solve_miss dur;
+      if Span.enabled () then
+        Span.emit ~name:"engine.solve"
+          ~attrs:[ ("faults", Span.Int (Bitset.cardinal faults)) ]
+          ~start_ns:start ~dur_ns:dur ();
       outcome
   end
 
@@ -123,16 +160,18 @@ let solve_list ?cache t ~faults =
 (* ------------------------------------------------------------------ *)
 
 let verify_exhaustive ?max_failures ?universe ?symmetry t =
-  Verify.exhaustive ~budget:t.budget
-    ~solve:(fun ~faults -> solve ~cache:false t ~faults)
-    ?max_failures ?universe ?symmetry t.inst
+  Metrics.time h_verify (fun () ->
+      Verify.exhaustive ~budget:t.budget
+        ~solve:(fun ~faults -> solve ~cache:false t ~faults)
+        ?max_failures ?universe ?symmetry t.inst)
 
 let verify_sampled ~seed ~trials ?max_failures t =
-  Verify.sampled
-    ~rng:(Random.State.make [| seed |])
-    ~trials ~budget:t.budget
-    ~solve:(fun ~faults -> solve ~cache:false t ~faults)
-    ?max_failures t.inst
+  Metrics.time h_verify (fun () ->
+      Verify.sampled
+        ~rng:(Random.State.make [| seed |])
+        ~trials ~budget:t.budget
+        ~solve:(fun ~faults -> solve ~cache:false t ~faults)
+        ?max_failures t.inst)
 
 let certify ?(symmetry = true) t =
   let solve ~faults = solve t ~faults in
@@ -238,6 +277,7 @@ module Parallel = struct
       go ()
     in
     let run_domain () =
+      let shard_start = Mclock.now_ns () in
       let ctx = Reconfig.make_ctx inst in
       let solve ~faults = Reconfig.solve ?budget ~ctx inst ~faults in
       let mask = Bitset.create order in
@@ -270,14 +310,26 @@ module Parallel = struct
         end
       in
       drain ();
-      !kept
+      (!kept, Mclock.now_ns () - shard_start)
     in
     let workers =
       List.init (domains - 1) (fun _ -> Domain.spawn run_domain)
     in
     (* The calling domain participates instead of idling. *)
     let own = run_domain () in
-    let per_domain = own :: List.map Domain.join workers in
+    let timed = own :: List.map Domain.join workers in
+    (* Shard timings are observed from the calling domain after the join
+       so worker hot loops never touch the sink. *)
+    List.iteri
+      (fun i (_, elapsed) ->
+        Metrics.observe h_shard elapsed;
+        if Span.enabled () then
+          Span.emit ~name:"engine.parallel_shard"
+            ~attrs:[ ("shard", Span.Int i) ]
+            ~start_ns:(Mclock.now_ns () - elapsed)
+            ~dur_ns:elapsed ())
+      timed;
+    let per_domain = List.map fst timed in
     merge ~max_failures:cap ~counts per_domain
 
   (* Orbit-reduced sharding: the work items are orbit representatives
@@ -304,6 +356,8 @@ module Parallel = struct
       if start <= skip_above then
         for i = start to Stdlib.min (start + chunk - 1) (nreps - 1) do
           let set = reps.(i).Auto.set in
+          Metrics.incr m_orbits_checked;
+          Metrics.add m_calls_saved (reps.(i).Auto.size - 1);
           check i set (Array.length set)
         done
     in

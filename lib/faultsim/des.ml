@@ -1,4 +1,26 @@
 module Pqueue = Gdpn_graph.Pqueue
+module Metrics = Gdpn_obs.Metrics
+module Span = Gdpn_obs.Span
+module Mclock = Gdpn_obs.Mclock
+
+(* Observability instruments (process-wide, see Gdpn_obs.Metrics).
+   Counters are in simulated work units where noted; the queue-depth
+   histogram samples total queued work items at each fault instant. *)
+let m_simulations = Metrics.counter "des.simulations"
+let m_tokens = Metrics.counter "des.tokens_completed"
+let m_faults_applied = Metrics.counter "des.faults_applied"
+let m_faults_late = Metrics.counter "des.faults_late"
+let m_local_repairs = Metrics.counter "des.local_repairs"
+let m_global_remaps = Metrics.counter "des.global_remaps"
+let m_stall_units = Metrics.counter "des.stall_units"
+let m_migrated_words = Metrics.counter "des.migrated_state_words"
+
+let h_queue_depth =
+  Metrics.histogram
+    ~bounds:[| 0; 1; 2; 4; 8; 16; 32; 64; 128; 256 |]
+    "des.queue_depth_at_fault"
+
+let h_simulate = Metrics.histogram "des.simulate_ns"
 
 type config = {
   arrival_period : int;
@@ -27,6 +49,9 @@ type outcome = {
   max_latency : int;
   p99_latency : int;
   stall_time : int;
+  faults_injected : int;
+  faults_applied : int;
+  faults_late : int;
   latencies : int array;
   activity : activity list;
 }
@@ -49,6 +74,8 @@ let stage_costs ~stages ~frame =
   costs
 
 let simulate ~machine ~stages ~config ~faults ~tokens =
+  let sim_start = Mclock.now_ns () in
+  Metrics.incr m_simulations;
   let inst = Machine.instance machine in
   let order = Gdpn_core.Instance.order inst in
   let n_stages = List.length stages in
@@ -80,6 +107,7 @@ let simulate ~machine ~stages ~config ~faults ~tokens =
   let completed = ref 0 in
   let makespan = ref 0 in
   let stall_total = ref 0 in
+  let applied = ref 0 in
 
   let start_next now host =
     if (not busy.(host)) && not (Queue.is_empty queues.(host)) then begin
@@ -120,12 +148,21 @@ let simulate ~machine ~stages ~config ~faults ~tokens =
   in
 
   let handle_fault now node =
+    incr applied;
+    Metrics.incr m_faults_applied;
+    let queue_depth =
+      let d = ref 0 in
+      Array.iter (fun q -> d := !d + Queue.length q) queues;
+      !d
+    in
+    Metrics.observe h_queue_depth queue_depth;
     let before_local = Machine.local_repair_count machine in
     match Machine.inject machine node with
     | Machine.Unchanged -> ()
     | Machine.Lost -> failwith "Des.simulate: stream lost (fault beyond spec)"
     | Machine.Remapped _ ->
       let local = Machine.local_repair_count machine > before_local in
+      Metrics.incr (if local then m_local_repairs else m_global_remaps);
       let new_hosts = Runner.stage_hosts ~stages machine in
       (* Stall: the repair itself plus moving the state of every stage
          whose host changed. *)
@@ -146,6 +183,18 @@ let simulate ~machine ~stages ~config ~faults ~tokens =
         + (config.migration_cost_per_word * moved_state)
       in
       stall_total := !stall_total + latency;
+      Metrics.add m_stall_units latency;
+      Metrics.add m_migrated_words moved_state;
+      if Span.enabled () then
+        Span.emit ~name:"des.fault"
+          ~attrs:
+            [
+              ("node", Span.Int node);
+              ("local", Span.Bool local);
+              ("stall_units", Span.Int latency);
+              ("queue_depth", Span.Int queue_depth);
+            ]
+          ~start_ns:(Mclock.now_ns ()) ~dur_ns:0 ();
       (* Collect pending work: queued items everywhere, plus the in-service
          item of any host that just died (its work restarts elsewhere). *)
       let displaced = ref [] in
@@ -200,25 +249,67 @@ let simulate ~machine ~stages ~config ~faults ~tokens =
   in
   loop ();
 
+  (* Fault events scheduled after the last token completes used to be
+     silently dropped (the loop exits on [completed = tokens] with the
+     events still queued), so experiments could quietly under-inject.
+     Drain them: the machine's end state then reflects every scheduled
+     fault, and [faults_injected]/[faults_applied] prove it. *)
+  let applied_in_run = !applied in
+  let rec drain () =
+    match Pqueue.pop events with
+    | None -> ()
+    | Some (now, Fault node) ->
+      handle_fault now node;
+      drain ()
+    | Some (_, (Arrival _ | Finish _)) -> drain ()
+  in
+  drain ();
+  let late = !applied - applied_in_run in
+  Metrics.add m_faults_late late;
+  Metrics.add m_tokens !completed;
+
   let lat = Array.sub latencies 0 tokens in
   let sum = Array.fold_left ( + ) 0 lat in
   let sorted = Array.copy lat in
   Array.sort compare sorted;
-  {
-    tokens_completed = !completed;
-    makespan = !makespan;
-    mean_latency =
-      (if tokens = 0 then 0.0 else float_of_int sum /. float_of_int tokens);
-    max_latency = (if tokens = 0 then 0 else sorted.(tokens - 1));
-    p99_latency =
-      (if tokens = 0 then 0 else sorted.(min (tokens - 1) (99 * tokens / 100)));
-    stall_time = !stall_total;
-    latencies = lat;
-    activity = List.rev !activity;
-  }
+  let outcome =
+    {
+      tokens_completed = !completed;
+      makespan = !makespan;
+      mean_latency =
+        (if tokens = 0 then 0.0 else float_of_int sum /. float_of_int tokens);
+      max_latency = (if tokens = 0 then 0 else sorted.(tokens - 1));
+      p99_latency = (if tokens = 0 then 0 else Stats.percentile_int lat 99);
+      stall_time = !stall_total;
+      faults_injected = List.length faults;
+      faults_applied = !applied;
+      faults_late = late;
+      latencies = lat;
+      activity = List.rev !activity;
+    }
+  in
+  Metrics.observe h_simulate (Mclock.now_ns () - sim_start);
+  if Span.enabled () then
+    Span.emit ~name:"des.simulate"
+      ~attrs:
+        [
+          ("tokens", Span.Int outcome.tokens_completed);
+          ("faults_injected", Span.Int outcome.faults_injected);
+          ("faults_applied", Span.Int outcome.faults_applied);
+          ("makespan", Span.Int outcome.makespan);
+          ("stall_units", Span.Int outcome.stall_time);
+        ]
+      ~start_ns:sim_start
+      ~dur_ns:(Mclock.now_ns () - sim_start)
+      ();
+  outcome
 
 let pp_outcome ppf o =
   Format.fprintf ppf
-    "tokens=%d makespan=%d latency(mean=%.0f p99=%d max=%d) stall=%d"
+    "tokens=%d makespan=%d latency(mean=%.0f p99=%d max=%d) stall=%d \
+     faults=%d/%d%s"
     o.tokens_completed o.makespan o.mean_latency o.p99_latency o.max_latency
-    o.stall_time
+    o.stall_time o.faults_applied o.faults_injected
+    (if o.faults_late > 0 then
+       Printf.sprintf " (%d after completion)" o.faults_late
+     else "")

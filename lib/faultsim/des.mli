@@ -44,8 +44,16 @@ type outcome = {
   makespan : int;  (** completion time of the last token *)
   mean_latency : float;
   max_latency : int;
-  p99_latency : int;
+  p99_latency : int;  (** nearest-rank ({!Stats.percentile_int}) *)
   stall_time : int;  (** total repair stall imposed on the hosts *)
+  faults_injected : int;  (** faults in the schedule *)
+  faults_applied : int;
+      (** fault events actually processed — equal to [faults_injected]
+          unless the run aborted; includes post-completion faults *)
+  faults_late : int;
+      (** faults applied after the last token completed (they still
+          mutate the machine and count into [stall_time], but cannot
+          affect any token's latency) *)
   latencies : int array;  (** per-token end-to-end latency, arrival order *)
   activity : activity list;
       (** every completed service interval, in completion order — feeds
@@ -61,7 +69,10 @@ val simulate :
   outcome
 (** [simulate ~machine ~stages ~config ~faults ~tokens] runs [tokens]
     arrivals with faults given as [(time, node)] pairs.  The machine must
-    hold a live pipeline.  Raises [Failure] if a fault kills the stream
-    entirely (in-spec fault lists never do). *)
+    hold a live pipeline.  Faults scheduled after the last token
+    completes are still applied (draining the event queue), so the
+    machine's end state always reflects the whole schedule.  Raises
+    [Failure] if a fault kills the stream entirely (in-spec fault lists
+    never do). *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,6 +1,13 @@
 open Gdpn_core
 module Bitset = Gdpn_graph.Bitset
 module Engine = Gdpn_engine.Engine
+module Metrics = Gdpn_obs.Metrics
+
+(* Observability instruments (process-wide, see Gdpn_obs.Metrics). *)
+let m_injections = Metrics.counter "machine.injections"
+let m_local = Metrics.counter "machine.local_repairs"
+let m_full = Metrics.counter "machine.full_remaps"
+let m_lost = Metrics.counter "machine.streams_lost"
 
 type t = {
   engine : Engine.t;
@@ -90,9 +97,13 @@ let inject t node =
     Bitset.add t.fault_mask node;
     t.fault_list <- node :: t.fault_list;
     t.remaps <- t.remaps + 1;
+    Metrics.incr m_injections;
     match resolve t with
     | Some p, local ->
       if local then t.local_repairs <- t.local_repairs + 1;
+      Metrics.incr (if local then m_local else m_full);
       Remapped p
-    | None, _ -> Lost
+    | None, _ ->
+      Metrics.incr m_lost;
+      Lost
   end

@@ -1,3 +1,17 @@
+module Metrics = Gdpn_obs.Metrics
+module Span = Gdpn_obs.Span
+module Mclock = Gdpn_obs.Mclock
+
+(* Observability instruments (process-wide, see Gdpn_obs.Metrics). *)
+let m_runs = Metrics.counter "runner.runs"
+let m_frames = Metrics.counter "runner.frames"
+let m_faults = Metrics.counter "runner.faults"
+let m_local_repairs = Metrics.counter "runner.local_repairs"
+let m_global_remaps = Metrics.counter "runner.global_remaps"
+let m_migrated = Metrics.counter "runner.stages_migrated"
+let m_lost = Metrics.counter "runner.streams_lost"
+let h_run = Metrics.histogram "runner.run_ns"
+
 type metrics = {
   frames_processed : int;
   rounds : int;
@@ -91,6 +105,8 @@ let count_moved before after =
 
 let run ~machine ~stages ~source ~frame_length ~rounds ?(schedule = [])
     ?(seed = 42) ?trace () =
+  let run_start = Mclock.now_ns () in
+  Metrics.incr m_runs;
   let rng = Stream.Prng.create seed in
   let frames_processed = ref 0 in
   let total_work = ref 0 in
@@ -101,24 +117,43 @@ let run ~machine ~stages ~source ~frame_length ~rounds ?(schedule = [])
   let emit e = Option.iter (fun t -> Trace.record t e) trace in
   let hosts = ref (stage_hosts ~stages machine) in
   for round = 0 to rounds - 1 do
-    let before_local = Machine.local_repair_count machine in
     let due =
       List.filter (fun ev -> ev.Injector.round = round) schedule
     in
     List.iter
       (fun ev ->
         emit (Trace.Fault { round; node = ev.Injector.node });
+        Metrics.incr m_faults;
+        (* Read the repair count immediately before each injection: a
+           single pre-round snapshot misclassified the second and later
+           remaps of a multi-fault round (once one local repair landed,
+           [count > before] stayed true for every subsequent event, so a
+           global remap following a local splice was reported local). *)
+        let before_local = Machine.local_repair_count machine in
         match Machine.inject machine ev.Injector.node with
         | Machine.Remapped p ->
+          let local = Machine.local_repair_count machine > before_local in
+          Metrics.incr (if local then m_local_repairs else m_global_remaps);
+          if Span.enabled () then
+            Span.event
+              ~attrs:
+                [
+                  ("round", Span.Int round);
+                  ("node", Span.Int ev.Injector.node);
+                  ("local", Span.Bool local);
+                ]
+              "runner.remap";
           emit
             (Trace.Remap
                {
                  round;
-                 local = Machine.local_repair_count machine > before_local;
+                 local;
                  pipeline_processors = Gdpn_core.Pipeline.processor_count p;
                })
         | Machine.Unchanged -> ()
-        | Machine.Lost -> emit (Trace.Stream_lost { round }))
+        | Machine.Lost ->
+          Metrics.incr m_lost;
+          emit (Trace.Stream_lost { round }))
       due;
     if due <> [] && Machine.pipeline machine <> None then begin
       let now = stage_hosts ~stages machine in
@@ -142,6 +177,9 @@ let run ~machine ~stages ~source ~frame_length ~rounds ?(schedule = [])
       incr frames_processed
   done;
   let fp = !frames_processed in
+  Metrics.add m_frames fp;
+  Metrics.add m_migrated !migrated;
+  Metrics.observe h_run (Mclock.now_ns () - run_start);
   {
     frames_processed = fp;
     rounds;

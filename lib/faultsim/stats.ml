@@ -9,14 +9,27 @@ type summary = {
   p99 : float;
 }
 
+(* Nearest-rank index into a sorted array of [n] samples:
+   ceil(p/100 * n) - 1, clamped so p = 0 maps to the minimum.  The old
+   [p * n / 100] indexing was biased one slot high for most (p, n) —
+   e.g. p50 of 100 samples read sorted.(50), the 51st value.  Both
+   [percentile] and [percentile_int] (and through it {!Des.simulate}'s
+   p99) share this one definition so the conventions cannot diverge. *)
+let nearest_rank_index ~n p =
+  if p < 0 || p > 100 then invalid_arg "Stats.percentile: p out of range";
+  max 0 (((p * n) + 99) / 100 - 1)
+
 let percentile xs p =
   if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
-  if p < 0 || p > 100 then invalid_arg "Stats.percentile: p out of range";
   let sorted = Array.copy xs in
   Array.sort compare sorted;
-  let n = Array.length sorted in
-  let rank = p * n / 100 in
-  sorted.(min (n - 1) rank)
+  sorted.(nearest_rank_index ~n:(Array.length sorted) p)
+
+let percentile_int xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  sorted.(nearest_rank_index ~n:(Array.length sorted) p)
 
 let summarise xs =
   let n = Array.length xs in

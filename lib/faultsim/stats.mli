@@ -18,7 +18,18 @@ val summarise : float array -> summary
 val of_ints : int array -> summary
 
 val percentile : float array -> int -> float
-(** [percentile xs p] for [0 <= p <= 100], nearest-rank on a sorted copy. *)
+(** [percentile xs p] for [0 <= p <= 100]: nearest-rank
+    ([ceil(p/100 * n) - 1] into a sorted copy, so [p = 50] over 100
+    samples reads the 50th value, not the 51st). *)
+
+val percentile_int : int array -> int -> int
+(** Same nearest-rank convention over integer samples (shared with
+    {!Des.simulate}'s latency percentiles). *)
+
+val nearest_rank_index : n:int -> int -> int
+(** The shared rank definition: index of percentile [p] in a sorted
+    array of [n] samples.  Raises [Invalid_argument] unless
+    [0 <= p <= 100]. *)
 
 val histogram : ?bins:int -> ?width:int -> float array -> string
 (** An ASCII histogram: one row per bin, bar length proportional to count,

@@ -2,6 +2,18 @@ type result = Path of int list | No_path | Budget_exceeded
 
 exception Out_of_budget
 
+module Metrics = Gdpn_obs.Metrics
+module Mclock = Gdpn_obs.Mclock
+
+(* Observability instruments (process-wide, see Gdpn_obs.Metrics).
+   The DFS hot loop touches only local refs; totals are flushed into the
+   registry once per search, so instrumentation costs two atomic adds and
+   one clock pair per solve, nothing per expansion. *)
+let m_searches = Metrics.counter "hamilton.searches"
+let m_expansions = Metrics.counter "hamilton.expansions"
+let m_backtracks = Metrics.counter "hamilton.backtracks"
+let h_search = Metrics.histogram "hamilton.search_ns"
+
 (* The DFS works on mutable state:
    - [remaining]: alive nodes not yet on the path (excludes the head);
    - [trail]: the path so far, head first (reversed at the end);
@@ -60,7 +72,9 @@ let search ctx ~budget ~expansions:expansions_out g ~alive ~starts ~ends =
   let total = Bitset.cardinal alive in
   if total = 0 then No_path
   else begin
+    let search_start = Mclock.now_ns () in
     let expansions = ref 0 in
+    let backtracks = ref 0 in
     let tick () =
       incr expansions;
       Option.iter (fun r -> incr r) expansions_out;
@@ -186,7 +200,8 @@ let search ctx ~budget ~expansions:expansions_out g ~alive ~starts ~ends =
           let u = ctx.cand.(i) in
           occupy u;
           extend u (u :: trail);
-          release u
+          release u;
+          incr backtracks
         done;
         ctx.cand_sp <- base
       end
@@ -197,16 +212,23 @@ let search ctx ~budget ~expansions:expansions_out g ~alive ~starts ~ends =
       Bitset.inter_into ctx.pool alive;
       Bitset.elements ctx.pool
     in
-    try
-      List.iter
-        (fun start ->
-          init_from start;
-          extend start [ start ])
-        start_candidates;
-      No_path
-    with
-    | Found trail -> Path (List.rev trail)
-    | Out_of_budget -> Budget_exceeded
+    let result =
+      try
+        List.iter
+          (fun start ->
+            init_from start;
+            extend start [ start ])
+          start_candidates;
+        No_path
+      with
+      | Found trail -> Path (List.rev trail)
+      | Out_of_budget -> Budget_exceeded
+    in
+    Metrics.incr m_searches;
+    Metrics.add m_expansions !expansions;
+    Metrics.add m_backtracks !backtracks;
+    Metrics.observe h_search (Mclock.now_ns () - search_start);
+    result
   end
 
 let solve_into ?budget ?expansions ctx g ~alive ~starts ~ends =

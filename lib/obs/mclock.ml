@@ -1,0 +1,5 @@
+let ns_of_s s =
+  if Float.is_finite s then int_of_float (s *. 1e9) else max_int
+
+let s_of_ns ns = float_of_int ns /. 1e9
+let now_ns () = ns_of_s (Unix.gettimeofday ())

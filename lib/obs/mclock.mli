@@ -1,0 +1,14 @@
+(** Wall-clock timestamps for metrics and trace spans.
+
+    Nanosecond integers so the observability hot path never boxes a float:
+    a timestamp is an immediate [int] on 64-bit platforms (good for ~292
+    years of range), and arithmetic on it is allocation-free. *)
+
+val now_ns : unit -> int
+(** Current time in integer nanoseconds since the Unix epoch. *)
+
+val ns_of_s : float -> int
+(** Convert seconds to integer nanoseconds (saturating on non-finite). *)
+
+val s_of_ns : int -> float
+(** Convert integer nanoseconds back to seconds. *)

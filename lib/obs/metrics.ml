@@ -1,0 +1,259 @@
+type counter = { cname : string; c : int Atomic.t }
+type gauge = { gname : string; g : int Atomic.t }
+
+type histogram = {
+  hname : string;
+  bounds : int array;  (** inclusive upper bounds, strictly ascending *)
+  buckets : int Atomic.t array;  (** length = len bounds + 1 (overflow) *)
+  count : int Atomic.t;
+  sum : int Atomic.t;
+  min_v : int Atomic.t;  (** [max_int] until the first observation *)
+  max_v : int Atomic.t;  (** [min_int] until the first observation *)
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+(* Registration is rare and cold; a mutex keeps it simple.  Lookups on
+   the hot path never touch the registry — instruments are fetched once
+   at module initialisation and used as plain records thereafter. *)
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let counter name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (C c) -> c
+      | Some _ ->
+        invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter")
+      | None ->
+        let c = { cname = name; c = Atomic.make 0 } in
+        Hashtbl.add registry name (C c);
+        c)
+
+let gauge name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (G g) -> g
+      | Some _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge")
+      | None ->
+        let g = { gname = name; g = Atomic.make 0 } in
+        Hashtbl.add registry name (G g);
+        g)
+
+(* Powers of four from 1µs to ~68s: 12 buckets cover the whole span of
+   this codebase's latencies (sub-µs cache hits to minutes-long
+   exhaustive verifications) at ~2x resolution per decade. *)
+let default_bounds =
+  Array.init 13 (fun i ->
+      let rec pow4 n = if n = 0 then 1 else 4 * pow4 (n - 1) in
+      1_000 * pow4 i)
+
+let histogram ?(bounds = default_bounds) name =
+  if Array.length bounds = 0 then
+    invalid_arg "Metrics.histogram: empty bounds";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && bounds.(i - 1) >= b then
+        invalid_arg "Metrics.histogram: bounds not strictly ascending")
+    bounds;
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (H h) -> h
+      | Some _ ->
+        invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram")
+      | None ->
+        let h =
+          {
+            hname = name;
+            bounds = Array.copy bounds;
+            buckets =
+              Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+            count = Atomic.make 0;
+            sum = Atomic.make 0;
+            min_v = Atomic.make max_int;
+            max_v = Atomic.make min_int;
+          }
+        in
+        Hashtbl.add registry name (H h);
+        h)
+
+let incr c = Atomic.incr c.c
+let add c n = ignore (Atomic.fetch_and_add c.c n)
+let value c = Atomic.get c.c
+let set g v = Atomic.set g.g v
+let gauge_value g = Atomic.get g.g
+
+(* Racy-but-convergent extremum update: retry while our value would
+   still improve the cell.  Allocation-free (ints are immediate). *)
+let rec update_min cell v =
+  let cur = Atomic.get cell in
+  if v < cur && not (Atomic.compare_and_set cell cur v) then
+    update_min cell v
+
+let rec update_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then
+    update_max cell v
+
+let bucket_index bounds v =
+  (* Linear scan: bucket counts are small (default 13) and the scan is
+     branch-predictable; a binary search buys nothing at this size. *)
+  let n = Array.length bounds in
+  let i = ref 0 in
+  while !i < n && v > bounds.(!i) do
+    Stdlib.incr i
+  done;
+  !i
+
+let observe h v =
+  ignore (Atomic.fetch_and_add h.count 1);
+  ignore (Atomic.fetch_and_add h.sum v);
+  update_min h.min_v v;
+  update_max h.max_v v;
+  ignore (Atomic.fetch_and_add h.buckets.(bucket_index h.bounds v) 1)
+
+let time h f =
+  let t0 = Mclock.now_ns () in
+  Fun.protect ~finally:(fun () -> observe h (Mclock.now_ns () - t0)) f
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type histogram_data = {
+  hcount : int;
+  hsum : int;
+  hmin : int;
+  hmax : int;
+  hbuckets : (int * int) array;
+  hoverflow : int;
+}
+
+type value = Counter of int | Gauge of int | Histogram of histogram_data
+type snapshot = (string * value) list
+
+let read_histogram h =
+  let n = Array.length h.bounds in
+  let hcount = Atomic.get h.count in
+  {
+    hcount;
+    hsum = Atomic.get h.sum;
+    hmin = (if hcount = 0 then 0 else Atomic.get h.min_v);
+    hmax = (if hcount = 0 then 0 else Atomic.get h.max_v);
+    hbuckets =
+      Array.init n (fun i -> (h.bounds.(i), Atomic.get h.buckets.(i)));
+    hoverflow = Atomic.get h.buckets.(n);
+  }
+
+let snapshot () =
+  let entries =
+    with_registry (fun () ->
+        Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
+  in
+  List.sort compare
+    (List.map
+       (fun (name, m) ->
+         ( name,
+           match m with
+           | C c -> Counter (Atomic.get c.c)
+           | G g -> Gauge (Atomic.get g.g)
+           | H h -> Histogram (read_histogram h) ))
+       entries)
+
+let reset () =
+  let entries =
+    with_registry (fun () ->
+        Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
+  in
+  List.iter
+    (function
+      | C c -> Atomic.set c.c 0
+      | G g -> Atomic.set g.g 0
+      | H h ->
+        Atomic.set h.count 0;
+        Atomic.set h.sum 0;
+        Atomic.set h.min_v max_int;
+        Atomic.set h.max_v min_int;
+        Array.iter (fun b -> Atomic.set b 0) h.buckets)
+    entries
+
+let find snap name = List.assoc_opt name snap
+
+let counter_in snap name =
+  match find snap name with Some (Counter v) -> v | _ -> 0
+
+let human_ns ns =
+  let f = float_of_int ns in
+  if f >= 1e9 then Printf.sprintf "%.3fs" (f /. 1e9)
+  else if f >= 1e6 then Printf.sprintf "%.3fms" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.1fµs" (f /. 1e3)
+  else Printf.sprintf "%dns" ns
+
+let pp_snapshot ppf snap =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter c -> Format.fprintf ppf "%-40s %d@." name c
+      | Gauge g -> Format.fprintf ppf "%-40s %d (gauge)@." name g
+      | Histogram h ->
+        let is_ns =
+          let l = String.length name in
+          l >= 3 && String.sub name (l - 3) 3 = "_ns"
+        in
+        let show = if is_ns then human_ns else string_of_int in
+        Format.fprintf ppf "%-40s n=%d mean=%s min=%s max=%s@." name h.hcount
+          (show (if h.hcount = 0 then 0 else h.hsum / h.hcount))
+          (show h.hmin) (show h.hmax);
+        Array.iter
+          (fun (bound, c) ->
+            if c > 0 then
+              Format.fprintf ppf "%-40s   <= %-12s %d@." "" (show bound) c)
+          h.hbuckets;
+        if h.hoverflow > 0 then
+          Format.fprintf ppf "%-40s   >  %-12s %d@." ""
+            (show (fst h.hbuckets.(Array.length h.hbuckets - 1)))
+            h.hoverflow)
+    snap
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let snapshot_to_json snap =
+  let buf = Buffer.create 1024 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Printf.sprintf "\"%s\": " (json_escape name));
+      match v with
+      | Counter c | Gauge c -> Buffer.add_string buf (string_of_int c)
+      | Histogram h ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \
+              \"buckets\": [%s], \"overflow\": %d}"
+             h.hcount h.hsum h.hmin h.hmax
+             (String.concat ", "
+                (Array.to_list
+                   (Array.map
+                      (fun (b, c) -> Printf.sprintf "[%d, %d]" b c)
+                      h.hbuckets)))
+             h.hoverflow))
+    snap;
+  Buffer.add_char buf '}';
+  Buffer.contents buf

@@ -1,0 +1,99 @@
+(** Process-wide metrics registry: counters, gauges and fixed-bucket
+    histograms.
+
+    Design constraints, in order:
+
+    - {b Allocation-free on the hot path.}  [incr], [add], [set] and
+      [observe] allocate nothing: counters and gauges are [Atomic.t]
+      cells holding immediate ints, histogram buckets are an array of
+      such cells, and histogram values are integer nanoseconds (or any
+      other integer unit) so no float is ever boxed after registration.
+    - {b Safe under parallel domains.}  All mutation goes through
+      [Atomic]; concurrent updates from {!Gdpn_engine}-style worker
+      domains lose nothing.  (Histogram min/max use a CAS loop.)
+    - {b Cheap when ignored.}  An uninstrumented run pays one atomic
+      increment per counted event and nothing else; registration happens
+      once per process at module initialisation.
+
+    Metrics are registered by name and are idempotent: asking twice for
+    counter ["x"] returns the same cell, so library modules can declare
+    their instruments at top level without coordination.  Names use
+    dotted paths with the owning layer as prefix ([engine.cache_hits],
+    [hamilton.expansions], [des.stall_units]).  Histogram names carry
+    their unit as suffix ([_ns] for nanoseconds; unitless otherwise). *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Register (or fetch) a monotonically increasing counter. *)
+
+val gauge : string -> gauge
+(** Register (or fetch) a last-value-wins integer gauge. *)
+
+val histogram : ?bounds:int array -> string -> histogram
+(** Register (or fetch) a fixed-bucket histogram.  [bounds] are
+    inclusive upper bucket bounds, strictly ascending; an implicit
+    overflow bucket catches larger values.  The default bounds are a
+    latency ladder in nanoseconds from 1µs to ~68s (powers of four).
+    Raises [Invalid_argument] if a metric of another kind already holds
+    the name, or if [bounds] is empty or not strictly ascending. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+val observe : histogram -> int -> unit
+(** Record one integer observation (e.g. nanoseconds from {!Mclock}). *)
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** [time h f] runs [f ()], observes its wall time in nanoseconds, and
+    returns its result (also observing when [f] raises). *)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type histogram_data = {
+  hcount : int;  (** number of observations *)
+  hsum : int;  (** sum of observed values *)
+  hmin : int;  (** smallest observation ([0] when empty) *)
+  hmax : int;  (** largest observation ([0] when empty) *)
+  hbuckets : (int * int) array;
+      (** [(upper_bound, count)] per configured bucket *)
+  hoverflow : int;  (** observations above the last bound *)
+}
+
+type value = Counter of int | Gauge of int | Histogram of histogram_data
+
+type snapshot = (string * value) list
+(** Sorted by metric name. *)
+
+val snapshot : unit -> snapshot
+(** A consistent-enough point-in-time copy of every registered metric
+    (individual cells are read atomically; the set is not fenced). *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations survive).  For test and
+    benchmark isolation; never called on production paths. *)
+
+val find : snapshot -> string -> value option
+
+val counter_in : snapshot -> string -> int
+(** Counter value by name; [0] when absent or of another kind. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+(** Human-readable table: one line per counter/gauge, a short block per
+    histogram (count, mean, max and non-empty buckets). *)
+
+val snapshot_to_json : snapshot -> string
+(** One JSON object: [{"name": value, ...}] with histograms as nested
+    objects [{count, sum, min, max, buckets: [[bound, n], ...],
+    overflow}].  Hand-rolled (the image carries no JSON library). *)
+
+val json_escape : string -> string
+(** JSON string-content escaping, shared with {!Span}'s emitter. *)

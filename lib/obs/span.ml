@@ -1,0 +1,84 @@
+type attr_value = Int of int | Float of float | Bool of bool | Str of string
+type attr = string * attr_value
+
+type sink = { oc : out_channel; mutex : Mutex.t }
+
+let current : sink option ref = ref None
+
+let close () =
+  match !current with
+  | None -> ()
+  | Some s ->
+    current := None;
+    (try close_out s.oc with Sys_error _ -> ())
+
+let set_jsonl path =
+  close ();
+  current := Some { oc = open_out path; mutex = Mutex.create () }
+
+let enabled () = !current <> None
+
+let buf_attr buf (key, v) =
+  Buffer.add_string buf (Printf.sprintf "\"%s\":" (Metrics.json_escape key));
+  match v with
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    Buffer.add_string buf
+      (if Float.is_finite f then Printf.sprintf "%.6g" f else "null")
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Str s ->
+    Buffer.add_string buf (Printf.sprintf "\"%s\"" (Metrics.json_escape s))
+
+let write_line s line =
+  Mutex.lock s.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock s.mutex)
+    (fun () ->
+      output_string s.oc line;
+      output_char s.oc '\n';
+      flush s.oc)
+
+let emit ~name ?(attrs = []) ~start_ns ~dur_ns () =
+  match !current with
+  | None -> ()
+  | Some s ->
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf
+      (Printf.sprintf "{\"name\":\"%s\",\"domain\":%d,\"start_ns\":%d,\"dur_ns\":%d"
+         (Metrics.json_escape name)
+         (Domain.self () :> int)
+         start_ns dur_ns);
+    if attrs <> [] then begin
+      Buffer.add_string buf ",\"attrs\":{";
+      List.iteri
+        (fun i a ->
+          if i > 0 then Buffer.add_char buf ',';
+          buf_attr buf a)
+        attrs;
+      Buffer.add_char buf '}'
+    end;
+    Buffer.add_char buf '}';
+    write_line s (Buffer.contents buf)
+
+let event ?attrs name =
+  if enabled () then
+    emit ~name ?attrs ~start_ns:(Mclock.now_ns ()) ~dur_ns:0 ()
+
+let with_span ?attrs name f =
+  if not (enabled ()) then f ()
+  else begin
+    let start_ns = Mclock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        emit ~name ?attrs ~start_ns
+          ~dur_ns:(Mclock.now_ns () - start_ns)
+          ())
+      f
+  end
+
+let emit_snapshot snap =
+  match !current with
+  | None -> ()
+  | Some s ->
+    write_line s
+      (Printf.sprintf "{\"snapshot\": %s}" (Metrics.snapshot_to_json snap))

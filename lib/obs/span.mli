@@ -1,0 +1,57 @@
+(** Span-based structured tracing with a JSONL sink.
+
+    A span is a named, timed interval with optional attributes; an event
+    is a zero-duration span.  Spans go to a process-global sink — by
+    default the null sink, so an untraced run pays one branch per
+    potential span and nothing else.  Pointing the sink at a file (the
+    CLI's [--trace-out]) makes every span a JSON object on its own line:
+
+    {v
+    {"name":"engine.solve","domain":0,"start_ns":...,"dur_ns":...,"attrs":{"faults":2}}
+    v}
+
+    Emission is mutex-serialised, so worker domains may trace freely;
+    the stream is ordered by emission (i.e. span {e end}) time.
+
+    Hot-path convention: guard attribute construction with {!enabled}
+    so the untraced path allocates nothing —
+
+    {[
+      if Span.enabled () then
+        Span.emit ~name:"engine.solve" ~start_ns ~dur_ns
+          ~attrs:[ ("faults", Span.Int n) ] ()
+    ]} *)
+
+type attr_value = Int of int | Float of float | Bool of bool | Str of string
+
+type attr = string * attr_value
+
+val set_jsonl : string -> unit
+(** Open (truncate) a file and direct all subsequent spans to it, one
+    JSON object per line.  Replaces (and closes) any previous sink. *)
+
+val close : unit -> unit
+(** Flush and close the sink; return to the null sink.  No-op when no
+    sink is set. *)
+
+val enabled : unit -> bool
+(** [true] iff a sink is installed.  Check this before building
+    attribute lists on hot paths. *)
+
+val emit :
+  name:string -> ?attrs:attr list -> start_ns:int -> dur_ns:int -> unit -> unit
+(** Write one span.  No-op (and allocation-free given already-built
+    arguments) on the null sink. *)
+
+val event : ?attrs:attr list -> string -> unit
+(** A zero-duration span stamped with the current time. *)
+
+val with_span : ?attrs:attr list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span (emitted when the thunk returns or
+    raises).  On the null sink this is just the call, plus one clock
+    read pair when enabled. *)
+
+val emit_snapshot : Metrics.snapshot -> unit
+(** Append the metrics registry snapshot as a single
+    [{"snapshot": {...}}] line — the CLI writes one at the end of a
+    traced run so a trace file is self-describing. *)

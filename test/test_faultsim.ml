@@ -455,6 +455,61 @@ let runner_tests =
         check Alcotest.bool "lost" true m.Runner.pipeline_lost;
         check Alcotest.int "five frames before the hit" 5
           m.Runner.frames_processed);
+    tc "second remap in a multi-fault round is classified independently"
+      (fun () ->
+        (* Regression: the runner captured [local_repair_count] once per
+           round, so once the first event of a round landed a local
+           repair, every later remap in the same round compared against
+           the stale pre-round count and was reported local too. *)
+        let inst = Family.build ~n:9 ~k:2 in
+        let fresh () = Machine.create inst in
+        let p = Option.get (Machine.pipeline (fresh ())) in
+        (* First fault: an input terminal off the embedded pipeline — the
+           patcher absorbs it without a solve (a local repair). *)
+        let unused_input =
+          List.find
+            (fun t -> not (List.mem t p.Gdpn_core.Pipeline.nodes))
+            (Instance.inputs inst)
+        in
+        (* Second fault: discovered, not hardcoded — a processor whose
+           injection right after the terminal fault needs a full solve
+           (the machine's local count stays at 1). *)
+        let global_node =
+          List.find
+            (fun c ->
+              let m = fresh () in
+              match Machine.inject m unused_input with
+              | Machine.Remapped _ when Machine.local_repair_count m = 1 -> (
+                match Machine.inject m c with
+                | Machine.Remapped _ -> Machine.local_repair_count m = 1
+                | Machine.Unchanged | Machine.Lost -> false)
+              | _ -> false)
+            (Instance.processors inst)
+        in
+        let trace = Trace.recorder () in
+        let schedule =
+          [
+            { Injector.round = 0; node = unused_input };
+            { Injector.round = 0; node = global_node };
+          ]
+        in
+        let m =
+          Runner.run ~machine:(fresh ()) ~stages:(Stage.video_codec ())
+            ~source:(Stream.Sine_mixture [ (0.013, 1.0) ])
+            ~frame_length:128 ~rounds:3 ~schedule ~trace ()
+        in
+        check Alcotest.int "one local repair" 1 m.Runner.local_repairs;
+        let remap_flags =
+          List.filter_map
+            (function
+              | Trace.Remap { local; _ } -> Some local
+              | Trace.Fault _ | Trace.Migration _ | Trace.Stream_lost _ ->
+                None)
+            (Trace.events trace)
+        in
+        check
+          (Alcotest.list Alcotest.bool)
+          "one local then one global" [ true; false ] remap_flags);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -649,6 +704,51 @@ let des_tests =
         (* Later tokens wait behind earlier ones: latency grows. *)
         check Alcotest.bool "queueing visible" true
           (o.Des.max_latency > int_of_float o.Des.mean_latency));
+    tc "faults scheduled after the last token are drained, not dropped"
+      (fun () ->
+        (* Regression: the event loop exits as soon as every token has
+           completed, and faults still queued at that point were silently
+           discarded — the machine's end state missed them and nothing in
+           the outcome said so. *)
+        let inst = Family.build ~n:9 ~k:2 in
+        let machine = Machine.create inst in
+        let proc = List.nth (Instance.processors inst) 3 in
+        let baseline =
+          Des.simulate
+            ~machine:(Machine.create inst)
+            ~stages ~config:cfg ~faults:[] ~tokens:10
+        in
+        (* Well past the fault-free makespan: the fault fires after every
+           token is done. *)
+        let late_at = (2 * baseline.Des.makespan) + 1_000_000 in
+        let o =
+          Des.simulate ~machine ~stages ~config:cfg
+            ~faults:[ (late_at, proc) ]
+            ~tokens:10
+        in
+        check Alcotest.int "injected" 1 o.Des.faults_injected;
+        check Alcotest.int "applied" 1 o.Des.faults_applied;
+        check Alcotest.int "late" 1 o.Des.faults_late;
+        (* The machine really absorbed it. *)
+        check Alcotest.int "machine saw the fault" 1
+          (Machine.fault_count machine);
+        check Alcotest.bool "stall accounted" true (o.Des.stall_time > 0);
+        (* A late fault cannot touch any token's latency. *)
+        check Alcotest.bool "latencies unchanged" true
+          (o.Des.latencies = baseline.Des.latencies));
+    tc "mid-run faults report zero late" (fun () ->
+        let inst = Family.build ~n:9 ~k:2 in
+        let proc = List.nth (Instance.processors inst) 3 in
+        let o =
+          Des.simulate
+            ~machine:(Machine.create inst)
+            ~stages ~config:cfg
+            ~faults:[ (100_000, proc) ]
+            ~tokens:60
+        in
+        check Alcotest.int "injected" 1 o.Des.faults_injected;
+        check Alcotest.int "applied" 1 o.Des.faults_applied;
+        check Alcotest.int "late" 0 o.Des.faults_late);
     tc "argument validation" (fun () ->
         let machine = Machine.create (Family.build ~n:4 ~k:1) in
         Alcotest.check_raises "no stages"
@@ -672,11 +772,38 @@ let stats_tests =
         check float_eps "max" 4.0 s.Stats.max_value;
         check float_eps "stddev" (sqrt 1.25) s.Stats.stddev);
     tc "percentiles use nearest rank" (fun () ->
+        (* Regression: the old rank p*n/100 was biased one slot high —
+           p50 of 1..100 read the 51st value.  Nearest rank is
+           ceil(p/100 * n). *)
         let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
-        check float_eps "p50" 51.0 (Stats.percentile xs 50);
-        check float_eps "p99" 100.0 (Stats.percentile xs 99);
+        check float_eps "p50" 50.0 (Stats.percentile xs 50);
+        check float_eps "p90" 90.0 (Stats.percentile xs 90);
+        check float_eps "p99" 99.0 (Stats.percentile xs 99);
         check float_eps "p0" 1.0 (Stats.percentile xs 0);
         check float_eps "p100" 100.0 (Stats.percentile xs 100));
+    tc "nearest-rank matches the ceil definition for all p and odd n" (fun () ->
+        List.iter
+          (fun n ->
+            let xs = Array.init n (fun i -> float_of_int i) in
+            for p = 0 to 100 do
+              let expected =
+                max 0 (int_of_float (ceil (float_of_int (p * n) /. 100.0)) - 1)
+              in
+              check float_eps
+                (Printf.sprintf "n=%d p=%d" n p)
+                (float_of_int expected) (Stats.percentile xs p)
+            done)
+          [ 1; 2; 3; 7; 10; 100; 101 ]);
+    tc "percentile_int agrees with percentile" (fun () ->
+        let xs = [| 9; 1; 4; 7; 2; 8; 3 |] in
+        let fs = Array.map float_of_int xs in
+        List.iter
+          (fun p ->
+            check Alcotest.int
+              (Printf.sprintf "p%d" p)
+              (int_of_float (Stats.percentile fs p))
+              (Stats.percentile_int xs p))
+          [ 0; 25; 50; 75; 90; 99; 100 ]);
     tc "empty and invalid inputs rejected" (fun () ->
         Alcotest.check_raises "empty"
           (Invalid_argument "Stats.summarise: empty") (fun () ->

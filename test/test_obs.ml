@@ -1,0 +1,259 @@
+(* Tests for the observability layer: the metrics registry (counters,
+   gauges, histograms, snapshots, JSON emission) and the span tracer's
+   JSONL sink.  Registry state is process-global, so every test works on
+   its own metric names and [reset] only where the assertion needs
+   absolute values. *)
+
+module Metrics = Gdpn_obs.Metrics
+module Span = Gdpn_obs.Span
+module Mclock = Gdpn_obs.Mclock
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_tests =
+  [
+    tc "counters count" (fun () ->
+        let c = Metrics.counter "test.counter_basic" in
+        let before = Metrics.value c in
+        Metrics.incr c;
+        Metrics.add c 41;
+        check Alcotest.int "value" (before + 42) (Metrics.value c));
+    tc "registration is idempotent: same name, same cell" (fun () ->
+        let a = Metrics.counter "test.counter_shared" in
+        let b = Metrics.counter "test.counter_shared" in
+        Metrics.incr a;
+        let v = Metrics.value b in
+        Metrics.incr b;
+        check Alcotest.int "shared" (v + 1) (Metrics.value a));
+    tc "kind clashes are rejected" (fun () ->
+        ignore (Metrics.counter "test.kind_clash");
+        Alcotest.check_raises "gauge over counter"
+          (Invalid_argument "Metrics.gauge: test.kind_clash is not a gauge")
+          (fun () -> ignore (Metrics.gauge "test.kind_clash")));
+    tc "gauges are last-value-wins" (fun () ->
+        let g = Metrics.gauge "test.gauge" in
+        Metrics.set g 7;
+        Metrics.set g 3;
+        check Alcotest.int "last" 3 (Metrics.gauge_value g));
+    tc "histogram buckets, min/max, sum and overflow" (fun () ->
+        let h =
+          Metrics.histogram ~bounds:[| 10; 100; 1000 |] "test.hist_basic"
+        in
+        List.iter (Metrics.observe h) [ 5; 10; 11; 1000; 5000 ];
+        let snap = Metrics.snapshot () in
+        match Metrics.find snap "test.hist_basic" with
+        | Some (Metrics.Histogram d) ->
+          check Alcotest.int "count" 5 d.Metrics.hcount;
+          check Alcotest.int "sum" 6026 d.Metrics.hsum;
+          check Alcotest.int "min" 5 d.Metrics.hmin;
+          check Alcotest.int "max" 5000 d.Metrics.hmax;
+          check
+            (Alcotest.array (Alcotest.pair Alcotest.int Alcotest.int))
+            "buckets"
+            [| (10, 2); (100, 1); (1000, 1) |]
+            d.Metrics.hbuckets;
+          check Alcotest.int "overflow" 1 d.Metrics.hoverflow
+        | _ -> Alcotest.fail "histogram not in snapshot");
+    tc "invalid histogram bounds are rejected" (fun () ->
+        Alcotest.check_raises "descending"
+          (Invalid_argument "Metrics.histogram: bounds not strictly ascending")
+          (fun () ->
+            ignore
+              (Metrics.histogram ~bounds:[| 5; 3 |] "test.hist_bad_bounds")));
+    tc "time observes wall clock and passes the result through" (fun () ->
+        let h = Metrics.histogram "test.hist_time_ns" in
+        let x = Metrics.time h (fun () -> 99) in
+        check Alcotest.int "result" 99 x;
+        match Metrics.find (Metrics.snapshot ()) "test.hist_time_ns" with
+        | Some (Metrics.Histogram d) ->
+          check Alcotest.bool "one observation" true (d.Metrics.hcount >= 1)
+        | _ -> Alcotest.fail "missing");
+    tc "snapshot is sorted and counter_in reads it" (fun () ->
+        ignore (Metrics.counter "test.snap_a");
+        ignore (Metrics.counter "test.snap_b");
+        let snap = Metrics.snapshot () in
+        let names = List.map fst snap in
+        check
+          (Alcotest.list Alcotest.string)
+          "sorted" (List.sort compare names) names;
+        check Alcotest.int "absent is 0" 0
+          (Metrics.counter_in snap "test.does_not_exist"));
+    tc "reset zeroes but keeps registrations" (fun () ->
+        let c = Metrics.counter "test.reset_me" in
+        Metrics.add c 5;
+        Metrics.reset ();
+        check Alcotest.int "zero" 0 (Metrics.value c);
+        check Alcotest.bool "still registered" true
+          (Metrics.find (Metrics.snapshot ()) "test.reset_me" <> None));
+    tc "snapshot_to_json is parseable-shaped and escapes names" (fun () ->
+        ignore (Metrics.counter "test.json \"quoted\"");
+        let json = Metrics.snapshot_to_json (Metrics.snapshot ()) in
+        check Alcotest.bool "object" true
+          (String.length json > 2
+          && json.[0] = '{'
+          && json.[String.length json - 1] = '}');
+        check Alcotest.bool "escaped" true
+          (not (Testutil.contains_substring json "test.json \"quoted\"")));
+    tc "parallel increments lose nothing" (fun () ->
+        let c = Metrics.counter "test.parallel_counter" in
+        let h = Metrics.histogram ~bounds:[| 1 |] "test.parallel_hist" in
+        Metrics.reset ();
+        let per_domain = 10_000 and domains = 4 in
+        let work () =
+          for _ = 1 to per_domain do
+            Metrics.incr c;
+            Metrics.observe h 1
+          done
+        in
+        let ds = List.init (domains - 1) (fun _ -> Domain.spawn work) in
+        work ();
+        List.iter Domain.join ds;
+        check Alcotest.int "counter" (domains * per_domain) (Metrics.value c);
+        match Metrics.find (Metrics.snapshot ()) "test.parallel_hist" with
+        | Some (Metrics.Histogram d) ->
+          check Alcotest.int "histogram count" (domains * per_domain)
+            d.Metrics.hcount
+        | _ -> Alcotest.fail "missing");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal JSON structural check (no JSON library in the image): balanced
+   quotes-aware braces and the expected top-level fields. *)
+let looks_like_json_object line =
+  let n = String.length line in
+  n >= 2
+  && line.[0] = '{'
+  && line.[n - 1] = '}'
+  &&
+  let depth = ref 0 and in_str = ref false and ok = ref true in
+  String.iteri
+    (fun i c ->
+      if !in_str then begin
+        if c = '"' && line.[i - 1] <> '\\' then in_str := false
+      end
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' -> incr depth
+        | '}' ->
+          decr depth;
+          if !depth < 0 then ok := false
+        | _ -> ())
+    line;
+  !ok && !depth = 0 && not !in_str
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let span_tests =
+  [
+    tc "null sink: disabled, and emission is a no-op" (fun () ->
+        check Alcotest.bool "disabled" false (Span.enabled ());
+        Span.emit ~name:"nothing" ~start_ns:0 ~dur_ns:1 ();
+        Span.event "nothing-either";
+        check Alcotest.int "with_span passes through" 7
+          (Span.with_span "s" (fun () -> 7)));
+    tc "jsonl sink writes one object per span with attrs" (fun () ->
+        let path = Filename.temp_file "gdpn_span" ".jsonl" in
+        Span.set_jsonl path;
+        check Alcotest.bool "enabled" true (Span.enabled ());
+        Span.emit ~name:"alpha"
+          ~attrs:
+            [
+              ("i", Span.Int 3);
+              ("f", Span.Float 0.5);
+              ("b", Span.Bool true);
+              ("s", Span.Str "tricky \"quote\"");
+            ]
+          ~start_ns:100 ~dur_ns:50 ();
+        Span.event "beta";
+        ignore (Span.with_span "gamma" (fun () -> ()));
+        Span.emit_snapshot (Metrics.snapshot ());
+        Span.close ();
+        check Alcotest.bool "disabled after close" false (Span.enabled ());
+        let lines = read_lines path in
+        Sys.remove path;
+        check Alcotest.int "four lines" 4 (List.length lines);
+        List.iter
+          (fun l ->
+            check Alcotest.bool
+              ("json shape: " ^ l)
+              true (looks_like_json_object l))
+          lines;
+        let first = List.nth lines 0 in
+        List.iter
+          (fun needle ->
+            check Alcotest.bool ("contains " ^ needle) true
+              (Testutil.contains_substring first needle))
+          [
+            "\"name\":\"alpha\""; "\"start_ns\":100"; "\"dur_ns\":50";
+            "\"i\":3"; "\"b\":true"; "tricky \\\"quote\\\"";
+          ];
+        check Alcotest.bool "snapshot line" true
+          (Testutil.contains_substring (List.nth lines 3) "\"snapshot\""));
+    tc "with_span emits even when the thunk raises" (fun () ->
+        let path = Filename.temp_file "gdpn_span" ".jsonl" in
+        Span.set_jsonl path;
+        (try Span.with_span "boom" (fun () -> failwith "x") with
+        | Failure _ -> ());
+        Span.close ();
+        let lines = read_lines path in
+        Sys.remove path;
+        check Alcotest.int "one span" 1 (List.length lines);
+        check Alcotest.bool "named" true
+          (Testutil.contains_substring (List.hd lines) "\"name\":\"boom\""));
+    tc "set_jsonl truncates and replaces the previous sink" (fun () ->
+        let a = Filename.temp_file "gdpn_span" ".jsonl" in
+        let b = Filename.temp_file "gdpn_span" ".jsonl" in
+        Span.set_jsonl a;
+        Span.event "to-a";
+        Span.set_jsonl b;
+        Span.event "to-b";
+        Span.close ();
+        let la = read_lines a and lb = read_lines b in
+        Sys.remove a;
+        Sys.remove b;
+        check Alcotest.int "a has one" 1 (List.length la);
+        check Alcotest.int "b has one" 1 (List.length lb);
+        check Alcotest.bool "routed" true
+          (Testutil.contains_substring (List.hd lb) "to-b"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let clock_tests =
+  [
+    tc "now_ns is monotone enough and unit conversions invert" (fun () ->
+        let a = Mclock.now_ns () in
+        let b = Mclock.now_ns () in
+        check Alcotest.bool "non-decreasing" true (b >= a);
+        check Alcotest.bool "epoch-scale" true (a > 1_000_000_000 * 1_000_000);
+        check (Alcotest.float 1e-6) "roundtrip" 1.5
+          (Mclock.s_of_ns (Mclock.ns_of_s 1.5)));
+  ]
+
+let () =
+  Alcotest.run "gdpn_obs"
+    [
+      ("metrics", metrics_tests);
+      ("spans", span_tests);
+      ("clock", clock_tests);
+    ]

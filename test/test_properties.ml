@@ -399,6 +399,77 @@ let des_props =
           slow.Des.latencies);
   ]
 
+(* Pqueue ------------------------------------------------------------ *)
+
+let pqueue_props =
+  let open QCheck in
+  (* An operation script: [Push key] or [Pop].  Keys are drawn from a
+     small range so ties are frequent — the FIFO tie-break is the law
+     under test. *)
+  let ops_gen =
+    Gen.(list_size (int_range 1 200) (oneof [
+      map (fun k -> `Push k) (int_range 0 7);
+      return `Pop;
+    ]))
+  in
+  let ops_arb =
+    make
+      ~print:(fun ops ->
+        String.concat " "
+          (List.map
+             (function `Push k -> Printf.sprintf "push%d" k | `Pop -> "pop")
+             ops))
+      ops_gen
+  in
+  [
+    Test.make
+      ~name:"pqueue pops min-key FIFO among equals under interleaved push/pop"
+      ~count:500 ops_arb
+      (fun ops ->
+        let module Pqueue = Gdpn_graph.Pqueue in
+        let q = Pqueue.create () in
+        (* Reference model: a sorted association list of (key, seq, value)
+           popped by (key, seq) — seq is global insertion order, so equal
+           keys leave in insertion order. *)
+        let model = ref [] in
+        let seq = ref 0 in
+        let ok = ref true in
+        List.iter
+          (fun op ->
+            match op with
+            | `Push k ->
+              Pqueue.push q ~key:k !seq;
+              model := (k, !seq) :: !model;
+              incr seq
+            | `Pop -> (
+              let expected =
+                match
+                  List.sort compare !model
+                with
+                | [] -> None
+                | ((k, s) as hd) :: _ ->
+                  model := List.filter (fun x -> x <> hd) !model;
+                  Some (k, s)
+              in
+              match (Pqueue.pop q, expected) with
+              | None, None -> ()
+              | Some (k, v), Some (k', v') ->
+                if k <> k' || v <> v' then ok := false
+              | Some _, None | None, Some _ -> ok := false))
+          ops;
+        (* Drain what's left: the tail must also come out in order. *)
+        let rec drain () =
+          match (Pqueue.pop q, List.sort compare !model) with
+          | None, [] -> ()
+          | Some (k, v), ((k', s') as hd) :: _ ->
+            model := List.filter (fun x -> x <> hd) !model;
+            if k <> k' || v <> s' then ok := false else drain ()
+          | Some _, [] | None, _ :: _ -> ok := false
+        in
+        drain ();
+        !ok && Pqueue.is_empty q);
+  ]
+
 let () =
   Alcotest.run "gdpn_properties"
     [
@@ -408,4 +479,5 @@ let () =
       ("stages", to_alcotest stage_props);
       ("solvers", to_alcotest solver_props);
       ("des", to_alcotest des_props);
+      ("pqueue", to_alcotest pqueue_props);
     ]
