@@ -27,6 +27,7 @@ bench:
 # temp path and the group filter).
 bench-smoke:
 	dune exec bench/main.exe -- --only B12 --json /tmp/gdpn-bench-smoke.json
+	dune exec bench/main.exe -- --only B13 --json /tmp/gdpn-bench-smoke-kernel.json
 
 clean:
 	dune clean

@@ -458,10 +458,13 @@ let b11_engine =
   let uncached_engine = Engine.create inst in
   let i = ref 0 in
   (* Verification throughput: the same exhaustive fault space (G(4,3), 576
-     fault sets) on one domain vs the default domain count.  On a
-     single-core host the multi-domain row measures pure sharding overhead;
-     with real cores it measures the speedup.  Reports are identical either
-     way (see test_engine). *)
+     fault sets) on one domain vs the default domain count.  576 items is
+     below the serial-fallback threshold, so the multi-domain row now
+     degrades to the serial path (that is the point: small instances must
+     not pay fan-out costs); the forced-spawn row bypasses the threshold
+     to expose the true pool dispatch overhead — on a single-core host
+     that is pure sharding overhead, with real cores it is the speedup.
+     Reports are identical in all three rows (see test_engine). *)
   let g43 = Special.g43 () in
   let nd = Stdlib.max 2 (Engine.Parallel.default_domains ()) in
   Test.make_grouped ~name:"B11-engine"
@@ -486,6 +489,14 @@ let b11_engine =
         (Staged.stage (fun () ->
              Sys.opaque_identity
                (Engine.Parallel.verify_exhaustive ~domains:nd g43)));
+      Test.make
+        ~name:
+          (Printf.sprintf "G(4,3) exhaustive verify, %d domains forced spawn"
+             nd)
+        (Staged.stage (fun () ->
+             Sys.opaque_identity
+               (Engine.Parallel.verify_exhaustive ~domains:nd
+                  ~min_items_per_domain:0 g43)));
     ]
 
 let b12_symmetry =
@@ -526,6 +537,47 @@ let b12_symmetry =
              Sys.opaque_identity (Verify.exhaustive ~symmetry:triv_sym triv)));
     ]
 
+let b13_kernel =
+  (* Word-parallel bitset-row kernel vs the retained reference
+     backtracker (PR 4).  Both paths return identical outcomes and
+     perform identical expansion counts by contract (test_kernel, gdp
+     verify --crosscheck), so any delta is pure kernel mechanics:
+     adjacency-row candidate generation, frontier-bitset BFS
+     connectivity, incremental degree summaries.  The solve rows cycle
+     32 fixed fault masks through the generic solver; the verify rows
+     run a whole exhaustive fault space per iteration. *)
+  let circ = Circulant_family.build ~n:40 ~k:4 in
+  let order = Instance.order circ in
+  let masks =
+    Array.map
+      (Gdpn_graph.Bitset.of_list order)
+      (fault_sets circ ~seed:21 ~count:circ.Instance.k)
+  in
+  let i = ref 0 in
+  let j = ref 0 in
+  let g62 = Special.g62 () in
+  let ref_solve inst ~faults = Reconfig.solve ~reference:true inst ~faults in
+  Test.make_grouped ~name:"B13-kernel"
+    [
+      Test.make ~name:"G(40,4) solve generic, kernel"
+        (Staged.stage (fun () ->
+             let faults = masks.(!i land 31) in
+             incr i;
+             Sys.opaque_identity (Reconfig.solve_generic circ ~faults)));
+      Test.make ~name:"G(40,4) solve generic, reference"
+        (Staged.stage (fun () ->
+             let faults = masks.(!j land 31) in
+             incr j;
+             Sys.opaque_identity
+               (Reconfig.solve_generic ~reference:true circ ~faults)));
+      Test.make ~name:"G(6,2) exhaustive verify, kernel"
+        (Staged.stage (fun () -> Sys.opaque_identity (Verify.exhaustive g62)));
+      Test.make ~name:"G(6,2) exhaustive verify, reference"
+        (Staged.stage (fun () ->
+             Sys.opaque_identity
+               (Verify.exhaustive ~solve:(ref_solve g62) g62)));
+    ]
+
 let groups =
   [
     ("B1-construction", b1_construction);
@@ -540,6 +592,7 @@ let groups =
     ("B10-discrete-event", b10_des);
     ("B11-engine", b11_engine);
     ("B12-symmetry", b12_symmetry);
+    ("B13-kernel", b13_kernel);
   ]
 
 type row = {
@@ -680,6 +733,79 @@ let print_symmetry_stats stats =
     stats
 
 (* ------------------------------------------------------------------ *)
+(* B13 companion: fixed-workload kernel-vs-reference comparison        *)
+(* ------------------------------------------------------------------ *)
+
+(* Bechamel rows run quota-driven iteration counts, so their metrics
+   cannot show "same expansions, less time" for a matched workload.  This
+   companion runs each exhaustive verify exactly [reps] times through each
+   path, reads the kernel/reference expansion counters around the runs,
+   and reports wall time (best of [reps]) next to the per-run expansion
+   counts — the expansions must agree exactly, the time must not. *)
+type kernel_cmp = {
+  cmp_name : string;
+  cmp_solver_calls : int;
+  kernel_ns : int;
+  reference_ns : int;
+  cmp_expansions : int;  (** per run, identical for both paths *)
+  expansions_equal : bool;
+  reports_equal : bool;
+}
+
+let kernel_comparison () =
+  let module Metrics = Gdpn_obs.Metrics in
+  let module Mclock = Gdpn_obs.Mclock in
+  let exp_kernel = Metrics.counter "hamilton.expansions" in
+  let exp_reference = Metrics.counter "hamilton.ref_expansions" in
+  let reps = 5 in
+  let run inst ~reference =
+    let cell = if reference then exp_reference else exp_kernel in
+    let solve ~faults = Reconfig.solve ~reference inst ~faults in
+    let before = Metrics.value cell in
+    let best = ref max_int in
+    let report = ref None in
+    for _ = 1 to reps do
+      let t0 = Mclock.now_ns () in
+      let r = Verify.exhaustive ~solve inst in
+      let dur = Mclock.now_ns () - t0 in
+      if dur < !best then best := dur;
+      report := Some r
+    done;
+    (Option.get !report, !best, (Metrics.value cell - before) / reps)
+  in
+  List.map
+    (fun (name, inst) ->
+      let rk, kernel_ns, ek = run inst ~reference:false in
+      let rr, reference_ns, er = run inst ~reference:true in
+      {
+        cmp_name = name;
+        cmp_solver_calls = rk.Verify.solver_calls;
+        kernel_ns;
+        reference_ns;
+        cmp_expansions = ek;
+        expansions_equal = ek = er;
+        reports_equal = rk = rr;
+      })
+    [
+      ("G(4,3) exhaustive", Special.g43 ());
+      ("G(6,2) exhaustive", Special.g62 ());
+      ("G(3,5) exhaustive", Small_n.g3 ~k:5);
+      ("circulant G(22,4) exhaustive", Circulant_family.build ~n:22 ~k:4);
+    ]
+
+let print_kernel_comparison cmps =
+  pf "@.--- B13 companion: kernel vs reference, fixed workloads ---@.";
+  pf "%-28s %8s %12s %12s %8s %12s %6s %6s@." "workload" "solves" "kernel_ns"
+    "ref_ns" "speedup" "expansions" "=exp" "=rep";
+  List.iter
+    (fun c ->
+      pf "%-28s %8d %12d %12d %7.2fx %12d %6b %6b@." c.cmp_name
+        c.cmp_solver_calls c.kernel_ns c.reference_ns
+        (float_of_int c.reference_ns /. float_of_int (max 1 c.kernel_ns))
+        c.cmp_expansions c.expansions_equal c.reports_equal)
+    cmps
+
+(* ------------------------------------------------------------------ *)
 (* JSON emission (hand-rolled: no JSON dependency in the image)        *)
 (* ------------------------------------------------------------------ *)
 
@@ -701,10 +827,10 @@ let json_float = function
   | Some f when Float.is_finite f -> Printf.sprintf "%.6g" f
   | Some _ | None -> "null"
 
-let write_json ~path rows stats =
+let write_json ~path rows stats cmps =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"pr\": 3,\n";
+  Buffer.add_string buf "  \"pr\": 4,\n";
   Buffer.add_string buf
     "  \"config\": {\"quota_s\": 0.5, \"limit\": 2000, \"bootstrap\": 0},\n";
   Buffer.add_string buf "  \"benchmarks\": [\n";
@@ -739,6 +865,25 @@ let write_json ~path rows stats =
            (if i = List.length stats - 1 then "" else ",")))
     stats;
   Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"kernel_comparison\": [\n";
+  List.iteri
+    (fun i c ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"workload\": \"%s\", \"solver_calls\": %d, \
+            \"kernel_ns\": %d, \"reference_ns\": %d, \"speedup\": %s, \
+            \"expansions_per_run\": %d, \"expansions_equal\": %b, \
+            \"reports_equal\": %b}%s\n"
+           (json_escape c.cmp_name) c.cmp_solver_calls c.kernel_ns
+           c.reference_ns
+           (json_float
+              (Some
+                 (float_of_int c.reference_ns
+                 /. float_of_int (max 1 c.kernel_ns))))
+           c.cmp_expansions c.expansions_equal c.reports_equal
+           (if i = List.length cmps - 1 then "" else ",")))
+    cmps;
+  Buffer.add_string buf "  ],\n";
   (* Registry state accumulated over the whole benchmark run: solver and
      cache counters give the run a coarse self-audit (e.g. that the
      plan-cache rows actually hit the cache). *)
@@ -747,11 +892,17 @@ let write_json ~path rows stats =
     (Gdpn_obs.Metrics.snapshot_to_json (Gdpn_obs.Metrics.snapshot ()));
   Buffer.add_string buf ",\n";
   Buffer.add_string buf
-    "  \"notes\": \"Orbit-reduced exhaustive verification (PR 2). The \
-     circulant solution graph's only solvability-preserving symmetry is \
-     the input/output reversal (the ring rotations do not survive the \
-     labeled terminal attachments), so its solver-call reduction ceiling \
-     is 2x; clique-core families reach the group-order-bounded \
+    "  \"notes\": \"Word-parallel Hamilton kernel (PR 4): adjacency bitset \
+     rows drive candidate generation, frontier-BFS connectivity and \
+     incremental degree summaries; kernel_comparison runs fixed workloads \
+     through the kernel and the retained reference backtracker — \
+     expansion counts must match exactly (same visit order), wall time \
+     must not. Parallel verify uses a persistent domain pool with a \
+     serial fallback below min_items_per_domain, so small instances no \
+     longer pay per-call Domain.spawn. Orbit-reduced verification notes \
+     (PR 2): the circulant solution graph's only solvability-preserving \
+     symmetry is the input/output reversal, so its solver-call reduction \
+     ceiling is 2x; clique-core families reach the group-order-bounded \
      reductions.\"\n";
   Buffer.add_string buf "}\n";
   let oc = open_out path in
@@ -789,6 +940,8 @@ let () =
   | Some path ->
     let stats = symmetry_stats () in
     print_symmetry_stats stats;
-    write_json ~path rows stats
+    let cmps = kernel_comparison () in
+    print_kernel_comparison cmps;
+    write_json ~path rows stats cmps
   | None -> ());
   pf "@.done.@."

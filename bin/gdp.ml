@@ -142,9 +142,13 @@ let verify_cmd =
   in
   let crosscheck_arg =
     Arg.(value & flag & info [ "crosscheck" ]
-           ~doc:"With --symmetry: additionally run the full enumeration and \
-                 compare verdicts, counts and (orbit-expanded) failure \
-                 sets.  Exits 3 on disagreement.")
+           ~doc:"Exhaustive mode: re-run the enumeration through the \
+                 reference (pre-bitset-row) backtracker and compare \
+                 reports and expansion counts against the word-parallel \
+                 kernel.  With --symmetry, additionally run the full \
+                 enumeration and compare verdicts, counts and \
+                 (orbit-expanded) failure sets.  Exits 3 on any \
+                 disagreement.")
   in
   let run n k merged sample domains seed symmetry crosscheck trace_out =
     with_trace trace_out @@ fun () ->
@@ -216,12 +220,47 @@ let verify_cmd =
           (if agree then "PASS" else "FAIL")
           full.Verify.solver_calls orb.Verify.solver_calls;
         not agree
-      | _ ->
-        if crosscheck then
-          pf "note: --crosscheck requires --symmetry and exhaustive mode@.";
-        false
+      | _ -> false
     in
-    if crosscheck_failed then 3 else if Verify.is_k_gd report then 0 else 1
+    (* Kernel-equivalence crosscheck: independent of --symmetry, the
+       word-parallel kernel and the retained reference backtracker must
+       produce identical reports from identical expansion counts. *)
+    let kernel_crosscheck_failed =
+      if crosscheck && sample = None then begin
+        let module Metrics = Gdpn_obs.Metrics in
+        let delta name f =
+          let c = Metrics.counter name in
+          let before = Metrics.value c in
+          let r = f () in
+          (r, Metrics.value c - before)
+        in
+        let cap = 1_000_000 in
+        let kernel, ek =
+          delta "hamilton.expansions" (fun () ->
+              Verify.exhaustive ~max_failures:cap ?universe inst)
+        in
+        let reference, er =
+          delta "hamilton.ref_expansions" (fun () ->
+              Verify.exhaustive ~max_failures:cap ?universe
+                ~solve:(fun ~faults ->
+                  Reconfig.solve ~reference:true inst ~faults)
+                inst)
+        in
+        let agree = kernel = reference && ek = er in
+        pf "crosscheck kernel vs reference: %s (%d solver calls, \
+            expansions %d vs %d)@."
+          (if agree then "PASS" else "FAIL")
+          kernel.Verify.solver_calls ek er;
+        not agree
+      end
+      else begin
+        if crosscheck then pf "note: --crosscheck requires exhaustive mode@.";
+        false
+      end
+    in
+    if crosscheck_failed || kernel_crosscheck_failed then 3
+    else if Verify.is_k_gd report then 0
+    else 1
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify k-graceful-degradability.")

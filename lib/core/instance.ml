@@ -9,6 +9,11 @@ type t = {
   k : int;
   name : string;
   strategy : strategy;
+  input_mask : Bitset.t;
+      (** nodes labelled Input, built once at {!make}; shared, never
+          mutated — accessors hand out copies *)
+  output_mask : Bitset.t;
+  processor_mask : Bitset.t;
 }
 
 and strategy =
@@ -22,7 +27,23 @@ let make ~graph ~kind ~n ~k ~name ~strategy =
     invalid_arg "Instance.make: kind array length mismatch";
   if n < 1 then invalid_arg "Instance.make: n must be >= 1";
   if k < 1 then invalid_arg "Instance.make: k must be >= 1";
-  { graph; kind; n; k; name; strategy }
+  let order = Graph.order graph in
+  let mask target =
+    let s = Bitset.create order in
+    Array.iteri (fun v l -> if Label.equal l target then Bitset.add s v) kind;
+    s
+  in
+  {
+    graph;
+    kind;
+    n;
+    k;
+    name;
+    strategy;
+    input_mask = mask Label.Input;
+    output_mask = mask Label.Output;
+    processor_mask = mask Label.Processor;
+  }
 
 let order t = Graph.order t.graph
 
@@ -37,16 +58,12 @@ let inputs t = nodes_of_kind t Label.Input
 let outputs t = nodes_of_kind t Label.Output
 let processors t = nodes_of_kind t Label.Processor
 
-let set_of_kind t target =
-  let s = Bitset.create (order t) in
-  for v = 0 to order t - 1 do
-    if Label.equal t.kind.(v) target then Bitset.add s v
-  done;
-  s
-
-let input_set t = set_of_kind t Label.Input
-let output_set t = set_of_kind t Label.Output
-let processor_set t = set_of_kind t Label.Processor
+let input_mask t = t.input_mask
+let output_mask t = t.output_mask
+let processor_mask t = t.processor_mask
+let input_set t = Bitset.copy t.input_mask
+let output_set t = Bitset.copy t.output_mask
+let processor_set t = Bitset.copy t.processor_mask
 
 let kind_of t v = t.kind.(v)
 

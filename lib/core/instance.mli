@@ -15,6 +15,11 @@ type t = private {
   k : int;  (** fault tolerance *)
   name : string;  (** human-readable family name, e.g. ["G(3,2)"] *)
   strategy : strategy;
+  input_mask : Gdpn_graph.Bitset.t;
+      (** nodes labelled Input, built once by {!make}; shared — read
+          through {!input_mask} and never mutated *)
+  output_mask : Gdpn_graph.Bitset.t;
+  processor_mask : Gdpn_graph.Bitset.t;
 }
 
 and strategy =
@@ -57,6 +62,15 @@ val input_set : t -> Gdpn_graph.Bitset.t
 
 val output_set : t -> Gdpn_graph.Bitset.t
 val processor_set : t -> Gdpn_graph.Bitset.t
+
+val input_mask : t -> Gdpn_graph.Bitset.t
+(** The input-terminal set built once at {!make}.  Physically shared with
+    the instance: callers must not mutate it.  The solver's word-parallel
+    endpoint-candidate pass reads these masks directly; use {!input_set}
+    when a mutable copy is needed. *)
+
+val output_mask : t -> Gdpn_graph.Bitset.t
+val processor_mask : t -> Gdpn_graph.Bitset.t
 
 val kind_of : t -> int -> Label.t
 

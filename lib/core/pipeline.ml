@@ -40,17 +40,18 @@ let validate inst ~faults nodes =
       if not distinct then err "repeats a node"
       else begin
         let rec adjacency_ok = function
-          | a :: (b :: _ as rest) -> Graph.adjacent graph a b && adjacency_ok rest
+          | a :: (b :: _ as rest) ->
+            Bitset.mem (Graph.neighbours_mask graph a) b && adjacency_ok rest
           | [ _ ] | [] -> true
         in
         if not (adjacency_ok nodes) then err "consecutive nodes not adjacent"
         else begin
           (* Internal nodes must be exactly the healthy processors. *)
-          let internal =
-            match nodes with
-            | _ :: rest -> List.filteri (fun i _ -> i < List.length rest - 1) rest
-            | [] -> []
+          let rec drop_last = function
+            | [] | [ _ ] -> []
+            | x :: rest -> x :: drop_last rest
           in
+          let internal = match nodes with _ :: rest -> drop_last rest | [] -> [] in
           if List.exists (fun v -> Label.is_terminal (kind v)) internal then
             err "a terminal appears as an internal node"
           else begin

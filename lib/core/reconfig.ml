@@ -29,36 +29,75 @@ let healthy_terminal inst ~alive kind p =
 
 (* Run the spanning-path search through a caller-supplied ctx when its
    capacity matches this instance (extension recursion hands sub-instances
-   of smaller order, which fall back to a fresh ctx). *)
-let ham_search ?budget ?expansions ?ctx g ~alive ~starts ~ends =
-  match ctx with
-  | Some c when Hamilton.ctx_capacity c = Graph.order g ->
-    Hamilton.solve_into ?budget ?expansions c g ~alive ~starts ~ends
-  | Some _ | None ->
-    Hamilton.spanning_path ?budget ?expansions g ~alive ~starts ~ends
+   of smaller order, which fall back to a fresh ctx).  [reference] routes
+   the search through the retained pre-bitset-row backtracker
+   ({!Hamilton.Reference}) — same results and expansion counts by
+   contract, used by the kernel-equivalence crosscheck. *)
+(* Per-domain ctx cache, keyed on graph order.  A ctx is not domain-safe,
+   so the cache lives in domain-local storage: persistent pool workers (and
+   the calling domain) amortise [make_ctx] across verification calls
+   instead of reallocating scratch per solve.  Reuse is sound because a
+   search is a leaf computation — the solver never starts a second search
+   of the same order while one is running (the extension recursion only
+   descends to strictly smaller inner orders). *)
+let ctx_cache_key : (int, Hamilton.ctx) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
-let generic ?(budget = default_budget) ?expansions ?ctx inst ~faults =
+let cached_ctx_for_order order =
+  let tbl = Domain.DLS.get ctx_cache_key in
+  match Hashtbl.find_opt tbl order with
+  | Some c -> c
+  | None ->
+    let c = Hamilton.make_ctx order in
+    Hashtbl.add tbl order c;
+    c
+
+let ham_search ?budget ?expansions ?ctx ~reference g ~alive ~starts ~ends =
+  if reference then
+    Hamilton.Reference.spanning_path ?budget ?expansions ?ctx g ~alive ~starts
+      ~ends
+  else
+    let c =
+      match ctx with
+      | Some c when Hamilton.ctx_capacity c = Graph.order g -> c
+      | Some _ | None -> cached_ctx_for_order (Graph.order g)
+    in
+    Hamilton.solve_into ?budget ?expansions c g ~alive ~starts ~ends
+
+let generic ?(budget = default_budget) ?expansions ?ctx ?(reference = false)
+    inst ~faults =
   let order = Instance.order inst in
+  let graph = inst.Instance.graph in
   let alive = Bitset.full order in
   Bitset.diff_into alive faults;
   let procs_alive = Instance.processor_set inst in
   Bitset.inter_into procs_alive alive;
   if Bitset.is_empty procs_alive then No_pipeline
   else begin
-    let endpoint_candidates kind =
+    (* Endpoint candidates, word-parallel: a processor can start (end) the
+       pipeline iff its adjacency row meets the healthy input (output)
+       terminals — one masked popcount per processor against the
+       instance's precomputed kind masks, replacing the per-processor
+       neighbour fold with label probes. *)
+    let input_alive = Bitset.copy (Instance.input_mask inst) in
+    Bitset.inter_into input_alive alive;
+    let output_alive = Bitset.copy (Instance.output_mask inst) in
+    Bitset.inter_into output_alive alive;
+    let endpoint_candidates kind_alive =
       let s = Bitset.create order in
       Bitset.iter
         (fun p ->
-          if healthy_terminal inst ~alive kind p <> None then Bitset.add s p)
+          if Bitset.count_common (Graph.neighbours_mask graph p) kind_alive > 0
+          then Bitset.add s p)
         procs_alive;
       s
     in
-    let starts = endpoint_candidates Label.Input in
-    let ends = endpoint_candidates Label.Output in
+    let starts = endpoint_candidates input_alive in
+    let ends = endpoint_candidates output_alive in
     if Bitset.is_empty starts || Bitset.is_empty ends then No_pipeline
     else
       match
-        ham_search ~budget ?expansions ?ctx inst.Instance.graph
+        ham_search ~budget ?expansions ?ctx ~reference inst.Instance.graph
           ~alive:procs_alive ~starts ~ends
       with
       | Hamilton.No_path -> No_pipeline
@@ -72,11 +111,19 @@ let generic ?(budget = default_budget) ?expansions ?ctx inst ~faults =
             | _ :: r -> last r
             | [] -> assert false
           in
+          (* [first_common row kind_alive] is the smallest-id healthy
+             terminal of that kind adjacent to the endpoint — the same
+             node the old ascending neighbour fold picked. *)
           let tin =
-            Option.get (healthy_terminal inst ~alive Label.Input head)
+            Option.get
+              (Bitset.first_common (Graph.neighbours_mask graph head)
+                 input_alive)
           in
           let tout =
-            Option.get (healthy_terminal inst ~alive Label.Output (last procs))
+            Option.get
+              (Bitset.first_common
+                 (Graph.neighbours_mask graph (last procs))
+                 output_alive)
           in
           Pipeline { Pipeline.nodes = (tin :: procs) @ [ tout ] })
   end
@@ -135,7 +182,7 @@ let clique_scan inst ~faults =
    (an input terminal of the inner instance, now a processor).  The inner
    pipeline's input endpoint is one of those relabelled nodes. *)
 
-let rec extension ?budget ?ctx inst inner ~faults =
+let rec extension ?budget ?ctx ?reference inst inner ~faults =
   let graph = inst.Instance.graph in
   let inner_order = Instance.order inner in
   let fresh_terminals = Instance.inputs inst in
@@ -155,7 +202,7 @@ let rec extension ?budget ?ctx inst inner ~faults =
   let solve_inner inner_faults =
     (* The inner instance has smaller order: the top-level ctx cannot be
        reused there, so the recursion runs ctx-free. *)
-    match solve ?budget inner ~faults:inner_faults with
+    match solve ?budget ?reference inner ~faults:inner_faults with
     | Pipeline p -> Some (Pipeline.normalise inner p)
     | No_pipeline | Gave_up -> None
   in
@@ -168,10 +215,10 @@ let rec extension ?budget ?ctx inst inner ~faults =
   | [] -> (
     (* Case 1: no fresh terminal is faulty. *)
     match solve_inner (restrict_faults ()) with
-    | None -> generic ?budget ?ctx inst ~faults
+    | None -> generic ?budget ?ctx ?reference inst ~faults
     | Some inner_pipe -> (
       match inner_pipe.Pipeline.nodes with
-      | [] -> generic ?budget ?ctx inst ~faults
+      | [] -> generic ?budget ?ctx ?reference inst ~faults
       | i1 :: _ ->
         let u =
           List.filter
@@ -193,17 +240,17 @@ let rec extension ?budget ?ctx inst inner ~faults =
         fresh_terminals
     in
     match i4_candidate with
-    | None -> generic ?budget ?ctx inst ~faults
+    | None -> generic ?budget ?ctx ?reference inst ~faults
     | Some j4 -> (
       let i4 = mate j4 in
       let inner_faults = restrict_faults () in
       Bitset.add inner_faults i4;
       ignore j3;
       match solve_inner inner_faults with
-      | None -> generic ?budget ?ctx inst ~faults
+      | None -> generic ?budget ?ctx ?reference inst ~faults
       | Some inner_pipe -> (
         match inner_pipe.Pipeline.nodes with
-        | [] -> generic ?budget ?ctx inst ~faults
+        | [] -> generic ?budget ?ctx ?reference inst ~faults
         | i1 :: _ ->
           let u =
             List.filter
@@ -212,7 +259,7 @@ let rec extension ?budget ?ctx inst inner ~faults =
           in
           finish ((j4 :: i4 :: u) @ inner_pipe.Pipeline.nodes))))
 
-and circulant ?budget ?ctx inst ~m ~faults =
+and circulant ?budget ?ctx ?reference inst ~m ~faults =
   (* Region decomposition for the §3.4 family (the shape the Theorem 3.17
      embedding takes): one clique run through the healthy I nodes, a
      spanning sweep of the healthy ring nodes between two S bridges, one
@@ -271,7 +318,9 @@ and circulant ?budget ?ctx inst ~m ~faults =
     else
       let sub_budget = 100_000 in
       match
-        ham_search ~budget:sub_budget ?ctx graph ~alive:ring_alive
+        ham_search ~budget:sub_budget ?ctx
+          ~reference:(Option.value reference ~default:false)
+          graph ~alive:ring_alive
           ~starts:(Bitset.of_list (Instance.order inst) [ b ])
           ~ends:(Bitset.of_list (Instance.order inst) [ c ])
       with
@@ -296,31 +345,34 @@ and circulant ?budget ?ctx inst ~m ~faults =
   match found with
   | Some nodes when Pipeline.is_valid inst ~faults nodes ->
     Pipeline { Pipeline.nodes }
-  | Some _ | None -> generic ?budget ?ctx inst ~faults
+  | Some _ | None -> generic ?budget ?ctx ?reference inst ~faults
 
-and dispatch ?budget ?ctx inst ~faults =
+and dispatch ?budget ?ctx ?reference inst ~faults =
   match inst.Instance.strategy with
-  | Instance.Generic -> generic ?budget ?ctx inst ~faults
+  | Instance.Generic -> generic ?budget ?ctx ?reference inst ~faults
   | Instance.Processor_clique -> clique_scan inst ~faults
-  | Instance.Extension inner -> extension ?budget ?ctx inst inner ~faults
-  | Instance.Circulant_layout { m } -> circulant ?budget ?ctx inst ~m ~faults
+  | Instance.Extension inner ->
+    extension ?budget ?ctx ?reference inst inner ~faults
+  | Instance.Circulant_layout { m } ->
+    circulant ?budget ?ctx ?reference inst ~m ~faults
 
-and solve ?budget ?ctx inst ~faults =
-  match dispatch ?budget ?ctx inst ~faults with
+and solve ?budget ?ctx ?reference inst ~faults =
+  match dispatch ?budget ?ctx ?reference inst ~faults with
   | Pipeline p when Pipeline.is_valid inst ~faults p.Pipeline.nodes ->
     Pipeline p
   | Pipeline _ ->
     (* A constructive solver produced a bogus witness: fall back to the
        generic solver rather than returning it.  (This indicates a bug; the
        test suite asserts it never happens for in-spec fault sets.) *)
-    generic ?budget ?ctx inst ~faults
+    generic ?budget ?ctx ?reference inst ~faults
   | (No_pipeline | Gave_up) as r -> r
 
 let solve_list ?budget inst ~faults =
   solve ?budget inst
     ~faults:(Bitset.of_list (Instance.order inst) faults)
 
-let solve_generic ?budget ?expansions ?ctx inst ~faults =
-  generic ?budget ?expansions ?ctx inst ~faults
+let solve_generic ?budget ?expansions ?ctx ?reference inst ~faults =
+  generic ?budget ?expansions ?ctx ?reference inst ~faults
 
 let make_ctx inst = Hamilton.make_ctx (Instance.order inst)
+let cached_ctx inst = cached_ctx_for_order (Instance.order inst)

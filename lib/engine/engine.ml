@@ -201,6 +201,98 @@ module Parallel = struct
     | Some d -> Stdlib.max 1 d
     | None -> default_domains ()
 
+  (* Below this many enumeration items per domain, spawning is a net loss
+     (a [Domain.spawn]/join round trip costs on the order of a hundred
+     microseconds — more than a small instance's whole verify), so
+     [run_sharded] degrades to the serial path.  Benchmarks and tests
+     override it ([~min_items_per_domain:0] forces real sharding). *)
+  let default_min_items_per_domain () =
+    match Sys.getenv_opt "GDPN_MIN_ITEMS_PER_DOMAIN" with
+    | Some s when int_of_string_opt (String.trim s) <> None ->
+      Stdlib.max 0 (Option.get (int_of_string_opt (String.trim s)))
+    | Some _ | None -> 512
+
+  (* A persistent worker-domain pool.  [Domain.spawn] per verification
+     call made the 2-domain path slower than the serial one on anything
+     but huge fault spaces; the pool spawns workers lazily on first use,
+     keeps them blocked on a condition variable between calls, and joins
+     them at process exit.  Workers run arbitrary queued thunks, so one
+     pool serves every parallel verification in the process; per-domain
+     solver state lives in domain-local storage ({!Reconfig.cached_ctx})
+     and is amortised across calls for free. *)
+  module Pool = struct
+    type job = unit -> unit
+
+    let lock = Mutex.create ()
+    let wake = Condition.create ()
+    let queue : job Queue.t = Queue.create ()
+    let workers : unit Domain.t list ref = ref []
+    let stopping = ref false
+
+    let rec worker_loop () =
+      Mutex.lock lock;
+      while Queue.is_empty queue && not !stopping do
+        Condition.wait wake lock
+      done;
+      let job = if !stopping then None else Some (Queue.pop queue) in
+      Mutex.unlock lock;
+      match job with
+      | None -> ()
+      | Some job ->
+        job ();
+        worker_loop ()
+
+    let shutdown () =
+      Mutex.lock lock;
+      stopping := true;
+      Condition.broadcast wake;
+      Mutex.unlock lock;
+      let ws = !workers in
+      workers := [];
+      List.iter Domain.join ws
+
+    let exit_hook_installed = ref false
+
+    (* Grow the pool to [n] workers (never shrinks). *)
+    let ensure n =
+      Mutex.lock lock;
+      if not !exit_hook_installed then begin
+        exit_hook_installed := true;
+        at_exit shutdown
+      end;
+      let missing = n - List.length !workers in
+      if missing > 0 && not !stopping then
+        for _ = 1 to missing do
+          workers := Domain.spawn worker_loop :: !workers
+        done;
+      Mutex.unlock lock
+
+    (* Submit [f]; the returned thunk blocks until the job has run and
+       returns its result (re-raising if it raised). *)
+    let submit f =
+      let cell = ref None in
+      let cell_lock = Mutex.create () in
+      let cell_done = Condition.create () in
+      let job () =
+        let r = try Ok (f ()) with e -> Error e in
+        Mutex.lock cell_lock;
+        cell := Some r;
+        Condition.signal cell_done;
+        Mutex.unlock cell_lock
+      in
+      Mutex.lock lock;
+      Queue.push job queue;
+      Condition.signal wake;
+      Mutex.unlock lock;
+      fun () ->
+        Mutex.lock cell_lock;
+        while !cell = None do
+          Condition.wait cell_done cell_lock
+        done;
+        Mutex.unlock cell_lock;
+        match Option.get !cell with Ok v -> v | Error e -> raise e
+  end
+
   (* A recorded failure, tagged with the global rank of its fault set in
      the sequential enumeration order.  Merging keeps the lowest-ranked
      [max_failures] across all domains, which reproduces the sequential
@@ -208,14 +300,42 @@ module Parallel = struct
      count. *)
   type tagged = { rank : int; failure : Verify.failure }
 
-  let insert_capped cap tagged list =
-    let rec ins = function
-      | [] -> [ tagged ]
-      | x :: rest when tagged.rank < x.rank -> tagged :: x :: rest
-      | x :: rest -> x :: ins rest
-    in
-    let l = ins list in
-    if List.length l > cap then List.filteri (fun i _ -> i < cap) l else l
+  (* Per-domain bounded top-k buffer, sorted by rank ascending.  Replaces
+     the old sorted-list [insert_capped] (O(cap) conses plus a
+     [List.length]/[filteri] pass per recorded failure) with in-place
+     insertion into a preallocated array — ranks are globally distinct, so
+     ties never arise. *)
+  module Topk = struct
+    type t = { buf : tagged array; mutable len : int; cap : int }
+
+    let dummy =
+      { rank = -1; failure = { Verify.faults = []; reason = ""; orbit = 0 } }
+
+    let create cap = { buf = Array.make cap dummy; len = 0; cap }
+
+    let insert t tagged =
+      if t.len < t.cap then begin
+        let i = ref t.len in
+        while !i > 0 && t.buf.(!i - 1).rank > tagged.rank do
+          t.buf.(!i) <- t.buf.(!i - 1);
+          decr i
+        done;
+        t.buf.(!i) <- tagged;
+        t.len <- t.len + 1
+      end
+      else if tagged.rank < t.buf.(t.cap - 1).rank then begin
+        let i = ref (t.cap - 1) in
+        while !i > 0 && t.buf.(!i - 1).rank > tagged.rank do
+          t.buf.(!i) <- t.buf.(!i - 1);
+          decr i
+        done;
+        t.buf.(!i) <- tagged
+      end
+
+    let full t = t.len >= t.cap
+    let max_rank t = t.buf.(t.len - 1).rank
+    let to_list t = Array.to_list (Array.sub t.buf 0 t.len)
+  end
 
   (* Merge per-domain tagged failures into a [Verify.report] identical to
      the sequential one.  [counts stop] maps the early-stop rank (or
@@ -258,11 +378,18 @@ module Parallel = struct
      array of work units; [enum_block] enumerates a block's fault sets as
      [(rank, buf, len)] through a callback.  [orbit_of] gives the number
      of fault sets the rank-th item stands for (1 outside symmetry mode).
+     [est_items] is the caller's item-count estimate; when it divides out
+     to fewer than [min_items_per_domain] items per domain, the call runs
+     serially on the calling domain (identical report, no spawn cost).
      Returns the merged report. *)
   let run_sharded ?budget ?(orbit_of = fun _ -> 1) ~max_failures ~domains
-      ~counts inst blocks enum_block =
+      ~min_items_per_domain ~est_items ~counts inst blocks enum_block =
     let order = Instance.order inst in
     let cap = Stdlib.max 1 max_failures in
+    let domains =
+      if domains > 1 && est_items / domains < min_items_per_domain then 1
+      else domains
+    in
     let next = Atomic.make 0 in
     (* Once some domain holds [cap] failures, every block whose lowest
        possible rank exceeds that domain's highest kept rank is dead
@@ -278,10 +405,10 @@ module Parallel = struct
     in
     let run_domain () =
       let shard_start = Mclock.now_ns () in
-      let ctx = Reconfig.make_ctx inst in
+      let ctx = Reconfig.cached_ctx inst in
       let solve ~faults = Reconfig.solve ?budget ~ctx inst ~faults in
       let mask = Bitset.create order in
-      let kept = ref [] in
+      let kept = Topk.create cap in
       let check rank buf len =
         Bitset.clear mask;
         for i = 0 to len - 1 do
@@ -297,9 +424,8 @@ module Parallel = struct
               orbit = orbit_of rank;
             }
           in
-          kept := insert_capped cap { rank; failure } !kept;
-          if List.length !kept >= cap then
-            tighten (List.nth !kept (List.length !kept - 1)).rank
+          Topk.insert kept { rank; failure };
+          if Topk.full kept then tighten (Topk.max_rank kept)
       in
       let rec drain () =
         let idx = Atomic.fetch_and_add next 1 in
@@ -310,26 +436,31 @@ module Parallel = struct
         end
       in
       drain ();
-      (!kept, Mclock.now_ns () - shard_start)
+      (Topk.to_list kept, shard_start, Mclock.now_ns () - shard_start)
     in
-    let workers =
-      List.init (domains - 1) (fun _ -> Domain.spawn run_domain)
+    let tickets =
+      if domains <= 1 then []
+      else begin
+        Pool.ensure (domains - 1);
+        List.init (domains - 1) (fun _ -> Pool.submit run_domain)
+      end
     in
     (* The calling domain participates instead of idling. *)
     let own = run_domain () in
-    let timed = own :: List.map Domain.join workers in
+    let timed = own :: List.map (fun await -> await ()) tickets in
     (* Shard timings are observed from the calling domain after the join
-       so worker hot loops never touch the sink. *)
+       so worker hot loops never touch the sink; each span carries the
+       shard's own start timestamp, so concurrent shards overlap in the
+       trace instead of being stacked end to end. *)
     List.iteri
-      (fun i (_, elapsed) ->
+      (fun i (_, start_ns, elapsed) ->
         Metrics.observe h_shard elapsed;
         if Span.enabled () then
           Span.emit ~name:"engine.parallel_shard"
             ~attrs:[ ("shard", Span.Int i) ]
-            ~start_ns:(Mclock.now_ns () - elapsed)
-            ~dur_ns:elapsed ())
+            ~start_ns ~dur_ns:elapsed ())
       timed;
-    let per_domain = List.map fst timed in
+    let per_domain = List.map (fun (kept, _, _) -> kept) timed in
     merge ~max_failures:cap ~counts per_domain
 
   (* Orbit-reduced sharding: the work items are orbit representatives
@@ -337,7 +468,8 @@ module Parallel = struct
      partition is rebalanced into small contiguous chunks drained through
      the shared counter.  Ranks are representative indices; [counts]
      translates them back into orbit-expanded totals via prefix sums. *)
-  let verify_exhaustive_orbits ?budget ~max_failures ~domains group inst =
+  let verify_exhaustive_orbits ?budget ~max_failures ~domains
+      ~min_items_per_domain group inst =
     let k = inst.Instance.k in
     let reps = Auto.fault_orbits group ~max_size:k in
     let nreps = Array.length reps in
@@ -363,18 +495,26 @@ module Parallel = struct
     in
     run_sharded ?budget
       ~orbit_of:(fun r -> reps.(r).Auto.size)
-      ~max_failures ~domains ~counts inst blocks enum_block
+      ~max_failures ~domains ~min_items_per_domain ~est_items:nreps ~counts
+      inst blocks enum_block
 
-  let verify_exhaustive ?budget ?(max_failures = 5) ?domains ?symmetry inst =
+  let verify_exhaustive ?budget ?(max_failures = 5) ?domains
+      ?min_items_per_domain ?symmetry inst =
     let order = Instance.order inst in
     let k = inst.Instance.k in
     let domains = resolve_domains domains in
+    let min_items_per_domain =
+      match min_items_per_domain with
+      | Some m -> Stdlib.max 0 m
+      | None -> default_min_items_per_domain ()
+    in
     match symmetry with
     | Some group when not (Auto.is_trivial group) ->
       if Auto.degree group <> order then
         invalid_arg
           "Engine.Parallel.verify_exhaustive: symmetry degree <> order";
-      verify_exhaustive_orbits ?budget ~max_failures ~domains group inst
+      verify_exhaustive_orbits ?budget ~max_failures ~domains
+        ~min_items_per_domain group inst
     | Some _ | None ->
     let total = Combinat.count_up_to order k in
     (* Work units: one block per (size, first element) — all size-[s]
@@ -408,13 +548,19 @@ module Parallel = struct
         end
     in
     let counts = function Some r -> (r + 1, r + 1) | None -> (total, total) in
-    run_sharded ?budget ~max_failures ~domains ~counts inst blocks enum_block
+    run_sharded ?budget ~max_failures ~domains ~min_items_per_domain
+      ~est_items:total ~counts inst blocks enum_block
 
-  let verify_sampled ~seed ~trials ?budget ?(max_failures = 5) ?domains inst
-      =
+  let verify_sampled ~seed ~trials ?budget ?(max_failures = 5) ?domains
+      ?min_items_per_domain inst =
     let order = Instance.order inst in
     let k = inst.Instance.k in
     let domains = resolve_domains domains in
+    let min_items_per_domain =
+      match min_items_per_domain with
+      | Some m -> Stdlib.max 0 m
+      | None -> default_min_items_per_domain ()
+    in
     (* Draw the whole trial sequence up front on one RNG — byte-identical
        to the sequential [Verify.sampled] stream for the same seed — then
        shard only the solving. *)
@@ -437,5 +583,6 @@ module Parallel = struct
       | Some r -> (r + 1, r + 1)
       | None -> (trials, trials)
     in
-    run_sharded ?budget ~max_failures ~domains ~counts inst blocks enum_block
+    run_sharded ?budget ~max_failures ~domains ~min_items_per_domain
+      ~est_items:trials ~counts inst blocks enum_block
 end

@@ -108,13 +108,25 @@ module Parallel : sig
     ?budget:int ->
     ?max_failures:int ->
     ?domains:int ->
+    ?min_items_per_domain:int ->
     ?symmetry:Gdpn_graph.Auto.group ->
     Gdpn_core.Instance.t ->
     Gdpn_core.Verify.report
   (** Check every fault set of size [0..k].  The space is split into
       (size, first-element) blocks with precomputed base ranks, drained
       through an atomic work counter by [domains] workers (the calling
-      domain included), each with a private solver ctx.
+      domain included), each with a per-domain cached solver ctx.
+
+      Worker domains come from a process-wide persistent pool: they are
+      spawned lazily on first use, parked on a condition variable between
+      calls, and joined at process exit — repeated verifications pay no
+      per-call [Domain.spawn].  When the enumeration divides out to fewer
+      than [min_items_per_domain] items per domain (default 512, or
+      [GDPN_MIN_ITEMS_PER_DOMAIN]), the call degrades to the serial path
+      on the calling domain: same report, none of the fan-out cost — this
+      is what keeps multi-domain requests on small instances from losing
+      to the sequential verifier.  Pass [~min_items_per_domain:0] to
+      force real sharding regardless of size (benchmarks, tests).
 
       With a nontrivial [symmetry] group, only orbit representatives are
       sharded — fewer but individually heavier work items, so the
@@ -129,9 +141,11 @@ module Parallel : sig
     ?budget:int ->
     ?max_failures:int ->
     ?domains:int ->
+    ?min_items_per_domain:int ->
     Gdpn_core.Instance.t ->
     Gdpn_core.Verify.report
   (** Sampled verification: the full trial sequence is drawn up front from
       [seed] on one RNG (byte-identical to the sequential stream), then
-      only the solving is sharded. *)
+      only the solving is sharded.  [min_items_per_domain] as in
+      {!verify_exhaustive}. *)
 end

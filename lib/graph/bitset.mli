@@ -70,6 +70,31 @@ val choose : t -> int option
 val count_common : t -> t -> int
 (** [count_common a b] is [cardinal (a ∩ b)] without allocating. *)
 
+val inter_into_from : dst:t -> t -> t -> unit
+(** [inter_into_from ~dst a b] overwrites [dst] with [a] ∩ [b] (all three
+    sets of equal capacity; [dst] may alias [a] or [b]).  One load/store
+    pair per word — the solver kernel's "materialise an intersection into
+    scratch" primitive. *)
+
+val union_inter_into : dst:t -> t -> t -> unit
+(** [union_inter_into ~dst a b] replaces [dst] with [dst] ∪ ([a] ∩ [b]).
+    The frontier-BFS accumulation step ([frontier ∪= row(v) ∩ remaining])
+    as a single word-parallel pass. *)
+
+val iter_common : (int -> unit) -> t -> t -> unit
+(** [iter_common f a b] applies [f] to every element of [a] ∩ [b] in
+    increasing order, without materialising the intersection.  The kernel's
+    replacement for "iterate neighbours, probe membership" loops. *)
+
+val first_common : t -> t -> int option
+(** Smallest element of [a] ∩ [b], if any — [choose] on the intersection
+    without materialising it. *)
+
+val fold_words : ('a -> int -> 'a) -> t -> 'a -> 'a
+(** Fold over the packed representation words in index order (the last
+    word's unused high bits are always zero).  Escape hatch for callers
+    that want their own word-parallel reductions. *)
+
 val compare : t -> t -> int
 (** Total order on equal-capacity sets (word-lexicographic); suitable for
     [Map]/[Set] keys and deterministic result merging. *)

@@ -1,4 +1,4 @@
-type t = { nbr : int array array; size : int }
+type t = { nbr : int array array; rows : Bitset.t array; size : int }
 
 type builder = { order : int; mutable adj : (int * int) list; mutable count : int }
 
@@ -38,7 +38,18 @@ let freeze b =
       fill.(v) <- fill.(v) + 1)
     b.adj;
   Array.iter (fun row -> Array.sort compare row) nbr;
-  { nbr; size = b.count }
+  (* Adjacency bitset rows: row v is the neighbour set of v over the node
+     universe, precomputed once so solver inner loops can intersect whole
+     rows against alive/remaining masks word-parallel. *)
+  let rows =
+    Array.map
+      (fun row ->
+        let s = Bitset.create b.order in
+        Array.iter (Bitset.add s) row;
+        s)
+      nbr
+  in
+  { nbr; rows; size = b.count }
 
 let order g = Array.length g.nbr
 let size g = g.size
@@ -60,9 +71,8 @@ let adjacent g u v =
 
 let iter_neighbours g v f = Array.iter f g.nbr.(v)
 let fold_neighbours g v f init = Array.fold_left f init g.nbr.(v)
-
-let alive_degree g alive v =
-  fold_neighbours g v (fun acc u -> if Bitset.mem alive u then acc + 1 else acc) 0
+let neighbours_mask g v = g.rows.(v)
+let alive_degree g alive v = Bitset.count_common g.rows.(v) alive
 
 let edges g =
   let acc = ref [] in

@@ -43,6 +43,14 @@ val neighbours : t -> int -> int array
 val adjacent : t -> int -> int -> bool
 (** O(log degree) adjacency test. *)
 
+val neighbours_mask : t -> int -> Bitset.t
+(** The neighbour set of [v] as a bitset over the node universe, built at
+    {!freeze} time.  Physically shared with the graph: callers must not
+    mutate it.  This is the solver kernel's adjacency representation —
+    [Bitset.count_common (neighbours_mask g v) alive] is [alive_degree],
+    and row ∩ remaining intersections drive candidate generation and the
+    connectivity prune word-parallel. *)
+
 val iter_neighbours : t -> int -> (int -> unit) -> unit
 
 val fold_neighbours : t -> int -> ('a -> int -> 'a) -> 'a -> 'a

@@ -14,6 +14,13 @@ let m_expansions = Metrics.counter "hamilton.expansions"
 let m_backtracks = Metrics.counter "hamilton.backtracks"
 let h_search = Metrics.histogram "hamilton.search_ns"
 
+(* The reference (pre-bitset-row) implementation keeps its own cells so a
+   crosscheck run can account kernel and reference work separately. *)
+let m_ref_searches = Metrics.counter "hamilton.ref_searches"
+let m_ref_expansions = Metrics.counter "hamilton.ref_expansions"
+let m_ref_backtracks = Metrics.counter "hamilton.ref_backtracks"
+let h_ref_search = Metrics.histogram "hamilton.ref_search_ns"
+
 (* The DFS works on mutable state:
    - [remaining]: alive nodes not yet on the path (excludes the head);
    - [trail]: the path so far, head first (reversed at the end);
@@ -28,8 +35,16 @@ let h_search = Metrics.histogram "hamilton.search_ns"
 type ctx = {
   cap : int;  (** graph order the scratch is sized for *)
   remaining : Bitset.t;
-  seen : Bitset.t;  (** connectivity-prune scratch *)
+  seen : Bitset.t;  (** connectivity-prune scratch: reached set *)
+  frontier : Bitset.t;  (** connectivity-prune scratch: current BFS wave *)
+  next : Bitset.t;  (** connectivity-prune scratch: next BFS wave *)
   pool : Bitset.t;  (** start/end candidate scratch *)
+  deg1 : Bitset.t;
+      (** kernel only: remaining nodes with exactly one remaining
+          neighbour, maintained incrementally by [occupy]/[release] so the
+          forced-endpoint prune is a word-parallel mask op instead of a
+          scan over [remaining] *)
+  forced : Bitset.t;  (** kernel scratch: [deg1 \ row head] *)
   rem_deg : int array;
   mutable cand : int array;
       (** candidate stack shared by all DFS levels: each [extend] frame
@@ -44,7 +59,11 @@ let make_ctx cap =
     cap;
     remaining = Bitset.create cap;
     seen = Bitset.create cap;
+    frontier = Bitset.create cap;
+    next = Bitset.create cap;
     pool = Bitset.create cap;
+    deg1 = Bitset.create cap;
+    forced = Bitset.create cap;
     rem_deg = Array.make (max 1 cap) 0;
     cand = Array.make (max 16 cap) 0;
     cand_sp = 0;
@@ -61,6 +80,33 @@ let push_cand ctx u =
   ctx.cand_sp <- ctx.cand_sp + 1
 
 let ctx_capacity ctx = ctx.cap
+
+(* ------------------------------------------------------------------ *)
+(* Word-parallel kernel                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The three inner loops all run on precomputed adjacency bitset rows
+   ([Graph.neighbours_mask]) instead of walking neighbour arrays with
+   per-node membership probes:
+
+   (a) the connectivity prune is a frontier-bitset BFS — each wave is
+       [next ∪= row(v)] over the frontier's members followed by one
+       word-parallel [∩ remaining, \ seen] pass, with no list stack and no
+       per-node closure;
+   (b) degree bookkeeping uses [Bitset.count_common row remaining] and
+       [Bitset.iter_common] (neighbours-in-remaining without probing), and
+       [release] restores [rem_deg] incrementally — a node's count cannot
+       change while it is off the remaining set, so the value written at
+       [occupy] time is still correct at backtrack time; the dead-end /
+       forced-endpoint prune reads incrementally maintained summaries (a
+       zero-degree counter and a degree-one bitset) instead of scanning
+       the remaining set per expansion;
+   (c) candidate generation enumerates [row(head) ∩ remaining] directly
+       into the shared scratch stack.
+
+   Visit order (candidate sort included) is byte-identical to the
+   reference implementation below — the oracle tests assert equal results
+   and equal expansion counts. *)
 
 let search ctx ~budget ~expansions:expansions_out g ~alive ~starts ~ends =
   let n = Graph.order g in
@@ -84,83 +130,129 @@ let search ctx ~budget ~expansions:expansions_out g ~alive ~starts ~ends =
     in
     let remaining = ctx.remaining in
     let rem_deg = ctx.rem_deg in
+    let deg1 = ctx.deg1 in
     let ends_remaining = ref 0 in
+    let deg0_count = ref 0 in
+    let row v = Graph.neighbours_mask g v in
 
     let init_from start =
       Bitset.blit ~src:alive ~dst:remaining;
       Bitset.remove remaining start;
       ends_remaining := 0;
+      deg0_count := 0;
+      Bitset.clear deg1;
       Bitset.iter
         (fun v ->
-          rem_deg.(v) <- Graph.alive_degree g remaining v;
+          let d = Bitset.count_common (row v) remaining in
+          rem_deg.(v) <- d;
+          if d = 0 then incr deg0_count else if d = 1 then Bitset.add deg1 v;
           if Bitset.mem ends v then incr ends_remaining)
         remaining
     in
 
     (* Occupy [v] (move head there): drop it from remaining, decrement its
-       neighbours' counts. *)
+       neighbours' counts.  [rem_deg.(v)] keeps its pre-occupy value: no
+       occupy/release of another node touches it while [v] is off the
+       remaining set, so [release] can restore it for free.  The
+       [deg0_count]/[deg1] summaries are kept in lockstep so [feasible]
+       never has to scan [remaining]. *)
     let occupy v =
       Bitset.remove remaining v;
+      (match rem_deg.(v) with
+      | 0 -> decr deg0_count
+      | 1 -> Bitset.remove deg1 v
+      | _ -> ());
       if Bitset.mem ends v then decr ends_remaining;
-      Graph.iter_neighbours g v (fun u ->
-          if Bitset.mem remaining u then rem_deg.(u) <- rem_deg.(u) - 1)
+      Bitset.iter_common
+        (fun u ->
+          let d = rem_deg.(u) - 1 in
+          rem_deg.(u) <- d;
+          if d = 0 then begin
+            Bitset.remove deg1 u;
+            incr deg0_count
+          end
+          else if d = 1 then Bitset.add deg1 u)
+        (row v) remaining
     in
     let release v =
-      Graph.iter_neighbours g v (fun u ->
-          if Bitset.mem remaining u then rem_deg.(u) <- rem_deg.(u) + 1);
+      Bitset.iter_common
+        (fun u ->
+          let d = rem_deg.(u) in
+          rem_deg.(u) <- d + 1;
+          if d = 0 then begin
+            decr deg0_count;
+            Bitset.add deg1 u
+          end
+          else if d = 1 then Bitset.remove deg1 u)
+        (row v) remaining;
       Bitset.add remaining v;
-      if Bitset.mem ends v then incr ends_remaining;
-      rem_deg.(v) <- Graph.alive_degree g remaining v
+      (match rem_deg.(v) with
+      | 0 -> incr deg0_count
+      | 1 -> Bitset.add deg1 v
+      | _ -> ());
+      if Bitset.mem ends v then incr ends_remaining
     in
 
-    (* Soundness prunes; [head] is the current path head. *)
+    (* Soundness prunes; [head] is the current path head.  Equivalent to
+       the reference's scan over [remaining] (the scan's early-exit only
+       short-circuits failure, so the boolean is order-independent):
+       - a zero-degree node is legal only as the unique remaining node
+         entered directly from the head;
+       - the forced set F = deg1 \ row(head) must satisfy |F| <= 1 and
+         F ⊆ ends. *)
     let feasible head =
       let rem_count = Bitset.cardinal remaining in
       if rem_count = 0 then true
       else if !ends_remaining = 0 then false
       else begin
-        (* Dead-end / forced-endpoint counting. *)
-        let ok = ref true in
-        let forced = ref 0 in
-        Bitset.iter
-          (fun v ->
-            if !ok then
-              if rem_deg.(v) = 0 then begin
-                (* Only legal when v is the unique remaining node, entered
-                   directly from the head. *)
-                if rem_count > 1 || not (Graph.adjacent g head v) then ok := false
-              end
-              else if rem_deg.(v) = 1 && not (Graph.adjacent g head v) then begin
-                incr forced;
-                if (not (Bitset.mem ends v)) || !forced > 1 then ok := false
-              end)
-          remaining;
-        if not !ok then false
+        let head_row = row head in
+        if !deg0_count > 0 then
+          (* rem_count = 1 forces the lone node's degree to 0, and
+             conversely a degree-0 node among several remaining is fatal;
+             when legal, connectivity holds trivially. *)
+          rem_count = 1
+          &&
+          (match Bitset.choose remaining with
+          | Some v -> Bitset.mem head_row v
+          | None -> false)
         else begin
+          let forced = ctx.forced in
+          Bitset.blit ~src:deg1 ~dst:forced;
+          Bitset.diff_into forced head_row;
+          let fc = Bitset.cardinal forced in
+          if
+            fc > 1
+            ||
+            (fc = 1
+            &&
+            match Bitset.choose forced with
+            | Some v -> not (Bitset.mem ends v)
+            | None -> false)
+          then false
+          else begin
           (* Connectivity: every remaining node reachable from the head
-             through remaining nodes. *)
+             through remaining nodes.  Frontier-bitset BFS: whole rows are
+             OR-ed into the next wave, then masked to unvisited remaining
+             nodes in one word-parallel pass. *)
           let seen = ctx.seen in
-          Bitset.clear seen;
-          let stack = ref [] in
-          Graph.iter_neighbours g head (fun u ->
-              if Bitset.mem remaining u && not (Bitset.mem seen u) then begin
-                Bitset.add seen u;
-                stack := u :: !stack
-              end);
-          let count = ref (Bitset.cardinal seen) in
-          while !stack <> [] do
-            match !stack with
-            | [] -> ()
-            | v :: rest ->
-              stack := rest;
-              Graph.iter_neighbours g v (fun u ->
-                  if Bitset.mem remaining u && not (Bitset.mem seen u) then begin
-                    Bitset.add seen u;
-                    incr count;
-                    stack := u :: !stack
-                  end)
+          let frontier = ctx.frontier in
+          let next = ctx.next in
+          Bitset.inter_into_from ~dst:seen head_row remaining;
+          Bitset.blit ~src:seen ~dst:frontier;
+          let growing = ref (not (Bitset.is_empty frontier)) in
+          while !growing do
+            Bitset.clear next;
+            Bitset.iter (fun v -> Bitset.union_into next (row v)) frontier;
+            Bitset.inter_into next remaining;
+            Bitset.diff_into next seen;
+            if Bitset.is_empty next then growing := false
+            else begin
+              Bitset.union_into seen next;
+              Bitset.blit ~src:next ~dst:frontier
+            end
           done;
-          !count = rem_count
+            Bitset.cardinal seen = rem_count
+          end
         end
       end
     in
@@ -179,8 +271,7 @@ let search ctx ~budget ~expansions:expansions_out g ~alive ~starts ~ends =
            descending node id — the fold built its list reversed and the
            sort was stable). *)
         let base = ctx.cand_sp in
-        Graph.iter_neighbours g head (fun u ->
-            if Bitset.mem remaining u then push_cand ctx u);
+        Bitset.iter_common (fun u -> push_cand ctx u) (row head) remaining;
         let sp = ctx.cand_sp in
         for i = base + 1 to sp - 1 do
           let x = ctx.cand.(i) in
@@ -298,3 +389,189 @@ let is_spanning_path g ~alive ~starts ~ends path =
     && consecutive_ok path
     && Bitset.mem starts first
     && Bitset.mem ends (last path)
+
+(* ------------------------------------------------------------------ *)
+(* Reference implementation (pre-bitset-row kernel)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The neighbour-array backtracker the kernel above replaced, retained
+   verbatim as the equivalence oracle: same prunes, same visit order, same
+   tick placement, so for any input it must return the identical [result]
+   and perform the identical number of expansions.  The oracle tests and
+   [gdp verify --crosscheck] diff the two paths; perf is irrelevant here
+   (it even keeps the old full [alive_degree] recompute in [release]). *)
+module Reference = struct
+  let search ctx ~budget ~expansions:expansions_out g ~alive ~starts ~ends =
+    let n = Graph.order g in
+    if ctx.cap <> n then
+      invalid_arg "Hamilton.Reference.search: ctx capacity mismatch";
+    ctx.cand_sp <- 0;
+    let total = Bitset.cardinal alive in
+    if total = 0 then No_path
+    else begin
+      let search_start = Mclock.now_ns () in
+      let expansions = ref 0 in
+      let backtracks = ref 0 in
+      let tick () =
+        incr expansions;
+        Option.iter (fun r -> incr r) expansions_out;
+        match budget with
+        | Some b when !expansions > b -> raise Out_of_budget
+        | _ -> ()
+      in
+      let remaining = ctx.remaining in
+      let rem_deg = ctx.rem_deg in
+      let ends_remaining = ref 0 in
+
+      let init_from start =
+        Bitset.blit ~src:alive ~dst:remaining;
+        Bitset.remove remaining start;
+        ends_remaining := 0;
+        Bitset.iter
+          (fun v ->
+            rem_deg.(v) <- Graph.alive_degree g remaining v;
+            if Bitset.mem ends v then incr ends_remaining)
+          remaining
+      in
+
+      let occupy v =
+        Bitset.remove remaining v;
+        if Bitset.mem ends v then decr ends_remaining;
+        Graph.iter_neighbours g v (fun u ->
+            if Bitset.mem remaining u then rem_deg.(u) <- rem_deg.(u) - 1)
+      in
+      let release v =
+        Graph.iter_neighbours g v (fun u ->
+            if Bitset.mem remaining u then rem_deg.(u) <- rem_deg.(u) + 1);
+        Bitset.add remaining v;
+        if Bitset.mem ends v then incr ends_remaining;
+        rem_deg.(v) <- Graph.alive_degree g remaining v
+      in
+
+      let feasible head =
+        let rem_count = Bitset.cardinal remaining in
+        if rem_count = 0 then true
+        else if !ends_remaining = 0 then false
+        else begin
+          let ok = ref true in
+          let forced = ref 0 in
+          Bitset.iter
+            (fun v ->
+              if !ok then
+                if rem_deg.(v) = 0 then begin
+                  if rem_count > 1 || not (Graph.adjacent g head v) then
+                    ok := false
+                end
+                else if rem_deg.(v) = 1 && not (Graph.adjacent g head v)
+                then begin
+                  incr forced;
+                  if (not (Bitset.mem ends v)) || !forced > 1 then ok := false
+                end)
+            remaining;
+          if not !ok then false
+          else begin
+            let seen = ctx.seen in
+            Bitset.clear seen;
+            let stack = ref [] in
+            Graph.iter_neighbours g head (fun u ->
+                if Bitset.mem remaining u && not (Bitset.mem seen u) then begin
+                  Bitset.add seen u;
+                  stack := u :: !stack
+                end);
+            let count = ref (Bitset.cardinal seen) in
+            while !stack <> [] do
+              match !stack with
+              | [] -> ()
+              | v :: rest ->
+                stack := rest;
+                Graph.iter_neighbours g v (fun u ->
+                    if Bitset.mem remaining u && not (Bitset.mem seen u)
+                    then begin
+                      Bitset.add seen u;
+                      incr count;
+                      stack := u :: !stack
+                    end)
+            done;
+            !count = rem_count
+          end
+        end
+      in
+
+      let exception Found of int list in
+      let rec extend head trail =
+        tick ();
+        if Bitset.is_empty remaining then begin
+          if Bitset.mem ends head then raise (Found trail)
+        end
+        else if feasible head then begin
+          let base = ctx.cand_sp in
+          Graph.iter_neighbours g head (fun u ->
+              if Bitset.mem remaining u then push_cand ctx u);
+          let sp = ctx.cand_sp in
+          for i = base + 1 to sp - 1 do
+            let x = ctx.cand.(i) in
+            let dx = rem_deg.(x) in
+            let j = ref i in
+            while
+              !j > base
+              && (let p = ctx.cand.(!j - 1) in
+                  rem_deg.(p) > dx || (rem_deg.(p) = dx && p < x))
+            do
+              ctx.cand.(!j) <- ctx.cand.(!j - 1);
+              decr j
+            done;
+            ctx.cand.(!j) <- x
+          done;
+          for i = base to sp - 1 do
+            let u = ctx.cand.(i) in
+            occupy u;
+            extend u (u :: trail);
+            release u;
+            incr backtracks
+          done;
+          ctx.cand_sp <- base
+        end
+      in
+
+      let start_candidates =
+        Bitset.blit ~src:starts ~dst:ctx.pool;
+        Bitset.inter_into ctx.pool alive;
+        Bitset.elements ctx.pool
+      in
+      let result =
+        try
+          List.iter
+            (fun start ->
+              init_from start;
+              extend start [ start ])
+            start_candidates;
+          No_path
+        with
+        | Found trail -> Path (List.rev trail)
+        | Out_of_budget -> Budget_exceeded
+      in
+      Metrics.incr m_ref_searches;
+      Metrics.add m_ref_expansions !expansions;
+      Metrics.add m_ref_backtracks !backtracks;
+      Metrics.observe h_ref_search (Mclock.now_ns () - search_start);
+      result
+    end
+
+  let solve_into ?budget ?expansions ctx g ~alive ~starts ~ends =
+    let count set = Bitset.count_common set alive in
+    if count ends < count starts then
+      match
+        search ctx ~budget ~expansions g ~alive ~starts:ends ~ends:starts
+      with
+      | Path p -> Path (List.rev p)
+      | (No_path | Budget_exceeded) as r -> r
+    else search ctx ~budget ~expansions g ~alive ~starts ~ends
+
+  let spanning_path ?budget ?expansions ?ctx g ~alive ~starts ~ends =
+    let ctx =
+      match ctx with
+      | Some c when ctx_capacity c = Graph.order g -> c
+      | Some _ | None -> make_ctx (Graph.order g)
+    in
+    solve_into ?budget ?expansions ctx g ~alive ~starts ~ends
+end

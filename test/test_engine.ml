@@ -193,6 +193,70 @@ let parallel_tests =
             (Small_n.g3 ~k:3, 11, 400);
             (overclaimed (Small_n.g2 ~k:2), 23, 400);
           ]);
+    (* The multi-domain calls above stay below the serial-fallback
+       threshold, so they exercise the degradation path; these force real
+       pool sharding with [~min_items_per_domain:0] and must still be
+       byte-identical. *)
+    tc "forced pool sharding is byte-identical to sequential" (fun () ->
+        List.iter
+          (fun inst ->
+            let expected = Verify.exhaustive inst in
+            List.iter
+              (fun domains ->
+                let actual =
+                  Engine.Parallel.verify_exhaustive ~domains
+                    ~min_items_per_domain:0 inst
+                in
+                check_report
+                  (Printf.sprintf "%s pooled domains=%d" inst.Instance.name
+                     domains)
+                  expected actual)
+              [ 2; 3; 4 ])
+          [ Small_n.g1 ~k:3; Special.g62 (); overclaimed (Small_n.g2 ~k:2) ]);
+    tc "forced pool sharding reproduces failures and early stop" (fun () ->
+        let inst = overclaimed (Small_n.g2 ~k:2) in
+        List.iter
+          (fun max_failures ->
+            let expected = Verify.exhaustive ~max_failures inst in
+            check Alcotest.bool "setup produced failures" true
+              (expected.Verify.failures <> []);
+            let actual =
+              Engine.Parallel.verify_exhaustive ~max_failures ~domains:3
+                ~min_items_per_domain:0 inst
+            in
+            check_report
+              (Printf.sprintf "pooled cap=%d" max_failures)
+              expected actual)
+          [ 1; 2; 5; 1000 ]);
+    tc "orbit-reduced parallel equals sequential, serial and pooled"
+      (fun () ->
+        List.iter
+          (fun inst ->
+            let sym = Instance.symmetry inst in
+            let expected = Verify.exhaustive ~symmetry:sym inst in
+            List.iter
+              (fun (domains, min_items) ->
+                let actual =
+                  Engine.Parallel.verify_exhaustive ~domains
+                    ?min_items_per_domain:min_items ~symmetry:sym inst
+                in
+                check_report
+                  (Printf.sprintf "%s orbit domains=%d forced=%b"
+                     inst.Instance.name domains (min_items = Some 0))
+                  expected actual)
+              [ (1, None); (2, None); (2, Some 0); (3, Some 0) ])
+          [ Small_n.g1 ~k:3; overclaimed (Small_n.g2 ~k:2) ]);
+    tc "forced pool sampling equals sequential for a fixed seed" (fun () ->
+        let inst = overclaimed (Small_n.g2 ~k:2) in
+        let seed = 23 and trials = 400 in
+        let expected =
+          Verify.sampled ~rng:(Random.State.make [| seed |]) ~trials inst
+        in
+        let actual =
+          Engine.Parallel.verify_sampled ~seed ~trials ~domains:3
+            ~min_items_per_domain:0 inst
+        in
+        check_report "pooled sampled" expected actual);
     tc "engine verify entry points agree with Verify" (fun () ->
         let inst = Special.g62 () in
         let engine = Engine.create inst in

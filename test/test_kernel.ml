@@ -1,0 +1,168 @@
+(* Kernel-equivalence oracle (PR 4): the word-parallel bitset-row kernel
+   must be observationally identical to the retained reference
+   backtracker — same [result] AND same expansion count — on arbitrary
+   inputs and on the paper's frozen families.  The two implementations
+   share prunes, Warnsdorff ordering and tick placement by construction;
+   these tests pin that contract so future kernel work cannot silently
+   change the search. *)
+
+open Gdpn_core
+module Graph = Gdpn_graph.Graph
+module Bitset = Gdpn_graph.Bitset
+module Hamilton = Gdpn_graph.Hamilton
+module Metrics = Gdpn_obs.Metrics
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+let to_alcotest = List.map QCheck_alcotest.to_alcotest
+
+let pp_result = function
+  | Hamilton.Path p ->
+    "Path [" ^ String.concat ";" (List.map string_of_int p) ^ "]"
+  | Hamilton.No_path -> "No_path"
+  | Hamilton.Budget_exceeded -> "Budget_exceeded"
+
+(* Kernel and reference agree on result and expansion count. *)
+let equivalent ?budget g ~alive ~starts ~ends =
+  let ek = ref 0 and er = ref 0 in
+  let rk = Hamilton.spanning_path ?budget ~expansions:ek g ~alive ~starts ~ends in
+  let rr =
+    Hamilton.Reference.spanning_path ?budget ~expansions:er g ~alive ~starts
+      ~ends
+  in
+  if rk <> rr then
+    QCheck.Test.fail_reportf "results differ: kernel=%s reference=%s"
+      (pp_result rk) (pp_result rr);
+  if !ek <> !er then
+    QCheck.Test.fail_reportf "expansions differ: kernel=%d reference=%d" !ek
+      !er;
+  true
+
+(* Random search problems: an Erdős–Rényi-ish graph plus random
+   alive/starts/ends subsets and an occasional tight budget (so the
+   Budget_exceeded arm is exercised too). *)
+let problem_gen =
+  QCheck.Gen.(
+    pair (int_range 1 18) int >|= fun (n, seed) ->
+    let rng = Random.State.make [| seed; 977 |] in
+    let p = 0.15 +. Random.State.float rng 0.5 in
+    let b = Graph.builder n in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if Random.State.float rng 1.0 < p then Graph.add_edge b u v
+      done
+    done;
+    let subset keep_p =
+      let s = Bitset.create n in
+      for v = 0 to n - 1 do
+        if Random.State.float rng 1.0 < keep_p then Bitset.add s v
+      done;
+      s
+    in
+    let budget =
+      match Random.State.int rng 4 with
+      | 0 -> Some (Random.State.int rng 40)
+      | _ -> None
+    in
+    (Graph.freeze b, subset 0.8, subset 0.5, subset 0.5, budget))
+
+let problem_arb =
+  QCheck.make
+    ~print:(fun (g, alive, starts, ends, budget) ->
+      Format.asprintf "graph=%a alive=%a starts=%a ends=%a budget=%s" Graph.pp
+        g Bitset.pp alive Bitset.pp starts Bitset.pp ends
+        (match budget with None -> "none" | Some b -> string_of_int b))
+    problem_gen
+
+let random_props =
+  let open QCheck in
+  [
+    Test.make
+      ~name:"kernel equals reference on random instances (result+expansions)"
+      ~count:300 problem_arb
+      (fun (g, alive, starts, ends, budget) ->
+        equivalent ?budget g ~alive ~starts ~ends);
+    Test.make ~name:"kernel equals reference with alive = everything"
+      ~count:120 problem_arb
+      (fun (g, _, starts, ends, budget) ->
+        let alive = Bitset.full (Graph.order g) in
+        equivalent ?budget g ~alive ~starts ~ends);
+  ]
+
+(* Frozen families: run whole exhaustive verifications through both
+   solver paths and require identical reports and identical total
+   expansion counts (read from the kernel/reference metric cells around
+   the runs; the suites run sequentially, so the deltas are exact). *)
+let counter_delta name f =
+  let cell = Metrics.counter name in
+  let before = Metrics.value cell in
+  let r = f () in
+  (r, Metrics.value cell - before)
+
+let check_family name inst =
+  let reference_solve ~faults = Reconfig.solve ~reference:true inst ~faults in
+  let rk, ek =
+    counter_delta "hamilton.expansions" (fun () -> Verify.exhaustive inst)
+  in
+  let rr, er =
+    counter_delta "hamilton.ref_expansions" (fun () ->
+        Verify.exhaustive ~solve:reference_solve inst)
+  in
+  check Alcotest.bool (name ^ ": reports equal") true (rk = rr);
+  check Alcotest.int (name ^ ": expansion counts equal") ek er
+
+let family_tests =
+  [
+    tc "G(1,k) exhaustive verifies agree" (fun () ->
+        List.iter
+          (fun k -> check_family (Printf.sprintf "G(1,%d)" k) (Small_n.g1 ~k))
+          [ 2; 3; 4 ]);
+    tc "G(3,k) exhaustive verifies agree" (fun () ->
+        List.iter
+          (fun k -> check_family (Printf.sprintf "G(3,%d)" k) (Small_n.g3 ~k))
+          [ 2; 3; 4 ]);
+    tc "circulant sampled verifies agree" (fun () ->
+        (* The smallest circulant (k >= 4) already has a ~67k-set fault
+           space, so the family check samples a fixed stream instead of
+           exhausting it. *)
+        let inst = Circulant_family.build ~n:18 ~k:4 in
+        let run solve =
+          counter_delta
+            (match solve with
+            | None -> "hamilton.expansions"
+            | Some _ -> "hamilton.ref_expansions")
+            (fun () ->
+              Verify.sampled
+                ~rng:(Random.State.make [| 7177 |])
+                ~trials:600 ?solve inst)
+        in
+        let rk, ek = run None in
+        let rr, er =
+          run (Some (fun ~faults -> Reconfig.solve ~reference:true inst ~faults))
+        in
+        check Alcotest.bool "circulant reports equal" true (rk = rr);
+        check Alcotest.int "circulant expansion counts equal" ek er);
+    tc "special instances G(4,3) and G(6,2) agree" (fun () ->
+        check_family "G(4,3)" (Special.g43 ());
+        check_family "G(6,2)" (Special.g62 ()));
+    tc "generic solver agrees on random fault masks of G(40,4)" (fun () ->
+        let inst = Circulant_family.build ~n:40 ~k:4 in
+        let order = Instance.order inst in
+        let rng = Random.State.make [| 4242 |] in
+        for _ = 1 to 60 do
+          let faults = Bitset.create order in
+          for _ = 1 to Random.State.int rng (inst.Instance.k + 1) do
+            Bitset.add faults (Random.State.int rng order)
+          done;
+          let a = Reconfig.solve_generic inst ~faults in
+          let b = Reconfig.solve_generic ~reference:true inst ~faults in
+          check Alcotest.bool "outcomes equal" true (a = b)
+        done);
+  ]
+
+let () =
+  Alcotest.run "gdpn_kernel"
+    [
+      ("random-oracle", to_alcotest random_props);
+      ("frozen-families", family_tests);
+    ]
