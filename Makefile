@@ -9,12 +9,17 @@ test:
 	dune runtest
 
 # The tier-1 gate plus a multicore engine smoke: exhaustively verify
-# G(8,2) (137 fault sets) through Engine.Parallel on two domains, then
-# cross-check orbit-reduced verification against full enumeration
-# (verdict, counts and orbit-expanded failure sets must agree), then a
-# traced run whose JSONL output must end with the metrics snapshot.
+# G(8,2) (137 fault sets) through Engine.Parallel on two domains (splice
+# on and off — reports must agree), then cross-check orbit-reduced
+# verification against full enumeration (verdict, counts and
+# orbit-expanded failure sets must agree) and splice-first prefix-tree
+# enumeration against from-scratch solving (reports must be identical),
+# then a traced run whose JSONL output must end with the metrics
+# snapshot.
 check: build test
 	GDPN_DOMAINS=2 dune exec bin/gdp.exe -- verify -n 8 -k 2
+	GDPN_DOMAINS=2 dune exec bin/gdp.exe -- verify -n 8 -k 2 --no-splice
+	GDPN_DOMAINS=2 dune exec bin/gdp.exe -- verify -n 8 -k 2 --crosscheck
 	GDPN_DOMAINS=2 dune exec bin/gdp.exe -- verify -n 8 -k 2 --symmetry --crosscheck
 	GDPN_DOMAINS=2 dune exec bin/gdp.exe -- verify -n 8 -k 2 --symmetry --trace-out /tmp/gdpn-check-trace.jsonl
 	tail -1 /tmp/gdpn-check-trace.jsonl | grep -q '"snapshot"'
@@ -22,12 +27,13 @@ check: build test
 bench:
 	dune exec bench/main.exe
 
-# Fast bench sanity: just the B12 symmetry group, with the JSON emitter
-# (the committed BENCH_PR3.json is regenerated the same way, minus the
+# Fast bench sanity: one group per recent PR, with the JSON emitter
+# (the committed BENCH_PR5.json is regenerated the same way, minus the
 # temp path and the group filter).
 bench-smoke:
 	dune exec bench/main.exe -- --only B12 --json /tmp/gdpn-bench-smoke.json
 	dune exec bench/main.exe -- --only B13 --json /tmp/gdpn-bench-smoke-kernel.json
+	dune exec bench/main.exe -- --only B14 --json /tmp/gdpn-bench-smoke-splice.json
 
 clean:
 	dune clean

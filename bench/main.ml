@@ -578,6 +578,46 @@ let b13_kernel =
                (Verify.exhaustive ~solve:(ref_solve g62) g62)));
     ]
 
+let b14_splice =
+  (* Prefix-tree splice-first verification (PR 5).  The splice rows walk
+     the fault space as a DFS prefix tree, patching each set from its
+     parent's plan ({!Repair.patch}) and only running the Hamilton solver
+     when the splice fails; the from-scratch rows disable that and solve
+     every set — the pre-PR-5 behaviour.  Reports are byte-identical by
+     construction (test_splice, gdp verify --crosscheck).  The sharded
+     rows measure the work-stealing scheduler at 1 vs N domains with the
+     serial fallback disabled, so N-domain cost on a small space is an
+     upper bound on the scheduler overhead. *)
+  let module Engine = Gdpn_engine.Engine in
+  let g35 = Small_n.g3 ~k:5 in
+  let circ = Circulant_family.build ~n:22 ~k:4 in
+  let g43 = Special.g43 () in
+  let nd = Stdlib.max 2 (Engine.Parallel.default_domains ()) in
+  Test.make_grouped ~name:"B14-splice"
+    [
+      Test.make ~name:"G(3,5) exhaustive, splice"
+        (Staged.stage (fun () -> Sys.opaque_identity (Verify.exhaustive g35)));
+      Test.make ~name:"G(3,5) exhaustive, from-scratch"
+        (Staged.stage (fun () ->
+             Sys.opaque_identity (Verify.exhaustive ~splice:false g35)));
+      Test.make ~name:"G(22,4) circulant exhaustive, splice"
+        (Staged.stage (fun () -> Sys.opaque_identity (Verify.exhaustive circ)));
+      Test.make ~name:"G(22,4) circulant exhaustive, from-scratch"
+        (Staged.stage (fun () ->
+             Sys.opaque_identity (Verify.exhaustive ~splice:false circ)));
+      Test.make ~name:"G(4,3) sharded splice verify, 1 domain"
+        (Staged.stage (fun () ->
+             Sys.opaque_identity
+               (Engine.Parallel.verify_exhaustive ~domains:1
+                  ~min_items_per_domain:0 g43)));
+      Test.make
+        ~name:(Printf.sprintf "G(4,3) sharded splice verify, %d domains" nd)
+        (Staged.stage (fun () ->
+             Sys.opaque_identity
+               (Engine.Parallel.verify_exhaustive ~domains:nd
+                  ~min_items_per_domain:0 g43)));
+    ]
+
 let groups =
   [
     ("B1-construction", b1_construction);
@@ -593,6 +633,7 @@ let groups =
     ("B11-engine", b11_engine);
     ("B12-symmetry", b12_symmetry);
     ("B13-kernel", b13_kernel);
+    ("B14-splice", b14_splice);
   ]
 
 type row = {
@@ -806,6 +847,102 @@ let print_kernel_comparison cmps =
     cmps
 
 (* ------------------------------------------------------------------ *)
+(* B14 companion: fixed-workload splice-vs-from-scratch comparison     *)
+(* ------------------------------------------------------------------ *)
+
+(* Same fixed-workload protocol as the kernel comparison: each exhaustive
+   verify runs exactly [reps] times per configuration, wall time is the
+   best of [reps], and the splice/splice-failure counters are read around
+   the spliced runs.  The four reports (splice, from-scratch, sharded at
+   1 domain, sharded at N domains) must be structurally identical; the
+   times must not.  [parn_ns <= par1_ns] is the scheduler's scaling
+   acceptance bar on multi-core hosts. *)
+type splice_cmp = {
+  sp_name : string;
+  sp_sets : int;
+  sp_splices : int;  (** per run: sets answered by a parent-plan patch *)
+  sp_splice_failures : int;  (** per run: patch failed, full solve ran *)
+  splice_ns : int;
+  no_splice_ns : int;
+  par1_ns : int;  (** forced sharding, 1 domain, splice on *)
+  parn_ns : int;  (** forced sharding, N domains, splice on *)
+  parn_domains : int;
+  sp_reports_equal : bool;
+}
+
+let splice_comparison () =
+  let module Metrics = Gdpn_obs.Metrics in
+  let module Mclock = Gdpn_obs.Mclock in
+  let module Engine = Gdpn_engine.Engine in
+  let splices = Metrics.counter "verify.splices" in
+  let splice_failures = Metrics.counter "verify.splice_failures" in
+  let reps = 5 in
+  let time f =
+    let best = ref max_int in
+    let report = ref None in
+    for _ = 1 to reps do
+      let t0 = Mclock.now_ns () in
+      let r = f () in
+      let dur = Mclock.now_ns () - t0 in
+      if dur < !best then best := dur;
+      report := Some r
+    done;
+    (Option.get !report, !best)
+  in
+  let nd = Stdlib.max 2 (Engine.Parallel.default_domains ()) in
+  List.map
+    (fun (name, inst) ->
+      let s0 = Metrics.value splices in
+      let f0 = Metrics.value splice_failures in
+      let r_sp, splice_ns = time (fun () -> Verify.exhaustive inst) in
+      let per_run_splices = (Metrics.value splices - s0) / reps in
+      let per_run_failures = (Metrics.value splice_failures - f0) / reps in
+      let r_ns, no_splice_ns =
+        time (fun () -> Verify.exhaustive ~splice:false inst)
+      in
+      let r_p1, par1_ns =
+        time (fun () ->
+            Engine.Parallel.verify_exhaustive ~domains:1
+              ~min_items_per_domain:0 inst)
+      in
+      let r_pn, parn_ns =
+        time (fun () ->
+            Engine.Parallel.verify_exhaustive ~domains:nd
+              ~min_items_per_domain:0 inst)
+      in
+      {
+        sp_name = name;
+        sp_sets = r_sp.Verify.fault_sets_checked;
+        sp_splices = per_run_splices;
+        sp_splice_failures = per_run_failures;
+        splice_ns;
+        no_splice_ns;
+        par1_ns;
+        parn_ns;
+        parn_domains = nd;
+        sp_reports_equal = r_sp = r_ns && r_sp = r_p1 && r_sp = r_pn;
+      })
+    [
+      ("G(4,3) exhaustive", Special.g43 ());
+      ("G(6,2) exhaustive", Special.g62 ());
+      ("G(3,5) exhaustive", Small_n.g3 ~k:5);
+      ("circulant G(22,4) exhaustive", Circulant_family.build ~n:22 ~k:4);
+    ]
+
+let print_splice_comparison cmps =
+  pf "@.--- B14 companion: splice vs from-scratch, fixed workloads ---@.";
+  pf "%-28s %8s %8s %6s %12s %12s %8s %12s %12s %6s@." "workload" "sets"
+    "splices" "fails" "splice_ns" "scratch_ns" "speedup" "par1_ns" "parN_ns"
+    "=rep";
+  List.iter
+    (fun c ->
+      pf "%-28s %8d %8d %6d %12d %12d %7.2fx %12d %12d %6b@." c.sp_name
+        c.sp_sets c.sp_splices c.sp_splice_failures c.splice_ns c.no_splice_ns
+        (float_of_int c.no_splice_ns /. float_of_int (max 1 c.splice_ns))
+        c.par1_ns c.parn_ns c.sp_reports_equal)
+    cmps
+
+(* ------------------------------------------------------------------ *)
 (* JSON emission (hand-rolled: no JSON dependency in the image)        *)
 (* ------------------------------------------------------------------ *)
 
@@ -827,10 +964,10 @@ let json_float = function
   | Some f when Float.is_finite f -> Printf.sprintf "%.6g" f
   | Some _ | None -> "null"
 
-let write_json ~path rows stats cmps =
+let write_json ~path rows stats cmps splices =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"pr\": 4,\n";
+  Buffer.add_string buf "  \"pr\": 5,\n";
   Buffer.add_string buf
     "  \"config\": {\"quota_s\": 0.5, \"limit\": 2000, \"bootstrap\": 0},\n";
   Buffer.add_string buf "  \"benchmarks\": [\n";
@@ -884,6 +1021,25 @@ let write_json ~path rows stats cmps =
            (if i = List.length cmps - 1 then "" else ",")))
     cmps;
   Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"splice_comparison\": [\n";
+  List.iteri
+    (fun i c ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"workload\": \"%s\", \"fault_sets\": %d, \"splices\": %d, \
+            \"splice_failures\": %d, \"splice_ns\": %d, \
+            \"no_splice_ns\": %d, \"speedup\": %s, \"par1_ns\": %d, \
+            \"parn_ns\": %d, \"parn_domains\": %d, \"reports_equal\": %b}%s\n"
+           (json_escape c.sp_name) c.sp_sets c.sp_splices c.sp_splice_failures
+           c.splice_ns c.no_splice_ns
+           (json_float
+              (Some
+                 (float_of_int c.no_splice_ns
+                 /. float_of_int (max 1 c.splice_ns))))
+           c.par1_ns c.parn_ns c.parn_domains c.sp_reports_equal
+           (if i = List.length splices - 1 then "" else ",")))
+    splices;
+  Buffer.add_string buf "  ],\n";
   (* Registry state accumulated over the whole benchmark run: solver and
      cache counters give the run a coarse self-audit (e.g. that the
      plan-cache rows actually hit the cache). *)
@@ -892,18 +1048,20 @@ let write_json ~path rows stats cmps =
     (Gdpn_obs.Metrics.snapshot_to_json (Gdpn_obs.Metrics.snapshot ()));
   Buffer.add_string buf ",\n";
   Buffer.add_string buf
-    "  \"notes\": \"Word-parallel Hamilton kernel (PR 4): adjacency bitset \
-     rows drive candidate generation, frontier-BFS connectivity and \
-     incremental degree summaries; kernel_comparison runs fixed workloads \
-     through the kernel and the retained reference backtracker — \
-     expansion counts must match exactly (same visit order), wall time \
-     must not. Parallel verify uses a persistent domain pool with a \
-     serial fallback below min_items_per_domain, so small instances no \
-     longer pay per-call Domain.spawn. Orbit-reduced verification notes \
-     (PR 2): the circulant solution graph's only solvability-preserving \
-     symmetry is the input/output reversal, so its solver-call reduction \
-     ceiling is 2x; clique-core families reach the group-order-bounded \
-     reductions.\"\n";
+    "  \"notes\": \"Prefix-tree splice-first verification (PR 5): \
+     exhaustive enumeration walks the fault space as a DFS prefix tree \
+     with a per-branch stack of solved plans, patching each set from its \
+     parent (Repair.patch, revalidated) and full-solving only on splice \
+     failure; negatives always come from a full solve, so reports are \
+     byte-identical to from-scratch enumeration (splice_comparison's \
+     reports_equal). Parallel verify shards balanced DFS-subtree units \
+     through a work-stealing scheduler with per-domain plan chains. \
+     Earlier layers still measured here: word-parallel Hamilton kernel \
+     (PR 4, kernel_comparison — identical expansion counts, different \
+     wall time), persistent domain pool with serial fallback below \
+     min_items_per_domain, orbit-reduced verification (PR 2; the \
+     circulant's only solvability-preserving symmetry is the input/output \
+     reversal, so its reduction ceiling is 2x).\"\n";
   Buffer.add_string buf "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -942,6 +1100,8 @@ let () =
     print_symmetry_stats stats;
     let cmps = kernel_comparison () in
     print_kernel_comparison cmps;
-    write_json ~path rows stats cmps
+    let splices = splice_comparison () in
+    print_splice_comparison splices;
+    write_json ~path rows stats cmps splices
   | None -> ());
   pf "@.done.@."

@@ -142,15 +142,23 @@ let verify_cmd =
   in
   let crosscheck_arg =
     Arg.(value & flag & info [ "crosscheck" ]
-           ~doc:"Exhaustive mode: re-run the enumeration through the \
-                 reference (pre-bitset-row) backtracker and compare \
-                 reports and expansion counts against the word-parallel \
-                 kernel.  With --symmetry, additionally run the full \
-                 enumeration and compare verdicts, counts and \
-                 (orbit-expanded) failure sets.  Exits 3 on any \
-                 disagreement.")
+           ~doc:"Exhaustive mode: re-run the enumeration with splice-first \
+                 prefix-tree solving disabled and compare the reports, \
+                 then re-run through the reference (pre-bitset-row) \
+                 backtracker and compare reports and expansion counts \
+                 against the word-parallel kernel.  With --symmetry, \
+                 additionally run the full enumeration and compare \
+                 verdicts, counts and (orbit-expanded) failure sets.  \
+                 Exits 3 on any disagreement.")
   in
-  let run n k merged sample domains seed symmetry crosscheck trace_out =
+  let no_splice_arg =
+    Arg.(value & flag & info [ "no-splice" ]
+           ~doc:"Disable splice-first prefix-tree solving: every fault set \
+                 is solved from scratch (the pre-splice behaviour; mainly \
+                 for benchmarking and crosschecks).")
+  in
+  let run n k merged sample domains seed symmetry crosscheck no_splice
+      trace_out =
     with_trace trace_out @@ fun () ->
     let module Auto = Gdpn_graph.Auto in
     let inst = build_instance n k merged in
@@ -183,10 +191,12 @@ let verify_cmd =
       | None when merged ->
         (* The sharded enumerator covers all nodes, so the restricted
            universe keeps the sequential path here. *)
-        Verify.exhaustive ?universe ?symmetry:group inst
+        Verify.exhaustive ?universe ?symmetry:group ~splice:(not no_splice)
+          inst
       | None ->
         pf "exhaustive verification: domains=%d@." d;
-        Engine.Parallel.verify_exhaustive ~domains:d ?symmetry:group inst
+        Engine.Parallel.verify_exhaustive ~domains:d ?symmetry:group
+          ~splice:(not no_splice) inst
     in
     pf "%a@." Verify.pp_report report;
     if report.Verify.solver_calls < report.Verify.fault_sets_checked then
@@ -222,9 +232,36 @@ let verify_cmd =
         not agree
       | _ -> false
     in
+    (* Splice crosscheck: the prefix-tree splice-first enumeration must
+       report exactly what from-scratch solving reports — positives are
+       revalidated splices, negatives always come from a full solve. *)
+    let splice_crosscheck_failed =
+      if crosscheck && sample = None then begin
+        let module Metrics = Gdpn_obs.Metrics in
+        let splices = Metrics.counter "verify.splices" in
+        let before = Metrics.value splices in
+        let cap = 1_000_000 in
+        let spliced =
+          Verify.exhaustive ~max_failures:cap ?universe ?symmetry:group
+            ~splice:true inst
+        in
+        let n_splices = Metrics.value splices - before in
+        let scratch =
+          Verify.exhaustive ~max_failures:cap ?universe ?symmetry:group
+            ~splice:false inst
+        in
+        let agree = spliced = scratch in
+        pf "crosscheck splice vs from-scratch: %s (%d sets, %d spliced)@."
+          (if agree then "PASS" else "FAIL")
+          spliced.Verify.fault_sets_checked n_splices;
+        not agree
+      end
+      else false
+    in
     (* Kernel-equivalence crosscheck: independent of --symmetry, the
        word-parallel kernel and the retained reference backtracker must
-       produce identical reports from identical expansion counts. *)
+       produce identical reports from identical expansion counts.  Splice
+       is off on both sides so every set exercises the solvers. *)
     let kernel_crosscheck_failed =
       if crosscheck && sample = None then begin
         let module Metrics = Gdpn_obs.Metrics in
@@ -237,11 +274,12 @@ let verify_cmd =
         let cap = 1_000_000 in
         let kernel, ek =
           delta "hamilton.expansions" (fun () ->
-              Verify.exhaustive ~max_failures:cap ?universe inst)
+              Verify.exhaustive ~max_failures:cap ?universe ~splice:false
+                inst)
         in
         let reference, er =
           delta "hamilton.ref_expansions" (fun () ->
-              Verify.exhaustive ~max_failures:cap ?universe
+              Verify.exhaustive ~max_failures:cap ?universe ~splice:false
                 ~solve:(fun ~faults ->
                   Reconfig.solve ~reference:true inst ~faults)
                 inst)
@@ -258,14 +296,16 @@ let verify_cmd =
         false
       end
     in
-    if crosscheck_failed || kernel_crosscheck_failed then 3
+    if crosscheck_failed || splice_crosscheck_failed || kernel_crosscheck_failed
+    then 3
     else if Verify.is_k_gd report then 0
     else 1
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify k-graceful-degradability.")
     Term.(const run $ n_arg $ k_arg $ merged_arg $ sample_arg $ domains_arg
-          $ seed_arg $ symmetry_arg $ crosscheck_arg $ trace_out_arg)
+          $ seed_arg $ symmetry_arg $ crosscheck_arg $ no_splice_arg
+          $ trace_out_arg)
 
 (* -------------------- table -------------------- *)
 

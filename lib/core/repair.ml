@@ -30,9 +30,13 @@ let rec last = function
   | _ :: rest -> last rest
   | [] -> invalid_arg "Repair.last"
 
-let rec drop_last = function
-  | [ _ ] | [] -> []
-  | x :: rest -> x :: drop_last rest
+(* Split a non-empty list into (all-but-last, last) in one traversal. *)
+let rec split_last = function
+  | [ x ] -> ([], x)
+  | x :: rest ->
+    let init, l = split_last rest in
+    (x :: init, l)
+  | [] -> invalid_arg "Repair.split_last"
 
 (* Local patch attempts on the normalised pipeline
    [t_in :: procs @ [t_out]].  Returns the patched node list.
@@ -51,8 +55,7 @@ let try_splice inst ~faults ~failed nodes =
   let g = inst.Instance.graph in
   match nodes with
   | t_in :: rest when rest <> [] -> (
-    let t_out = last rest in
-    let procs = drop_last rest in
+    let procs, t_out = split_last rest in
     if procs = [] then None
     else if failed = t_in then
       (* Input terminal died: swap in another healthy input terminal on the

@@ -12,6 +12,16 @@ let m_solver_calls = Metrics.counter "verify.solver_calls"
 let m_orbits_checked = Metrics.counter "verify.orbits_checked"
 let m_calls_saved = Metrics.counter "verify.solver_calls_saved"
 
+(* Splice accounting for the prefix-tree paths: a reported check answered
+   by [Repair.patch] from its parent's plan counts as a splice; a failed
+   patch that fell back to the full solver counts as a splice failure.
+   Scaffold solves are full solves made only to (re)build a branch prefix
+   that some other check reports — they are bookkeeping, not verification
+   work, so they get their own cell and never touch [solver_calls]. *)
+let m_splices = Metrics.counter "verify.splices"
+let m_splice_failures = Metrics.counter "verify.splice_failures"
+let m_scaffold_solves = Metrics.counter "verify.scaffold_solves"
+
 type failure = { faults : int list; reason : string; orbit : int }
 
 type report = {
@@ -21,8 +31,11 @@ type report = {
   gave_up : int;
 }
 
-let check_mask ?budget ?solve inst mask =
-  Metrics.incr m_solver_calls;
+(* Full solve + revalidation, keeping the witness so callers can reuse it
+   as a splice parent.  No metric here: the prefix-tree paths reconstruct
+   [solver_calls] during the merge (pruned subtrees are counted without
+   being visited), so the counter is settled by the caller. *)
+let solve_checked ?budget ?solve inst mask =
   let outcome =
     match solve with
     | Some f -> f ~faults:mask
@@ -33,10 +46,113 @@ let check_mask ?budget ?solve inst mask =
     (* The solver already validates, but re-check here so the verifier
        does not trust it (nor any [solve] override). *)
     match Pipeline.validate inst ~faults:mask p.Pipeline.nodes with
-    | Ok _ -> Ok ()
+    | Ok _ -> Ok p
     | Error e -> Error ("invalid witness: " ^ e))
   | Reconfig.No_pipeline -> Error "no pipeline"
   | Reconfig.Gave_up -> Error "solver gave up"
+
+let check_mask ?budget ?solve inst mask =
+  Metrics.incr m_solver_calls;
+  Result.map ignore (solve_checked ?budget ?solve inst mask)
+
+(* Splice-first check of [mask] = parent's faults ∪ {failed}: patch the
+   parent's pipeline around [failed] first ([Repair.patch] revalidates,
+   so a positive verdict is always genuine), full solve on splice
+   failure.  Negatives always come from a full solve, so failure reasons
+   are exactly {!check_mask}'s.  [reported:false] marks scaffold pushes
+   (prefix rebuilding whose set is reported elsewhere). *)
+let splice_checked ?budget ?solve ?(reported = true) inst ~parent ~mask
+    ~failed =
+  match parent with
+  | Ok current -> (
+    match Repair.patch inst ~current ~faults:mask ~failed with
+    | Some (`Unchanged p | `Spliced p) ->
+      if reported then Metrics.incr m_splices;
+      Ok p
+    | None ->
+      if reported then Metrics.incr m_splice_failures
+      else Metrics.incr m_scaffold_solves;
+      solve_checked ?budget ?solve inst mask)
+  | Error _ ->
+    (* The parent has no pipeline; tolerance is not monotone, so the
+       child must still be solved from scratch. *)
+    if not reported then Metrics.incr m_scaffold_solves;
+    solve_checked ?budget ?solve inst mask
+
+(* A recorded failure tagged with the global rank of its fault set in the
+   canonical enumeration order (sizes ascending, lexicographic within a
+   size).  Out-of-order enumerators — the DFS prefix walk, the parallel
+   shards — keep only the lowest-ranked [max_failures] and let
+   {!merge_tagged} reconstruct the sequential report byte for byte. *)
+module Topk = struct
+  type entry = { rank : int; failure : failure }
+  type t = { buf : entry array; mutable len : int; cap : int }
+
+  let dummy = { rank = -1; failure = { faults = []; reason = ""; orbit = 0 } }
+
+  let create cap =
+    let cap = Stdlib.max 1 cap in
+    { buf = Array.make cap dummy; len = 0; cap }
+
+  (* In-place insertion into the rank-sorted buffer; ranks are globally
+     distinct, so ties never arise. *)
+  let insert t ~rank failure =
+    let entry = { rank; failure } in
+    if t.len < t.cap then begin
+      let i = ref t.len in
+      while !i > 0 && t.buf.(!i - 1).rank > rank do
+        t.buf.(!i) <- t.buf.(!i - 1);
+        decr i
+      done;
+      t.buf.(!i) <- entry;
+      t.len <- t.len + 1
+    end
+    else if rank < t.buf.(t.cap - 1).rank then begin
+      let i = ref (t.cap - 1) in
+      while !i > 0 && t.buf.(!i - 1).rank > rank do
+        t.buf.(!i) <- t.buf.(!i - 1);
+        decr i
+      done;
+      t.buf.(!i) <- entry
+    end
+
+  let full t = t.len >= t.cap
+  let max_rank t = t.buf.(t.len - 1).rank
+  let to_list t = List.init t.len (fun i -> (t.buf.(i).rank, t.buf.(i).failure))
+end
+
+(* Merge tagged failures into a report identical to the sequential
+   lexicographic one.  [counts stop] maps the early-stop rank (or [None]
+   when enumeration ran to completion) to the pair
+   [(fault_sets_checked, solver_calls)] — the indirection lets the
+   orbit-reduced mode translate representative ranks into orbit-expanded
+   set counts. *)
+let merge_tagged ~max_failures ~counts per_source =
+  let cap = Stdlib.max 1 max_failures in
+  let all =
+    List.sort (fun (a, _) (b, _) -> compare a b) (List.concat per_source)
+  in
+  let kept = List.filteri (fun i _ -> i < cap) all in
+  let gave_up =
+    List.fold_left
+      (fun acc (_, f) ->
+        if f.reason = "solver gave up" then acc + f.orbit else acc)
+      0 kept
+  in
+  let checked, calls =
+    if List.length all >= cap && kept <> [] then
+      (* The sequential path stops right after recording the cap-th
+         failure: it has enumerated exactly the ranks up to and including
+         that failure's. *)
+      counts (Some (fst (List.nth kept (List.length kept - 1))))
+    else counts None
+  in
+  {
+    fault_sets_checked = checked;
+    solver_calls = calls;
+    failures = List.map snd kept;
+    gave_up;
+  }
 
 let check_fault_set ?budget inst faults =
   check_mask ?budget inst (Bitset.of_list (Instance.order inst) faults)
@@ -115,7 +231,144 @@ let exhaustive_orbits ?budget ?solve ?(max_failures = 5) ?universe group inst =
     gave_up = !gave_up;
   }
 
-let exhaustive ?budget ?solve ?max_failures ?universe ?symmetry inst =
+(* Prefix-tree (DFS) exhaustive mode: walk the subset tree maintaining a
+   per-branch stack of solved plans, so the child S ∪ {v} is first
+   patched from S's pipeline and only solved from scratch when the splice
+   fails.  Failures are rank-tagged and merged back into the canonical
+   order; once [max_failures] failures are held, any subtree whose every
+   member outranks the worst kept failure is pruned (strict descendants
+   have strictly larger size, hence strictly larger size-major rank, so
+   the sequential early stop would never have reached them). *)
+let exhaustive_dfs ?budget ?solve ?(max_failures = 5) ~nodes inst =
+  let u = Array.length nodes in
+  let k = Stdlib.min inst.Instance.k u in
+  let total = Combinat.count_up_to u k in
+  let mask = Bitset.create (Instance.order inst) in
+  let plans = Array.make (k + 1) (Error "unsolved") in
+  let kept = Topk.create max_failures in
+  let cutoff = ref max_int in
+  let enter buf len =
+    if len > 0 then Bitset.add mask nodes.(buf.(len - 1));
+    if !cutoff < max_int && Combinat.rank_of_subset u buf len > !cutoff then
+      false
+    else begin
+      let r =
+        if len = 0 then solve_checked ?budget ?solve inst mask
+        else
+          splice_checked ?budget ?solve inst ~parent:plans.(len - 1) ~mask
+            ~failed:nodes.(buf.(len - 1))
+      in
+      plans.(len) <- r;
+      (match r with
+      | Ok _ -> ()
+      | Error reason ->
+        let rank = Combinat.rank_of_subset u buf len in
+        let faults = List.init len (fun i -> nodes.(buf.(i))) in
+        Topk.insert kept ~rank { faults; reason; orbit = 1 };
+        if Topk.full kept then cutoff := Topk.max_rank kept);
+      true
+    end
+  in
+  let leave buf len = if len > 0 then Bitset.remove mask nodes.(buf.(len - 1)) in
+  Combinat.iter_subsets_dfs u k ~enter ~leave;
+  let counts = function Some r -> (r + 1, r + 1) | None -> (total, total) in
+  let report = merge_tagged ~max_failures ~counts [ Topk.to_list kept ] in
+  (* Settle the choke-point counter in one step so it still equals the
+     report's [solver_calls] exactly (per-visit increments would miss the
+     pruned-but-counted tail of an early-stopped enumeration). *)
+  Metrics.add m_solver_calls report.solver_calls;
+  report
+
+(* Orbit-reduced mode with splicing: representatives arrive in
+   size-ascending min-lex order, so consecutive sets share prefixes.  A
+   chain of solved prefixes ([elts]/[res]) is popped to the longest
+   common prefix and re-grown element by element — the nearest solved
+   ancestor seeds each patch attempt; prefixes that are not themselves
+   being reported are scaffold pushes.  Accounting (counts, metrics,
+   early stop) is exactly the from-scratch orbit path's. *)
+let exhaustive_orbits_splice ?budget ?solve ?(max_failures = 5) ?universe
+    group inst =
+  let order = Instance.order inst in
+  if Auto.degree group <> order then
+    invalid_arg "Verify.exhaustive: symmetry group degree <> instance order";
+  let universe = Option.map Array.of_list universe in
+  let reps = Auto.fault_orbits ?universe group ~max_size:inst.Instance.k in
+  let k = inst.Instance.k in
+  let mask = Bitset.create order in
+  let elts = Array.make (Stdlib.max 1 k) (-1) in
+  let res = Array.make (k + 1) (Error "unsolved") in
+  let len = ref (-1) in
+  let push ~reported e =
+    Bitset.add mask e;
+    let r =
+      splice_checked ?budget ?solve ~reported inst ~parent:res.(!len) ~mask
+        ~failed:e
+    in
+    elts.(!len) <- e;
+    res.(!len + 1) <- r;
+    incr len;
+    r
+  in
+  let check_rep set m =
+    if m = 0 then begin
+      if !len < 0 then begin
+        res.(0) <- solve_checked ?budget ?solve inst mask;
+        len := 0
+      end;
+      res.(0)
+    end
+    else begin
+      if !len < 0 then begin
+        (* Lazy root: the empty set solved once as scaffold. *)
+        Metrics.incr m_scaffold_solves;
+        res.(0) <- solve_checked ?budget ?solve inst mask;
+        len := 0
+      end;
+      let lcp = ref 0 in
+      while !lcp < !len && !lcp < m - 1 && elts.(!lcp) = set.(!lcp) do
+        incr lcp
+      done;
+      while !len > !lcp do
+        len := !len - 1;
+        Bitset.remove mask elts.(!len)
+      done;
+      for i = !lcp to m - 2 do
+        ignore (push ~reported:false set.(i))
+      done;
+      push ~reported:true set.(m - 1)
+    end
+  in
+  let checked = ref 0 in
+  let calls = ref 0 in
+  let gave_up = ref 0 in
+  let failures = ref [] in
+  let exception Stop in
+  (try
+     Array.iter
+       (fun { Auto.set; size } ->
+         checked := !checked + size;
+         incr calls;
+         Metrics.incr m_orbits_checked;
+         Metrics.add m_calls_saved (size - 1);
+         Metrics.incr m_solver_calls;
+         match check_rep set (Array.length set) with
+         | Ok _ -> ()
+         | Error reason ->
+           if reason = "solver gave up" then gave_up := !gave_up + size;
+           failures :=
+             { faults = Array.to_list set; reason; orbit = size } :: !failures;
+           if List.length !failures >= max_failures then raise Stop)
+       reps
+   with Stop -> ());
+  {
+    fault_sets_checked = !checked;
+    solver_calls = !calls;
+    failures = List.rev !failures;
+    gave_up = !gave_up;
+  }
+
+let exhaustive ?budget ?solve ?max_failures ?universe ?symmetry
+    ?(splice = true) inst =
   let order = Instance.order inst in
   let k = inst.Instance.k in
   (match symmetry with
@@ -124,7 +377,17 @@ let exhaustive ?budget ?solve ?max_failures ?universe ?symmetry inst =
   | Some _ | None -> ());
   match symmetry with
   | Some group when not (Auto.is_trivial group) ->
-    exhaustive_orbits ?budget ?solve ?max_failures ?universe group inst
+    if splice then
+      exhaustive_orbits_splice ?budget ?solve ?max_failures ?universe group
+        inst
+    else exhaustive_orbits ?budget ?solve ?max_failures ?universe group inst
+  | Some _ | None when splice ->
+    let nodes =
+      match universe with
+      | None -> Array.init order Fun.id
+      | Some nodes -> Array.of_list nodes
+    in
+    exhaustive_dfs ?budget ?solve ?max_failures ~nodes inst
   | Some _ | None -> (
     match universe with
     | None ->

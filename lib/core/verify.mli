@@ -30,6 +30,7 @@ val exhaustive :
   ?max_failures:int ->
   ?universe:int list ->
   ?symmetry:Gdpn_graph.Auto.group ->
+  ?splice:bool ->
   Instance.t ->
   report
 (** Check every fault set of size [0..k] drawn from [universe] (default:
@@ -45,7 +46,20 @@ val exhaustive :
     ({!is_k_gd}) is unchanged because group elements preserve fault-set
     solvability.  A trivial group degrades to the plain path.  Raises
     [Invalid_argument] if the group's degree differs from the instance
-    order or [universe] is not group-invariant. *)
+    order or [universe] is not group-invariant.
+
+    [splice] (default [true]) enumerates the fault space as a prefix
+    tree, keeping a per-branch stack of solved plans: each child set is
+    first patched from its parent's pipeline ({!Repair.patch}, which
+    revalidates — a positive verdict is always genuine) and only solved
+    from scratch when the splice fails.  Negatives always come from a
+    full solve, so the report is identical to [~splice:false] field for
+    field (the one theoretical exception: with a finite [budget], a
+    splice can succeed where the budgeted solver would have given up —
+    the default budget is unbounded, and [gdp verify --crosscheck]
+    guards budgeted runs).  In orbit-reduced mode the representatives'
+    shared prefixes form the chain, and each representative is patched
+    from its nearest solved ancestor. *)
 
 val expanded_failure_sets :
   symmetry:Gdpn_graph.Auto.group -> report -> int list list
@@ -109,5 +123,68 @@ val check_mask :
     call (the engine layer passes its context-reusing solver here); the
     returned witness is revalidated regardless, so a dishonest override
     cannot make verification pass. *)
+
+val solve_checked :
+  ?budget:int ->
+  ?solve:(faults:Gdpn_graph.Bitset.t -> Reconfig.outcome) ->
+  Instance.t ->
+  Gdpn_graph.Bitset.t ->
+  (Pipeline.t, string) result
+(** {!check_mask} keeping the validated witness (for reuse as a splice
+    parent).  Does {e not} touch the [verify.solver_calls] counter:
+    prefix-tree callers settle it against the merged report instead. *)
+
+val splice_checked :
+  ?budget:int ->
+  ?solve:(faults:Gdpn_graph.Bitset.t -> Reconfig.outcome) ->
+  ?reported:bool ->
+  Instance.t ->
+  parent:(Pipeline.t, string) result ->
+  mask:Gdpn_graph.Bitset.t ->
+  failed:int ->
+  (Pipeline.t, string) result
+(** Splice-first check of [mask] = parent's faults ∪ {[failed]}: patch
+    the parent's pipeline around [failed] (revalidated, so positives are
+    genuine), full solve on splice failure or when the parent has no
+    pipeline (tolerance is not monotone).  Negatives always come from a
+    full solve, so failure reasons match {!check_mask} exactly.
+    [reported] (default [true]) selects the metric cells: reported checks
+    feed [verify.splices]/[verify.splice_failures], scaffold pushes feed
+    [verify.scaffold_solves]. *)
+
+(** Rank-tagged bounded failure buffer: keeps the [cap] lowest-ranked
+    failures seen, where a rank is the fault set's position in the
+    canonical enumeration order ({!Gdpn_graph.Combinat.rank_of_subset}).
+    Out-of-order enumerators (the DFS prefix walk, parallel shards) feed
+    one of these per source and reconstruct the sequential report with
+    {!merge_tagged}. *)
+module Topk : sig
+  type t
+
+  val create : int -> t
+  (** [create cap] holds at most [max 1 cap] entries. *)
+
+  val insert : t -> rank:int -> failure -> unit
+  val full : t -> bool
+
+  val max_rank : t -> int
+  (** Highest retained rank; only meaningful when {!full}. *)
+
+  val to_list : t -> (int * failure) list
+  (** Retained entries, rank-ascending. *)
+end
+
+val merge_tagged :
+  max_failures:int ->
+  counts:(int option -> int * int) ->
+  (int * failure) list list ->
+  report
+(** Merge rank-tagged failures from any number of sources into the report
+    the sequential enumeration would have produced: the lowest-ranked
+    [max 1 max_failures] failures are kept in rank order, and
+    [counts stop] maps the early-stop rank ([None] when enumeration ran
+    to completion) to [(fault_sets_checked, solver_calls)] — the
+    indirection lets orbit-reduced callers translate representative ranks
+    into orbit-expanded totals. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -15,16 +15,20 @@ let m_cache_hits = Metrics.counter "engine.cache_hits"
 let m_cache_misses = Metrics.counter "engine.cache_misses"
 let m_cache_evictions = Metrics.counter "engine.cache_evictions"
 let m_splices = Metrics.counter "engine.splices"
+let m_splice_failures = Metrics.counter "engine.splice_failures"
 let m_full_solves = Metrics.counter "engine.full_solves"
+let m_steals = Metrics.counter "engine.parallel_steals"
 let h_solve_miss = Metrics.histogram "engine.solve_miss_ns"
 let h_verify = Metrics.histogram "engine.verify_ns"
 let h_shard = Metrics.histogram "engine.parallel_shard_ns"
 
 (* Same cells as Verify's own instruments (registration is idempotent by
-   name): the orbit-reduced parallel path accounts its representatives
-   here, where the orbit sizes are known. *)
+   name): the parallel shards account their representatives and splice
+   work here, where the orbit sizes and chain state are known. *)
 let m_orbits_checked = Metrics.counter "verify.orbits_checked"
 let m_calls_saved = Metrics.counter "verify.solver_calls_saved"
+let m_v_solver_calls = Metrics.counter "verify.solver_calls"
+let m_v_scaffold_solves = Metrics.counter "verify.scaffold_solves"
 
 (* Plan cache keyed on the masks themselves: lookups hash the caller's
    mask in place, so cache hits allocate nothing (the old string-key
@@ -155,15 +159,32 @@ let solve ?(cache = true) t ~faults =
 let solve_list ?cache t ~faults =
   solve ?cache t ~faults:(Bitset.of_list (Instance.order t.inst) faults)
 
+(* Solve [faults] = parent's faults ∪ {failed} against a known-good plan
+   for the parent set: cheap local patch first ([Repair.patch]
+   revalidates, so a [Pipeline] outcome is always genuine), full solve on
+   splice failure.  This is the engine-level entry point behind the
+   verifier's prefix-tree enumeration, where a parent plan is always at
+   hand — unlike {!solve}'s cache probe, it never has to guess which
+   predecessor might be cached. *)
+let solve_child t ~parent ~faults ~failed =
+  match Repair.patch t.inst ~current:parent ~faults ~failed with
+  | Some (`Unchanged p | `Spliced p) ->
+    t.stats.splices <- t.stats.splices + 1;
+    Metrics.incr m_splices;
+    Reconfig.Pipeline p
+  | None ->
+    Metrics.incr m_splice_failures;
+    full_solve t ~faults
+
 (* ------------------------------------------------------------------ *)
 (* Engine-backed workloads                                             *)
 (* ------------------------------------------------------------------ *)
 
-let verify_exhaustive ?max_failures ?universe ?symmetry t =
+let verify_exhaustive ?max_failures ?universe ?symmetry ?splice t =
   Metrics.time h_verify (fun () ->
       Verify.exhaustive ~budget:t.budget
         ~solve:(fun ~faults -> solve ~cache:false t ~faults)
-        ?max_failures ?universe ?symmetry t.inst)
+        ?max_failures ?universe ?symmetry ?splice t.inst)
 
 let verify_sampled ~seed ~trials ?max_failures t =
   Metrics.time h_verify (fun () ->
@@ -293,107 +314,137 @@ module Parallel = struct
         match Option.get !cell with Ok v -> v | Error e -> raise e
   end
 
-  (* A recorded failure, tagged with the global rank of its fault set in
-     the sequential enumeration order.  Merging keeps the lowest-ranked
-     [max_failures] across all domains, which reproduces the sequential
-     report byte for byte: same failures, same order, same early-stop
-     count. *)
-  type tagged = { rank : int; failure : Verify.failure }
+  (* Work-stealing unit scheduler.  Each domain owns a contiguous span of
+     the unit array, drained through its own atomic index — owners visit
+     their units in order, so per-domain chain state (below) sees maximal
+     prefix sharing — and turn thief when their span runs dry, sweeping
+     the other spans round-robin.  This replaces both the old skewed
+     (size, first-element) block partition of the plain path (the f0 = 0
+     block alone held ~half the fault space, serialising the tail of
+     every multi-domain run) and the single shared counter (which
+     scattered consecutive units across domains, defeating prefix
+     reuse). *)
+  module Steal = struct
+    type t = { next : int Atomic.t array; stop : int array }
 
-  (* Per-domain bounded top-k buffer, sorted by rank ascending.  Replaces
-     the old sorted-list [insert_capped] (O(cap) conses plus a
-     [List.length]/[filteri] pass per recorded failure) with in-place
-     insertion into a preallocated array — ranks are globally distinct, so
-     ties never arise. *)
-  module Topk = struct
-    type t = { buf : tagged array; mutable len : int; cap : int }
+    let create ~nunits ~domains =
+      let nd = Stdlib.max 1 domains in
+      {
+        next = Array.init nd (fun i -> Atomic.make (i * nunits / nd));
+        stop = Array.init nd (fun i -> (i + 1) * nunits / nd);
+      }
 
-    let dummy =
-      { rank = -1; failure = { Verify.faults = []; reason = ""; orbit = 0 } }
-
-    let create cap = { buf = Array.make cap dummy; len = 0; cap }
-
-    let insert t tagged =
-      if t.len < t.cap then begin
-        let i = ref t.len in
-        while !i > 0 && t.buf.(!i - 1).rank > tagged.rank do
-          t.buf.(!i) <- t.buf.(!i - 1);
-          decr i
-        done;
-        t.buf.(!i) <- tagged;
-        t.len <- t.len + 1
-      end
-      else if tagged.rank < t.buf.(t.cap - 1).rank then begin
-        let i = ref (t.cap - 1) in
-        while !i > 0 && t.buf.(!i - 1).rank > tagged.rank do
-          t.buf.(!i) <- t.buf.(!i - 1);
-          decr i
-        done;
-        t.buf.(!i) <- tagged
-      end
-
-    let full t = t.len >= t.cap
-    let max_rank t = t.buf.(t.len - 1).rank
-    let to_list t = Array.to_list (Array.sub t.buf 0 t.len)
+    (* Next unit for domain [me]: own span first, then steal.  Returns
+       [(unit, stolen)]; [fetch_and_add] hands out each index exactly
+       once even under contention. *)
+    let take t ~me =
+      let nd = Array.length t.next in
+      let rec go i =
+        if i >= nd then None
+        else begin
+          let v = (me + i) mod nd in
+          let idx = Atomic.fetch_and_add t.next.(v) 1 in
+          if idx < t.stop.(v) then Some (idx, i > 0) else go (i + 1)
+        end
+      in
+      go 0
   end
 
-  (* Merge per-domain tagged failures into a [Verify.report] identical to
-     the sequential one.  [counts stop] maps the early-stop rank (or
-     [None] when enumeration ran to completion) to the pair
-     [(fault_sets_checked, solver_calls)] — the indirection lets the
-     orbit-reduced mode translate representative ranks into
-     orbit-expanded set counts. *)
-  let merge ~max_failures ~counts per_domain =
-    let cap = Stdlib.max 1 max_failures in
-    let all =
-      List.sort
-        (fun a b -> compare a.rank b.rank)
-        (List.concat per_domain)
-    in
-    let kept = List.filteri (fun i _ -> i < cap) all in
-    let gave_up =
-      List.fold_left
-        (fun acc t ->
-          if t.failure.Verify.reason = "solver gave up" then
-            acc + t.failure.Verify.orbit
-          else acc)
-        0 kept
-    in
-    let checked, calls =
-      if List.length all >= cap && kept <> [] then
-        (* The sequential path stops right after recording the cap-th
-           failure: it has enumerated exactly the ranks up to and
-           including that failure's. *)
-        counts (Some (List.nth kept (List.length kept - 1)).rank)
-      else counts None
-    in
+  (* Per-domain chain of solved prefix plans, mirroring the sequential
+     prefix-tree walk: [c_res.(d)] is the (memoised) outcome for the
+     prefix [c_elts.(0..d-1)]; [c_len = -1] until the empty set has been
+     solved.  Negative outcomes are memoised too — the solver is
+     deterministic, so reusing a recorded [Error] is identical to
+     re-solving.  With [c_splice = false] the chain degrades to a mask
+     maintainer: every reported check is a from-scratch solve and
+     scaffold pushes cost nothing. *)
+  type chain = {
+    c_inst : Instance.t;
+    c_solve : faults:Bitset.t -> Reconfig.outcome;
+    c_splice : bool;
+    c_mask : Bitset.t;
+    c_elts : int array;
+    c_res : (Pipeline.t, string) result array;
+    mutable c_len : int;
+  }
+
+  let chain_make ~splice inst solve =
+    let k = inst.Instance.k in
     {
-      Verify.fault_sets_checked = checked;
-      solver_calls = calls;
-      failures = List.map (fun t -> t.failure) kept;
-      gave_up;
+      c_inst = inst;
+      c_solve = solve;
+      c_splice = splice;
+      c_mask = Bitset.create (Instance.order inst);
+      c_elts = Array.make (Stdlib.max 1 k) (-1);
+      c_res = Array.make (k + 1) (Error "unsolved");
+      c_len = -1;
     }
 
-  (* Shard an indexed stream of fault sets over domains.  [blocks] is an
-     array of work units; [enum_block] enumerates a block's fault sets as
-     [(rank, buf, len)] through a callback.  [orbit_of] gives the number
-     of fault sets the rank-th item stands for (1 outside symmetry mode).
-     [est_items] is the caller's item-count estimate; when it divides out
-     to fewer than [min_items_per_domain] items per domain, the call runs
-     serially on the calling domain (identical report, no spawn cost).
-     Returns the merged report. *)
-  let run_sharded ?budget ?(orbit_of = fun _ -> 1) ~max_failures ~domains
-      ~min_items_per_domain ~est_items ~counts inst blocks enum_block =
-    let order = Instance.order inst in
+  let chain_solve ch = Verify.solve_checked ~solve:ch.c_solve ch.c_inst ch.c_mask
+
+  (* Ensure the empty set has a plan (scaffold — the empty set is
+     reported by whichever unit covers rank 0). *)
+  let chain_root ch =
+    if ch.c_len < 0 then begin
+      if ch.c_splice then begin
+        Metrics.incr m_v_scaffold_solves;
+        ch.c_res.(0) <- chain_solve ch
+      end;
+      ch.c_len <- 0
+    end
+
+  let chain_push ch ~reported e =
+    Bitset.add ch.c_mask e;
+    let r =
+      if ch.c_splice then
+        Verify.splice_checked ~solve:ch.c_solve ~reported ch.c_inst
+          ~parent:ch.c_res.(ch.c_len) ~mask:ch.c_mask ~failed:e
+      else if reported then chain_solve ch
+      else Error "unsolved"
+    in
+    ch.c_elts.(ch.c_len) <- e;
+    ch.c_res.(ch.c_len + 1) <- r;
+    ch.c_len <- ch.c_len + 1;
+    r
+
+  let chain_pop ch =
+    ch.c_len <- ch.c_len - 1;
+    Bitset.remove ch.c_mask ch.c_elts.(ch.c_len)
+
+  (* Align the chain to the prefix [target.(0..m-1)]: pop to the longest
+     common prefix, scaffold-push the rest. *)
+  let chain_align ch target m =
+    chain_root ch;
+    let lcp = ref 0 in
+    while !lcp < ch.c_len && !lcp < m && ch.c_elts.(!lcp) = target.(!lcp) do
+      incr lcp
+    done;
+    while ch.c_len > !lcp do
+      chain_pop ch
+    done;
+    for i = !lcp to m - 1 do
+      ignore (chain_push ch ~reported:false target.(i))
+    done
+
+  (* Shard [nunits] work units over [domains] through {!Steal}.
+     [make_process ~solve ~record ~cutoff] builds the per-domain unit
+     processor ([record] feeds the domain's rank-tagged failure buffer and
+     propagates the early-stop cutoff; [cutoff ()] reads the current safe
+     bound).  [est_items] is the caller's fault-set-count estimate; when
+     it divides out to fewer than [min_items_per_domain] items per domain,
+     the call runs serially on the calling domain (identical report, no
+     spawn cost).  Returns the merged report. *)
+  let run_sharded ?budget ~max_failures ~domains ~min_items_per_domain
+      ~est_items ~counts ~nunits inst make_process =
     let cap = Stdlib.max 1 max_failures in
     let domains =
       if domains > 1 && est_items / domains < min_items_per_domain then 1
       else domains
     in
-    let next = Atomic.make 0 in
-    (* Once some domain holds [cap] failures, every block whose lowest
-       possible rank exceeds that domain's highest kept rank is dead
-       weight; [cutoff] propagates a safe upper bound. *)
+    let steal = Steal.create ~nunits ~domains in
+    (* Once some domain holds [cap] failures, every fault set ranked
+       above that domain's highest kept rank is dead weight; [cutoff]
+       propagates a safe upper bound. *)
     let cutoff = Atomic.make max_int in
     let tighten r =
       let rec go () =
@@ -403,73 +454,67 @@ module Parallel = struct
       in
       go ()
     in
-    let run_domain () =
+    let run_domain me () =
       let shard_start = Mclock.now_ns () in
       let ctx = Reconfig.cached_ctx inst in
       let solve ~faults = Reconfig.solve ?budget ~ctx inst ~faults in
-      let mask = Bitset.create order in
-      let kept = Topk.create cap in
-      let check rank buf len =
-        Bitset.clear mask;
-        for i = 0 to len - 1 do
-          Bitset.add mask buf.(i)
-        done;
-        match Verify.check_mask ?budget ~solve inst mask with
-        | Ok () -> ()
-        | Error reason ->
-          let failure =
-            {
-              Verify.faults = Array.to_list (Array.sub buf 0 len);
-              reason;
-              orbit = orbit_of rank;
-            }
-          in
-          Topk.insert kept { rank; failure };
-          if Topk.full kept then tighten (Topk.max_rank kept)
+      let kept = Verify.Topk.create cap in
+      let record ~rank failure =
+        Verify.Topk.insert kept ~rank failure;
+        if Verify.Topk.full kept then tighten (Verify.Topk.max_rank kept)
       in
+      let process =
+        make_process ~solve ~record ~cutoff:(fun () -> Atomic.get cutoff)
+      in
+      let steals = ref 0 in
       let rec drain () =
-        let idx = Atomic.fetch_and_add next 1 in
-        if idx < Array.length blocks then begin
-          let block = blocks.(idx) in
-          enum_block block ~skip_above:(Atomic.get cutoff) check;
+        match Steal.take steal ~me with
+        | Some (u, stolen) ->
+          if stolen then incr steals;
+          process u;
           drain ()
-        end
+        | None -> ()
       in
       drain ();
-      (Topk.to_list kept, shard_start, Mclock.now_ns () - shard_start)
+      ( Verify.Topk.to_list kept,
+        shard_start,
+        Mclock.now_ns () - shard_start,
+        !steals )
     in
     let tickets =
       if domains <= 1 then []
       else begin
         Pool.ensure (domains - 1);
-        List.init (domains - 1) (fun _ -> Pool.submit run_domain)
+        List.init (domains - 1) (fun i -> Pool.submit (run_domain (i + 1)))
       end
     in
     (* The calling domain participates instead of idling. *)
-    let own = run_domain () in
+    let own = run_domain 0 () in
     let timed = own :: List.map (fun await -> await ()) tickets in
     (* Shard timings are observed from the calling domain after the join
        so worker hot loops never touch the sink; each span carries the
        shard's own start timestamp, so concurrent shards overlap in the
        trace instead of being stacked end to end. *)
     List.iteri
-      (fun i (_, start_ns, elapsed) ->
+      (fun i (_, start_ns, elapsed, steals) ->
         Metrics.observe h_shard elapsed;
+        Metrics.add m_steals steals;
         if Span.enabled () then
           Span.emit ~name:"engine.parallel_shard"
-            ~attrs:[ ("shard", Span.Int i) ]
+            ~attrs:[ ("shard", Span.Int i); ("steals", Span.Int steals) ]
             ~start_ns ~dur_ns:elapsed ())
       timed;
-    let per_domain = List.map (fun (kept, _, _) -> kept) timed in
-    merge ~max_failures:cap ~counts per_domain
+    let per_domain = List.map (fun (kept, _, _, _) -> kept) timed in
+    Verify.merge_tagged ~max_failures:cap ~counts per_domain
 
-  (* Orbit-reduced sharding: the work items are orbit representatives
-     (fewer but individually heavier than raw fault sets), so the block
-     partition is rebalanced into small contiguous chunks drained through
-     the shared counter.  Ranks are representative indices; [counts]
-     translates them back into orbit-expanded totals via prefix sums. *)
+  (* Orbit-reduced sharding: work units are small contiguous chunks of
+     the representative array.  Representatives arrive size-ascending
+     min-lex, so a domain's chain pops to the common prefix and re-grows
+     one element per representative; ranks are representative indices and
+     [counts] translates them back into orbit-expanded totals via prefix
+     sums. *)
   let verify_exhaustive_orbits ?budget ~max_failures ~domains
-      ~min_items_per_domain group inst =
+      ~min_items_per_domain ~splice group inst =
     let k = inst.Instance.k in
     let reps = Auto.fault_orbits group ~max_size:k in
     let nreps = Array.length reps in
@@ -482,26 +527,156 @@ module Parallel = struct
       | None -> (prefix.(nreps), nreps)
     in
     let chunk = Stdlib.max 1 (nreps / (domains * 8)) in
-    let nblocks = (nreps + chunk - 1) / chunk in
-    let blocks = Array.init nblocks (fun b -> b * chunk) in
-    let enum_block start ~skip_above check =
-      if start <= skip_above then
-        for i = start to Stdlib.min (start + chunk - 1) (nreps - 1) do
-          let set = reps.(i).Auto.set in
-          Metrics.incr m_orbits_checked;
-          Metrics.add m_calls_saved (reps.(i).Auto.size - 1);
-          check i set (Array.length set)
-        done
+    let nunits = (nreps + chunk - 1) / chunk in
+    run_sharded ?budget ~max_failures ~domains ~min_items_per_domain
+      ~est_items:nreps ~counts ~nunits inst
+      (fun ~solve ~record ~cutoff ->
+        let ch = chain_make ~splice inst solve in
+        fun u ->
+          let start = u * chunk in
+          for i = start to Stdlib.min (start + chunk - 1) (nreps - 1) do
+            if i <= cutoff () then begin
+              let { Auto.set; size } = reps.(i) in
+              let m = Array.length set in
+              Metrics.incr m_orbits_checked;
+              Metrics.add m_calls_saved (size - 1);
+              Metrics.incr m_v_solver_calls;
+              let r =
+                if m = 0 then begin
+                  if ch.c_len < 0 then begin
+                    ch.c_res.(0) <- chain_solve ch;
+                    ch.c_len <- 0
+                  end
+                  else if not ch.c_splice then begin
+                    while ch.c_len > 0 do
+                      chain_pop ch
+                    done;
+                    ch.c_res.(0) <- chain_solve ch
+                  end;
+                  ch.c_res.(0)
+                end
+                else begin
+                  chain_align ch set (m - 1);
+                  chain_push ch ~reported:true set.(m - 1)
+                end
+              in
+              match r with
+              | Ok _ -> ()
+              | Error reason ->
+                record ~rank:i
+                  { Verify.faults = Array.to_list set; reason; orbit = size }
+            end
+          done)
+
+  (* Plain-path work units: one [Shallow] unit covering the sets of size
+     < d (d = min k 2: the empty set, and the singletons when k >= 2),
+     plus one [Rooted] unit per size-d prefix, covering that prefix's
+     whole DFS subtree.  C(order, d) + 1 units of comparable weight —
+     unlike the old (size, first-element) blocks, where the f0 = 0 block
+     held roughly half the space. *)
+  type plain_unit = Shallow | Rooted of int array
+
+  let plain_units ~order ~k =
+    let roots =
+      if k = 0 then []
+      else if k = 1 then List.init order (fun v -> Rooted [| v |])
+      else
+        List.concat
+          (List.init order (fun a ->
+               List.init (order - a - 1) (fun j -> Rooted [| a; a + 1 + j |])))
     in
-    run_sharded ?budget
-      ~orbit_of:(fun r -> reps.(r).Auto.size)
-      ~max_failures ~domains ~min_items_per_domain ~est_items:nreps ~counts
-      inst blocks enum_block
+    Array.of_list (Shallow :: roots)
+
+  let verify_exhaustive_plain ?budget ~max_failures ~domains
+      ~min_items_per_domain ~splice inst =
+    let order = Instance.order inst in
+    let k = Stdlib.min inst.Instance.k order in
+    let total = Combinat.count_up_to order k in
+    let units = plain_units ~order ~k in
+    let counts = function Some r -> (r + 1, r + 1) | None -> (total, total) in
+    let d = Stdlib.min k 2 in
+    let report =
+      run_sharded ?budget ~max_failures ~domains ~min_items_per_domain
+        ~est_items:total ~counts ~nunits:(Array.length units) inst
+        (fun ~solve ~record ~cutoff ->
+          let ch = chain_make ~splice inst solve in
+          let fail buf len reason =
+            record
+              ~rank:(Combinat.rank_of_subset order buf len)
+              {
+                Verify.faults = Array.to_list (Array.sub buf 0 len);
+                reason;
+                orbit = 1;
+              }
+          in
+          let process_shallow () =
+            chain_root ch;
+            while ch.c_len > 0 do
+              chain_pop ch
+            done;
+            (match
+               if ch.c_splice then ch.c_res.(0)
+               else chain_solve ch
+             with
+            | Ok _ -> ()
+            | Error reason ->
+              record ~rank:0 { Verify.faults = []; reason; orbit = 1 });
+            if d >= 2 then
+              for v = 0 to order - 1 do
+                let co = cutoff () in
+                if not (co < max_int && 1 + v > co) then begin
+                  (match chain_push ch ~reported:true v with
+                  | Ok _ -> ()
+                  | Error reason -> fail [| v |] 1 reason);
+                  chain_pop ch
+                end
+              done
+          in
+          let process_rooted prefix =
+            let dd = Array.length prefix in
+            let co0 = cutoff () in
+            if co0 < max_int && Combinat.rank_of_subset order prefix dd > co0
+            then ()
+            else begin
+              chain_align ch prefix (dd - 1);
+              Combinat.iter_subsets_dfs ~root:prefix order k
+                ~enter:(fun buf len ->
+                  let e = buf.(len - 1) in
+                  let co = cutoff () in
+                  if
+                    co < max_int && Combinat.rank_of_subset order buf len > co
+                  then begin
+                    (* Pruned: push a placeholder so [leave]'s pop pairs
+                       up; no child ever reads it. *)
+                    Bitset.add ch.c_mask e;
+                    ch.c_elts.(ch.c_len) <- e;
+                    ch.c_res.(ch.c_len + 1) <- Error "pruned";
+                    ch.c_len <- ch.c_len + 1;
+                    false
+                  end
+                  else begin
+                    (match chain_push ch ~reported:true e with
+                    | Ok _ -> ()
+                    | Error reason -> fail buf len reason);
+                    true
+                  end)
+                ~leave:(fun _ _ -> chain_pop ch)
+            end
+          in
+          fun u ->
+            match units.(u) with
+            | Shallow -> process_shallow ()
+            | Rooted prefix -> process_rooted prefix)
+    in
+    (* Settle the choke-point counter against the merged report (see the
+       sequential DFS path): per-check increments would drift on pruned
+       subtrees and double-count scaffolds. *)
+    Metrics.add m_v_solver_calls report.Verify.solver_calls;
+    report
 
   let verify_exhaustive ?budget ?(max_failures = 5) ?domains
-      ?min_items_per_domain ?symmetry inst =
+      ?min_items_per_domain ?symmetry ?(splice = true) inst =
     let order = Instance.order inst in
-    let k = inst.Instance.k in
     let domains = resolve_domains domains in
     let min_items_per_domain =
       match min_items_per_domain with
@@ -514,42 +689,10 @@ module Parallel = struct
         invalid_arg
           "Engine.Parallel.verify_exhaustive: symmetry degree <> order";
       verify_exhaustive_orbits ?budget ~max_failures ~domains
-        ~min_items_per_domain group inst
+        ~min_items_per_domain ~splice group inst
     | Some _ | None ->
-    let total = Combinat.count_up_to order k in
-    (* Work units: one block per (size, first element) — all size-[s]
-       subsets whose smallest element is [f0] — plus the empty set as its
-       own block.  Each block's base rank in the sequential enumeration
-       (sizes ascending, lexicographic within a size) is precomputed from
-       binomials, so failures can be tagged with exact global ranks. *)
-    let blocks = ref [ (0, 0, 0) ] (* (size, f0, base rank) *) in
-    for s = 1 to Stdlib.min k order do
-      let base = ref (Combinat.count_up_to order (s - 1)) in
-      for f0 = 0 to order - 1 do
-        let tail_universe = order - f0 - 1 in
-        if s - 1 <= tail_universe then begin
-          blocks := (s, f0, !base) :: !blocks;
-          base := !base + Combinat.binomial tail_universe (s - 1)
-        end
-      done
-    done;
-    let blocks = Array.of_list (List.rev !blocks) in
-    let enum_block (s, f0, base) ~skip_above check =
-      if base <= skip_above then
-        if s = 0 then check base [||] 0
-        else begin
-          let buf = Array.make s 0 in
-          let local = ref 0 in
-          Combinat.iter_choose (order - f0 - 1) (s - 1) (fun tail ->
-              buf.(0) <- f0;
-              Array.iteri (fun i x -> buf.(i + 1) <- f0 + 1 + x) tail;
-              check (base + !local) buf s;
-              incr local)
-        end
-    in
-    let counts = function Some r -> (r + 1, r + 1) | None -> (total, total) in
-    run_sharded ?budget ~max_failures ~domains ~min_items_per_domain
-      ~est_items:total ~counts inst blocks enum_block
+      verify_exhaustive_plain ?budget ~max_failures ~domains
+        ~min_items_per_domain ~splice inst
 
   let verify_sampled ~seed ~trials ?budget ?(max_failures = 5) ?domains
       ?min_items_per_domain inst =
@@ -563,26 +706,38 @@ module Parallel = struct
     in
     (* Draw the whole trial sequence up front on one RNG — byte-identical
        to the sequential [Verify.sampled] stream for the same seed — then
-       shard only the solving. *)
+       shard only the solving.  Sampled sets share no prefix structure,
+       so there is no chain: each trial is checked from scratch. *)
     let rng = Random.State.make [| seed |] in
     let sets = Array.make trials [||] in
     for i = 0 to trials - 1 do
       sets.(i) <- Combinat.sample_up_to rng order k
     done;
     let chunk = Stdlib.max 1 (trials / (domains * 8)) in
-    let nblocks = (trials + chunk - 1) / chunk in
-    let blocks = Array.init nblocks (fun b -> b * chunk) in
-    let enum_block start ~skip_above check =
-      if start <= skip_above then
-        for i = start to Stdlib.min (start + chunk - 1) (trials - 1) do
-          let buf = sets.(i) in
-          check i buf (Array.length buf)
-        done
-    in
+    let nunits = (trials + chunk - 1) / chunk in
     let counts = function
       | Some r -> (r + 1, r + 1)
       | None -> (trials, trials)
     in
     run_sharded ?budget ~max_failures ~domains ~min_items_per_domain
-      ~est_items:trials ~counts inst blocks enum_block
+      ~est_items:trials ~counts ~nunits inst
+      (fun ~solve ~record ~cutoff ->
+        let mask = Bitset.create order in
+        fun u ->
+          let start = u * chunk in
+          for i = start to Stdlib.min (start + chunk - 1) (trials - 1) do
+            if i <= cutoff () then begin
+              let buf = sets.(i) in
+              let len = Array.length buf in
+              Bitset.clear mask;
+              for j = 0 to len - 1 do
+                Bitset.add mask buf.(j)
+              done;
+              match Verify.check_mask ?budget ~solve inst mask with
+              | Ok () -> ()
+              | Error reason ->
+                record ~rank:i
+                  { Verify.faults = Array.to_list buf; reason; orbit = 1 }
+            end
+          done)
 end

@@ -55,6 +55,21 @@ val solve :
 val solve_list :
   ?cache:bool -> t -> faults:int list -> Gdpn_core.Reconfig.outcome
 
+val solve_child :
+  t ->
+  parent:Gdpn_core.Pipeline.t ->
+  faults:Gdpn_graph.Bitset.t ->
+  failed:int ->
+  Gdpn_core.Reconfig.outcome
+(** Solve [faults] = parent's faults ∪ {[failed]} given a known-good
+    pipeline [parent] for the parent set: local splice first
+    ({!Gdpn_core.Repair.patch}, revalidated — a [Pipeline] outcome is
+    always genuine), full solve on splice failure.  Feeds the
+    [engine.splices] / [engine.splice_failures] counters.  This is the
+    entry point behind prefix-tree verification, where a parent plan is
+    always at hand — unlike {!solve}'s cache probe, it never has to guess
+    which predecessor might be cached. *)
+
 val stats : t -> stats
 val cache_size : t -> int
 
@@ -65,11 +80,12 @@ val verify_exhaustive :
   ?max_failures:int ->
   ?universe:int list ->
   ?symmetry:Gdpn_graph.Auto.group ->
+  ?splice:bool ->
   t ->
   Gdpn_core.Verify.report
 (** {!Gdpn_core.Verify.exhaustive} through the engine's ctx (uncached
-    checks; see {!solve}).  [symmetry] enables orbit-reduced
-    enumeration. *)
+    checks; see {!solve}).  [symmetry] enables orbit-reduced enumeration;
+    [splice] (default true) the prefix-tree splice-first enumeration. *)
 
 val verify_sampled :
   seed:int -> trials:int -> ?max_failures:int -> t -> Gdpn_core.Verify.report
@@ -110,12 +126,27 @@ module Parallel : sig
     ?domains:int ->
     ?min_items_per_domain:int ->
     ?symmetry:Gdpn_graph.Auto.group ->
+    ?splice:bool ->
     Gdpn_core.Instance.t ->
     Gdpn_core.Verify.report
-  (** Check every fault set of size [0..k].  The space is split into
-      (size, first-element) blocks with precomputed base ranks, drained
-      through an atomic work counter by [domains] workers (the calling
-      domain included), each with a per-domain cached solver ctx.
+  (** Check every fault set of size [0..k].  The space is split into one
+      shallow unit (the sets of size < min k 2) plus one DFS-subtree unit
+      per size-[min k 2] prefix — units of comparable weight, unlike the
+      old (size, first-element) blocks whose first block held about half
+      the space.  Units are drained through a work-stealing scheduler:
+      each of the [domains] workers (the calling domain included) owns a
+      contiguous span with its own atomic index, visits it in order —so
+      its chain of solved prefix plans (see below) pops and re-grows by a
+      few elements per unit — and steals from the other spans when its
+      own runs dry.  Steal counts land in [engine.parallel_steals] and on
+      each shard's trace span.
+
+      [splice] (default true) gives every worker a per-branch stack of
+      solved plans, patching each fault set from its parent
+      ({!Gdpn_core.Repair.patch}) before falling back to the full solver
+      — the parallel form of [Verify.exhaustive]'s prefix-tree mode, with
+      the same exactness argument (positives revalidated, negatives
+      always from a full solve).
 
       Worker domains come from a process-wide persistent pool: they are
       spawned lazily on first use, parked on a condition variable between
@@ -129,10 +160,11 @@ module Parallel : sig
       force real sharding regardless of size (benchmarks, tests).
 
       With a nontrivial [symmetry] group, only orbit representatives are
-      sharded — fewer but individually heavier work items, so the
-      partition switches to small contiguous chunks of the representative
-      array.  Counts are orbit-expanded through prefix sums during the
-      merge; the result equals the sequential
+      sharded — fewer but individually heavier work items, so the units
+      are small contiguous chunks of the representative array; the
+      per-domain chain splices each representative from its nearest
+      solved ancestor.  Counts are orbit-expanded through prefix sums
+      during the merge; the result equals the sequential
       [Verify.exhaustive ~symmetry] report field for field. *)
 
   val verify_sampled :

@@ -27,19 +27,20 @@ let iter_choose n k f =
     let continue = ref true in
     while !continue do
       f buf;
-      (* Find rightmost position that can advance. *)
+      (* Rightmost position that can advance; -1 when exhausted. *)
       let rec find i =
-        if i < 0 then None
-        else if buf.(i) < n - k + i then Some i
+        if i < 0 then -1
+        else if buf.(i) < n - k + i then i
         else find (i - 1)
       in
-      match find (k - 1) with
-      | None -> continue := false
-      | Some i ->
+      let i = find (k - 1) in
+      if i < 0 then continue := false
+      else begin
         buf.(i) <- buf.(i) + 1;
         for j = i + 1 to k - 1 do
           buf.(j) <- buf.(j - 1) + 1
         done
+      end
     done
   end
 
@@ -47,6 +48,47 @@ let iter_subsets_up_to n k f =
   for size = 0 to min k n do
     iter_choose n size (fun buf -> f buf size)
   done
+
+(* Prefix-tree (DFS) enumeration of subsets of size <= k.  A node is a
+   sorted subset [buf.(0..len-1)]; its children append one element
+   strictly greater than its maximum, so every subset is visited exactly
+   once.  [enter buf len] is called on arrival; returning [false] prunes
+   the node's descendants.  [leave buf len] is always called after the
+   subtree (pruned or not) — enter/leave bracket cleanly, so callers can
+   mirror the walk in mutable state (fault masks, plan stacks). *)
+let iter_subsets_dfs ?(root = [||]) n k ~enter ~leave =
+  let rlen = Array.length root in
+  if rlen > k then invalid_arg "Combinat.iter_subsets_dfs: root longer than k";
+  let buf = Array.make (max 1 k) 0 in
+  Array.blit root 0 buf 0 rlen;
+  let rec visit len =
+    let descend = enter buf len in
+    if descend && len < k then begin
+      let lo = if len = 0 then 0 else buf.(len - 1) + 1 in
+      for v = lo to n - 1 do
+        buf.(len) <- v;
+        visit (len + 1)
+      done
+    end;
+    leave buf len
+  in
+  visit rlen
+
+(* Global rank of the subset [buf.(0..len-1)] (sorted ascending) in the
+   size-major order used by [iter_subsets_up_to]: all smaller sizes
+   first, lexicographic within a size.  The within-size lex rank counts,
+   for each position i, the combinations whose first i elements match
+   and whose (i+1)-th element lies strictly between the predecessor and
+   buf.(i) (hockey-stick form: C(n-prev-1, len-i) - C(n-a, len-i)). *)
+let rank_of_subset n buf len =
+  let base = count_up_to n (len - 1) in
+  let lex = ref 0 and prev = ref (-1) in
+  for i = 0 to len - 1 do
+    let a = buf.(i) in
+    lex := !lex + (binomial (n - !prev - 1) (len - i) - binomial (n - a) (len - i));
+    prev := a
+  done;
+  base + !lex
 
 let fold_choose n k f init =
   let acc = ref init in
@@ -71,7 +113,7 @@ let sample rng n k =
   done;
   let out = Hashtbl.fold (fun x () acc -> x :: acc) chosen [] in
   let arr = Array.of_list out in
-  Array.sort compare arr;
+  Array.sort Int.compare arr;
   arr
 
 let sample_up_to rng n k =

@@ -20,6 +20,31 @@ val iter_subsets_up_to : int -> int -> (int array -> int -> unit) -> unit
     [0..n-1] of size [0..k]; the subset is [buf.(0..len-1)].  The buffer is
     reused between calls. *)
 
+val iter_subsets_dfs :
+  ?root:int array ->
+  int ->
+  int ->
+  enter:(int array -> int -> bool) ->
+  leave:(int array -> int -> unit) ->
+  unit
+(** [iter_subsets_dfs n k ~enter ~leave] walks the prefix tree of subsets
+    of [0..n-1] of size at most [k]: the children of a subset [S] with
+    maximum [m] are the sets [S ∪ {v}] for [v > m].  [enter buf len] is
+    called when a subset is reached (subset is [buf.(0..len-1)], sorted
+    ascending); returning [false] skips its descendants.  [leave buf len]
+    is always called after the node's subtree, so enter/leave calls nest
+    like parentheses — callers can push/pop per-branch state (a fault
+    mask, a stack of solved plans).  [?root] (default [[||]], sorted
+    ascending) restricts the walk to the subtree rooted at that subset.
+    The buffer is reused between calls. *)
+
+val rank_of_subset : int -> int array -> int -> int
+(** [rank_of_subset n buf len] is the global rank (0-based) of the sorted
+    subset [buf.(0..len-1)] in the order {!iter_subsets_up_to} visits
+    subsets: sizes ascending, lexicographic within a size.  Used to merge
+    out-of-order (DFS, parallel) enumeration results back into the
+    canonical report order. *)
+
 val fold_choose : int -> int -> ('a -> int array -> 'a) -> 'a -> 'a
 (** Fold version of {!iter_choose}. *)
 

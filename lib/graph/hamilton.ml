@@ -135,9 +135,14 @@ let search ctx ~budget ~expansions:expansions_out g ~alive ~starts ~ends =
     let deg0_count = ref 0 in
     let row v = Graph.neighbours_mask g v in
 
-    let init_from start =
+    (* Base state over the full alive set, computed once per search.
+       Each start candidate is then pushed as an ordinary occupy/release
+       delta (O(degree)) instead of recomputing every node's remaining
+       degree from scratch per start (O(order · words)) — occupy from the
+       base yields exactly the state the old per-start init built, since
+       it removes precisely the start's own contributions. *)
+    let init_base () =
       Bitset.blit ~src:alive ~dst:remaining;
-      Bitset.remove remaining start;
       ends_remaining := 0;
       deg0_count := 0;
       Bitset.clear deg1;
@@ -305,11 +310,19 @@ let search ctx ~budget ~expansions:expansions_out g ~alive ~starts ~ends =
     in
     let result =
       try
-        List.iter
-          (fun start ->
-            init_from start;
-            extend start [ start ])
-          start_candidates;
+        (match start_candidates with
+        | [] -> ()
+        | _ :: _ ->
+          init_base ();
+          (* A [Found]/[Out_of_budget] raise unwinds past the [release],
+             leaving the scratch dirty — harmless, the next search
+             rebuilds the base. *)
+          List.iter
+            (fun start ->
+              occupy start;
+              extend start [ start ];
+              release start)
+            start_candidates);
         No_path
       with
       | Found trail -> Path (List.rev trail)
