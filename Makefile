@@ -15,12 +15,19 @@ test:
 # orbit-expanded failure sets must agree) and splice-first prefix-tree
 # enumeration against from-scratch solving (reports must be identical),
 # then a traced run whose JSONL output must end with the metrics
-# snapshot.
+# snapshot.  The fault-model lines exercise the generalized universe:
+# --crosscheck on the node path also runs the generalized node model and
+# exits 3 on any divergence from the legacy enumeration; the mixed-model
+# run exits 1 (the constructions are not link-GD — that is the honest
+# verdict) but must not exit 3 (crosscheck divergence); --faults checks
+# one explicit mixed node+link set end to end.
 check: build test
 	GDPN_DOMAINS=2 dune exec bin/gdp.exe -- verify -n 8 -k 2
 	GDPN_DOMAINS=2 dune exec bin/gdp.exe -- verify -n 8 -k 2 --no-splice
 	GDPN_DOMAINS=2 dune exec bin/gdp.exe -- verify -n 8 -k 2 --crosscheck
 	GDPN_DOMAINS=2 dune exec bin/gdp.exe -- verify -n 8 -k 2 --symmetry --crosscheck
+	GDPN_DOMAINS=2 dune exec bin/gdp.exe -- verify -n 5 -k 2 --model mixed --crosscheck; test $$? -ne 3
+	GDPN_DOMAINS=2 dune exec bin/gdp.exe -- verify -n 5 -k 2 --faults "3,7,2-5"; test $$? -ne 2
 	GDPN_DOMAINS=2 dune exec bin/gdp.exe -- verify -n 8 -k 2 --symmetry --trace-out /tmp/gdpn-check-trace.jsonl
 	tail -1 /tmp/gdpn-check-trace.jsonl | grep -q '"snapshot"'
 
@@ -28,12 +35,13 @@ bench:
 	dune exec bench/main.exe
 
 # Fast bench sanity: one group per recent PR, with the JSON emitter
-# (the committed BENCH_PR5.json is regenerated the same way, minus the
+# (the committed BENCH_PR6.json is regenerated the same way, minus the
 # temp path and the group filter).
 bench-smoke:
 	dune exec bench/main.exe -- --only B12 --json /tmp/gdpn-bench-smoke.json
 	dune exec bench/main.exe -- --only B13 --json /tmp/gdpn-bench-smoke-kernel.json
 	dune exec bench/main.exe -- --only B14 --json /tmp/gdpn-bench-smoke-splice.json
+	dune exec bench/main.exe -- --only B15 --json /tmp/gdpn-bench-smoke-fault-model.json
 
 clean:
 	dune clean

@@ -618,6 +618,47 @@ let b14_splice =
                   ~min_items_per_domain:0 g43)));
     ]
 
+let b15_fault_model =
+  (* Generalized fault models (PR 6).  The G(3,5) pair measures the cost
+     of routing the legacy node-only verifier through the Fault_model
+     abstraction — reports are byte-identical by contract
+     (test_fault_model, gdp verify --crosscheck), so the delta is pure
+     closure indirection.  The mixed rows enumerate the node+link
+     universe of G(1,3) (26 elements, 2952 fault sets) with and without
+     the induced-symmetry orbit reduction; the adversary row runs
+     best-response search over the colored universe. *)
+  let g35 = Small_n.g3 ~k:5 in
+  let g35_node = Fault_model.node g35 in
+  let g13 = Family.build ~n:1 ~k:3 in
+  let g13_mixed = Fault_model.mixed g13 in
+  let g13_sym = Instance.symmetry g13 in
+  let cap = 1_000_000 in
+  Test.make_grouped ~name:"B15-fault-model"
+    [
+      Test.make ~name:"G(3,5) exhaustive, legacy node path"
+        (Staged.stage (fun () -> Sys.opaque_identity (Verify.exhaustive g35)));
+      Test.make ~name:"G(3,5) exhaustive, generalized node model"
+        (Staged.stage (fun () ->
+             Sys.opaque_identity (Verify.exhaustive_model g35_node)));
+      Test.make ~name:"G(1,3) mixed exhaustive, full"
+        (Staged.stage (fun () ->
+             Sys.opaque_identity
+               (Verify.exhaustive_model ~max_failures:cap g13_mixed)));
+      Test.make ~name:"G(1,3) mixed exhaustive, orbit-reduced"
+        (Staged.stage (fun () ->
+             Sys.opaque_identity
+               (Verify.exhaustive_model ~max_failures:cap ~symmetry:g13_sym
+                  g13_mixed)));
+      Test.make ~name:"G(1,3) colored adversary, 2 restarts"
+        (Staged.stage (fun () ->
+             Sys.opaque_identity
+               (Attack.worst_case
+                  ~rng:(Random.State.make [| 17 |])
+                  ~restarts:2
+                  ~model:(Fault_model.colored g13)
+                  g13)));
+    ]
+
 let groups =
   [
     ("B1-construction", b1_construction);
@@ -634,6 +675,7 @@ let groups =
     ("B12-symmetry", b12_symmetry);
     ("B13-kernel", b13_kernel);
     ("B14-splice", b14_splice);
+    ("B15-fault-model", b15_fault_model);
   ]
 
 type row = {
@@ -943,6 +985,116 @@ let print_splice_comparison cmps =
     cmps
 
 (* ------------------------------------------------------------------ *)
+(* B15 companion: generalized fault models (exact, measured once)      *)
+(* ------------------------------------------------------------------ *)
+
+(* Mixed node+link exhaustive verification with and without the
+   induced-symmetry orbit reduction; all four enumeration paths (splice,
+   from-scratch, orbit, forced shards) must tell the same story, and the
+   orbit column documents the solver-call savings on the generalized
+   universe. *)
+type fm_stat = {
+  fm_name : string;
+  fm_model : string;
+  fm_universe : int;
+  fm_sets : int;
+  fm_full_calls : int;
+  fm_orbit_calls : int;
+  fm_failures : int;  (** orbit-expanded count of untolerated fault sets *)
+  fm_paths_agree : bool;
+}
+
+let fault_model_stats () =
+  let module Engine = Gdpn_engine.Engine in
+  let cap = 1_000_000 in
+  List.map
+    (fun (name, inst, mk) ->
+      let model = mk inst in
+      let symmetry = Instance.symmetry inst in
+      let full = Verify.exhaustive_model ~max_failures:cap model in
+      let scratch =
+        Verify.exhaustive_model ~max_failures:cap ~splice:false model
+      in
+      let par =
+        Engine.Parallel.verify_exhaustive_model ~max_failures:cap ~domains:2
+          ~min_items_per_domain:0 model
+      in
+      let orbit = Verify.exhaustive_model ~max_failures:cap ~symmetry model in
+      {
+        fm_name = name;
+        fm_model = Fault_model.name model;
+        fm_universe = Fault_model.size model;
+        fm_sets = full.Verify.fault_sets_checked;
+        fm_full_calls = full.Verify.solver_calls;
+        fm_orbit_calls = orbit.Verify.solver_calls;
+        fm_failures = List.length full.Verify.failures;
+        fm_paths_agree =
+          full = scratch && full = par
+          && Verify.is_k_gd full = Verify.is_k_gd orbit
+          && full.Verify.fault_sets_checked = orbit.Verify.fault_sets_checked
+          && List.length full.Verify.failures
+             = List.fold_left
+                 (fun a f -> a + f.Verify.orbit)
+                 0 orbit.Verify.failures;
+      })
+    [
+      ("G(1,3)", Family.build ~n:1 ~k:3, Fault_model.mixed);
+      ("G(3,4)", Family.build ~n:3 ~k:4, Fault_model.mixed);
+      ("G(6,2)", Special.g62 (), Fault_model.mixed);
+      ("G(3,2)", Small_n.g3 ~k:2, Fault_model.colored);
+      ("G(3,2)", Small_n.g3 ~k:2, Fault_model.neighbor);
+    ]
+
+let print_fault_model_stats stats =
+  pf "@.--- B15 companion: generalized models, full vs orbit-reduced ---@.";
+  pf "%-10s %-9s %9s %10s %10s %10s %8s %9s %6s@." "instance" "model"
+    "universe" "sets" "full" "orbit" "ratio" "failures" "agree";
+  List.iter
+    (fun s ->
+      pf "%-10s %-9s %9d %10d %10d %10d %7.2fx %9d %6b@." s.fm_name s.fm_model
+        s.fm_universe s.fm_sets s.fm_full_calls s.fm_orbit_calls
+        (float_of_int s.fm_full_calls /. float_of_int (max 1 s.fm_orbit_calls))
+        s.fm_failures s.fm_paths_agree)
+    stats
+
+(* Best-response adversary across fault models on one instance: which
+   universe gives the adversary the most expensive fault set? *)
+type adv_stat = {
+  adv_model : string;
+  adv_expansions : int;
+  adv_faults : string;
+  adv_evaluations : int;
+}
+
+let adversary_sweep () =
+  let inst = Family.build ~n:1 ~k:3 in
+  List.map
+    (fun mk ->
+      let model = mk inst in
+      let f =
+        Attack.worst_case
+          ~rng:(Random.State.make [| 29 |])
+          ~restarts:3 ~model inst
+      in
+      {
+        adv_model = Fault_model.name model;
+        adv_expansions = f.Attack.expansions;
+        adv_faults = Fault_model.describe model f.Attack.faults;
+        adv_evaluations = f.Attack.evaluations;
+      })
+    [ Fault_model.node; Fault_model.mixed; Fault_model.colored;
+      Fault_model.neighbor ]
+
+let print_adversary_sweep stats =
+  pf "@.--- B15 companion: adversary sweep across models, G(1,3) ---@.";
+  pf "%-10s %12s %12s  %s@." "model" "expansions" "evaluations" "worst set";
+  List.iter
+    (fun s ->
+      pf "%-10s %12d %12d  %s@." s.adv_model s.adv_expansions
+        s.adv_evaluations s.adv_faults)
+    stats
+
+(* ------------------------------------------------------------------ *)
 (* JSON emission (hand-rolled: no JSON dependency in the image)        *)
 (* ------------------------------------------------------------------ *)
 
@@ -964,10 +1116,10 @@ let json_float = function
   | Some f when Float.is_finite f -> Printf.sprintf "%.6g" f
   | Some _ | None -> "null"
 
-let write_json ~path rows stats cmps splices =
+let write_json ~path rows stats cmps splices fms advs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"pr\": 5,\n";
+  Buffer.add_string buf "  \"pr\": 6,\n";
   Buffer.add_string buf
     "  \"config\": {\"quota_s\": 0.5, \"limit\": 2000, \"bootstrap\": 0},\n";
   Buffer.add_string buf "  \"benchmarks\": [\n";
@@ -1040,6 +1192,36 @@ let write_json ~path rows stats cmps splices =
            (if i = List.length splices - 1 then "" else ",")))
     splices;
   Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"fault_model_solver_calls\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"instance\": \"%s\", \"model\": \"%s\", \"universe\": %d, \
+            \"fault_sets\": %d, \"full_calls\": %d, \"orbit_calls\": %d, \
+            \"reduction\": %s, \"failures\": %d, \"paths_agree\": %b}%s\n"
+           (json_escape s.fm_name) (json_escape s.fm_model) s.fm_universe
+           s.fm_sets s.fm_full_calls s.fm_orbit_calls
+           (json_float
+              (Some
+                 (float_of_int s.fm_full_calls
+                 /. float_of_int (max 1 s.fm_orbit_calls))))
+           s.fm_failures s.fm_paths_agree
+           (if i = List.length fms - 1 then "" else ",")))
+    fms;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"colored_adversary_sweep\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"model\": \"%s\", \"expansions\": %d, \"evaluations\": %d, \
+            \"worst_set\": \"%s\"}%s\n"
+           (json_escape s.adv_model) s.adv_expansions s.adv_evaluations
+           (json_escape s.adv_faults)
+           (if i = List.length advs - 1 then "" else ",")))
+    advs;
+  Buffer.add_string buf "  ],\n";
   (* Registry state accumulated over the whole benchmark run: solver and
      cache counters give the run a coarse self-audit (e.g. that the
      plan-cache rows actually hit the cache). *)
@@ -1048,20 +1230,21 @@ let write_json ~path rows stats cmps splices =
     (Gdpn_obs.Metrics.snapshot_to_json (Gdpn_obs.Metrics.snapshot ()));
   Buffer.add_string buf ",\n";
   Buffer.add_string buf
-    "  \"notes\": \"Prefix-tree splice-first verification (PR 5): \
-     exhaustive enumeration walks the fault space as a DFS prefix tree \
-     with a per-branch stack of solved plans, patching each set from its \
-     parent (Repair.patch, revalidated) and full-solving only on splice \
-     failure; negatives always come from a full solve, so reports are \
-     byte-identical to from-scratch enumeration (splice_comparison's \
-     reports_equal). Parallel verify shards balanced DFS-subtree units \
-     through a work-stealing scheduler with per-domain plan chains. \
-     Earlier layers still measured here: word-parallel Hamilton kernel \
-     (PR 4, kernel_comparison — identical expansion counts, different \
-     wall time), persistent domain pool with serial fallback below \
-     min_items_per_domain, orbit-reduced verification (PR 2; the \
-     circulant's only solvability-preserving symmetry is the input/output \
-     reversal, so its reduction ceiling is 2x).\"\n";
+    "  \"notes\": \"Generalized fault models (PR 6): verification, orbit \
+     reduction, the engine plan cache, parallel sharding and the \
+     adversary all run over a Fault_model universe (nodes, node+link \
+     mixed, per-node colour classes, closed neighborhoods) encoded as \
+     canonical integer indices so fault sets stay bitmasks. The \
+     generalized node model reuses the node-path enumeration cores, so \
+     its reports are byte-identical to the legacy path (B15's first two \
+     rows, and the CI crosscheck). fault_model_solver_calls shows the \
+     induced-symmetry orbit reduction on mixed universes; the paper's \
+     constructions are k-node-GD but not link-GD, so mixed exhaustive \
+     runs report genuine counterexamples. Earlier layers still measured \
+     here: prefix-tree splice-first verification with work-stealing \
+     shards (PR 5, splice_comparison), word-parallel Hamilton kernel \
+     (PR 4, kernel_comparison), orbit-reduced node verification (PR 2, \
+     symmetry_solver_calls).\"\n";
   Buffer.add_string buf "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -1102,6 +1285,10 @@ let () =
     print_kernel_comparison cmps;
     let splices = splice_comparison () in
     print_splice_comparison splices;
-    write_json ~path rows stats cmps splices
+    let fms = fault_model_stats () in
+    print_fault_model_stats fms;
+    let advs = adversary_sweep () in
+    print_adversary_sweep advs;
+    write_json ~path rows stats cmps splices fms advs
   | None -> ());
   pf "@.done.@."

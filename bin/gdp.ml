@@ -72,6 +72,21 @@ let build_instance n k merged =
   let inst = Family.build ~n ~k in
   if merged then Merge.apply inst else inst
 
+let model_arg =
+  Arg.(value & opt string "node" & info [ "model" ] ~docv:"MODEL"
+         ~doc:"Fault model: $(b,node) (the paper's, default), $(b,mixed) \
+               (nodes and links), $(b,colored) (per-node shared-resource \
+               link classes) or $(b,neighbor) (closed neighborhoods).")
+
+let model_of_name inst name =
+  match Fault_model.of_name inst name with
+  | Some m -> Ok m
+  | None ->
+    Error
+      (Printf.sprintf
+         "unknown fault model %S (expected node, mixed, colored or neighbor)"
+         name)
+
 (* -------------------- build -------------------- *)
 
 let build_cmd =
@@ -123,6 +138,112 @@ let solve_cmd =
 
 (* -------------------- verify -------------------- *)
 
+(* Verification over a generalized fault universe
+   (--model mixed|colored|neighbor); the node model keeps the legacy
+   path in [verify_cmd] untouched. *)
+let verify_model inst model ~sample ~domains ~seed ~symmetry ~crosscheck
+    ~no_splice ~merged =
+  let module Auto = Gdpn_graph.Auto in
+  pf "%a@." Instance.pp inst;
+  if merged then
+    pf "note: --merged fault restriction applies to the node model only@.";
+  let d =
+    match domains with Some d -> d | None -> Engine.Parallel.default_domains ()
+  in
+  pf "fault model: %s (universe %d elements, sets of size <= %d)@."
+    (Fault_model.name model) (Fault_model.size model)
+    (Fault_model.max_faults model);
+  let group =
+    if symmetry then begin
+      let g = Instance.symmetry inst in
+      let induced = Fault_model.induced_symmetry model g in
+      pf "symmetry: node group order %d; induced action on the universe \
+          %s@."
+        (Auto.order g)
+        (if Auto.is_trivial induced then "trivial — plain enumeration"
+         else "nontrivial — orbit reduction");
+      Some g
+    end
+    else None
+  in
+  let report =
+    match sample with
+    | Some trials ->
+      if symmetry then pf "note: --symmetry applies to exhaustive mode only@.";
+      pf "sampled verification: seed=%d domains=%d@." seed d;
+      Engine.Parallel.verify_sampled_model ~seed ~trials ~domains:d model
+    | None ->
+      pf "exhaustive verification: domains=%d@." d;
+      Engine.Parallel.verify_exhaustive_model ~domains:d ?symmetry:group
+        ~splice:(not no_splice) model
+  in
+  (* Verify.pp_report renders fault sets as raw node ids; under a model the
+     indices are universe elements, so render them in element syntax. *)
+  pf "checked %d fault sets%s: %s@." report.Verify.fault_sets_checked
+    (if report.Verify.solver_calls < report.Verify.fault_sets_checked then
+       Printf.sprintf " (%d orbit representatives solved)"
+         report.Verify.solver_calls
+     else "")
+    (if Verify.is_k_gd report then "all tolerated"
+     else
+       Printf.sprintf "%d failures%s%s"
+         (List.length report.Verify.failures)
+         (match report.Verify.failures with
+         | f :: _ ->
+           Printf.sprintf " (first: %s%s — %s)"
+             (Fault_model.describe model f.Verify.faults)
+             (if f.Verify.orbit > 1 then
+                Printf.sprintf " ×%d orbit" f.Verify.orbit
+              else "")
+             f.Verify.reason
+         | [] -> "")
+         (if report.Verify.gave_up > 0 then
+            Printf.sprintf " (%d gave up)" report.Verify.gave_up
+          else ""));
+  if report.Verify.solver_calls < report.Verify.fault_sets_checked then
+    pf "orbit reduction: %d solver calls covered %d fault sets (%.1fx \
+        fewer)@."
+      report.Verify.solver_calls report.Verify.fault_sets_checked
+      (float_of_int report.Verify.fault_sets_checked
+      /. float_of_int (max 1 report.Verify.solver_calls));
+  List.iteri
+    (fun i f ->
+      if i < 5 then
+        pf "counterexample: %s — %s@."
+          (Fault_model.describe model f.Verify.faults)
+          f.Verify.reason)
+    report.Verify.failures;
+  (* All generalized enumeration paths must agree with each other: splice
+     vs from-scratch sequentially, and the work-stealing shards vs both. *)
+  let crosscheck_failed =
+    if crosscheck && sample = None then begin
+      let cap = 1_000_000 in
+      let spliced =
+        Verify.exhaustive_model ~max_failures:cap ?symmetry:group
+          ~splice:true model
+      in
+      let scratch =
+        Verify.exhaustive_model ~max_failures:cap ?symmetry:group
+          ~splice:false model
+      in
+      let par =
+        Engine.Parallel.verify_exhaustive_model ~max_failures:cap ~domains:d
+          ?symmetry:group ~splice:(not no_splice) model
+      in
+      let agree = spliced = scratch && spliced = par in
+      pf "crosscheck model splice vs from-scratch vs parallel: %s (%d \
+          sets)@."
+        (if agree then "PASS" else "FAIL")
+        spliced.Verify.fault_sets_checked;
+      not agree
+    end
+    else begin
+      if crosscheck then pf "note: --crosscheck requires exhaustive mode@.";
+      false
+    end
+  in
+  if crosscheck_failed then 3 else if Verify.is_k_gd report then 0 else 1
+
 let verify_cmd =
   let sample_arg =
     Arg.(value & opt (some int) None & info [ "sample" ] ~docv:"TRIALS"
@@ -157,11 +278,93 @@ let verify_cmd =
                  is solved from scratch (the pre-splice behaviour; mainly \
                  for benchmarking and crosschecks).")
   in
-  let run n k merged sample domains seed symmetry crosscheck no_splice
-      trace_out =
+  let fault_set_arg =
+    Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SET"
+           ~doc:"Check one explicit fault set instead of enumerating: \
+                 comma-separated fault elements in the model's syntax — \
+                 node $(b,3), link $(b,2-5), colour class $(b,c4), \
+                 neighborhood $(b,n7).  Link elements without an explicit \
+                 $(b,--model) switch to the mixed model.  Prints the \
+                 pipeline found or the counterexample.")
+  in
+  (* --faults: one explicit fault set, parsed in the model's element
+     syntax, checked against the (link-degraded) instance. *)
+  let check_fault_spec inst model spec =
+    let tokens =
+      List.filter
+        (fun s -> s <> "")
+        (List.map String.trim (String.split_on_char ',' spec))
+    in
+    let rec parse_all acc = function
+      | [] -> Ok (List.rev acc)
+      | tok :: rest -> (
+        match Fault_model.parse_elt tok with
+        | None -> Error (Printf.sprintf "cannot parse fault element %S" tok)
+        | Some e -> parse_all (e :: acc) rest)
+    in
+    match parse_all [] tokens with
+    | Error e ->
+      pf "error: %s@." e;
+      2
+    | Ok elts -> (
+      (* `gdp verify --faults 3,7,2-5` without --model means the mixed
+         model: a link element cannot be a node fault. *)
+      let model =
+        if
+          Fault_model.is_node model
+          && List.exists
+               (function Fault_model.Link _ -> true | _ -> false)
+               elts
+        then begin
+          pf "link faults present: using the mixed fault model@.";
+          Fault_model.mixed inst
+        end
+        else model
+      in
+      let rec index_all acc = function
+        | [] -> Ok (List.rev acc)
+        | e :: rest -> (
+          match Fault_model.index_of model e with
+          | Some i -> index_all (i :: acc) rest
+          | None ->
+            Error
+              (Printf.sprintf "%s is not in the %s fault universe"
+                 (Fault_model.elt_to_string e)
+                 (Fault_model.name model)))
+      in
+      match index_all [] elts with
+      | Error e ->
+        pf "error: %s@." e;
+        2
+      | Ok indices -> (
+        match Verify.check_model_set model indices with
+        | Ok p ->
+          pf "fault set %s tolerated (%s model)@."
+            (Fault_model.describe model indices)
+            (Fault_model.name model);
+          pf "pipeline: %a@." Pipeline.pp p;
+          0
+        | Error e ->
+          pf "fault set %s NOT tolerated (%s model): %s@."
+            (Fault_model.describe model indices)
+            (Fault_model.name model) e;
+          1))
+  in
+  let run n k merged model_name fault_spec sample domains seed symmetry
+      crosscheck no_splice trace_out =
     with_trace trace_out @@ fun () ->
     let module Auto = Gdpn_graph.Auto in
     let inst = build_instance n k merged in
+    match model_of_name inst model_name with
+    | Error e ->
+      pf "error: %s@." e;
+      2
+    | Ok model when fault_spec <> None ->
+      check_fault_spec inst model (Option.get fault_spec)
+    | Ok model when not (Fault_model.is_node model) ->
+      verify_model inst model ~sample ~domains ~seed ~symmetry ~crosscheck
+        ~no_splice ~merged
+    | Ok model ->
     pf "%a@." Instance.pp inst;
     let d =
       match domains with Some d -> d | None -> Engine.Parallel.default_domains ()
@@ -296,16 +499,49 @@ let verify_cmd =
         false
       end
     in
-    if crosscheck_failed || splice_crosscheck_failed || kernel_crosscheck_failed
+    (* Generalized-model crosscheck: the node instantiation of the
+       Fault_model machinery must reproduce the legacy node-only verifier
+       byte for byte, sequentially and under the work-stealing shards. *)
+    let model_crosscheck_failed =
+      if crosscheck && sample = None then begin
+        let cap = 1_000_000 in
+        let legacy =
+          Verify.exhaustive ~max_failures:cap ?universe ?symmetry:group
+            ~splice:(not no_splice) inst
+        in
+        let gen =
+          Verify.exhaustive_model ~max_failures:cap ?universe ?symmetry:group
+            ~splice:(not no_splice) model
+        in
+        let gen_par =
+          (* The restricted (merged) universe keeps the sequential path,
+             as in the main enumeration above. *)
+          if merged then gen
+          else
+            Engine.Parallel.verify_exhaustive_model ~max_failures:cap
+              ~domains:d ?symmetry:group ~splice:(not no_splice) model
+        in
+        let agree = legacy = gen && legacy = gen_par in
+        pf "crosscheck generalized-node vs legacy: %s (%d sets, %d solver \
+            calls)@."
+          (if agree then "PASS" else "FAIL")
+          legacy.Verify.fault_sets_checked legacy.Verify.solver_calls;
+        not agree
+      end
+      else false
+    in
+    if
+      crosscheck_failed || splice_crosscheck_failed
+      || kernel_crosscheck_failed || model_crosscheck_failed
     then 3
     else if Verify.is_k_gd report then 0
     else 1
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify k-graceful-degradability.")
-    Term.(const run $ n_arg $ k_arg $ merged_arg $ sample_arg $ domains_arg
-          $ seed_arg $ symmetry_arg $ crosscheck_arg $ no_splice_arg
-          $ trace_out_arg)
+    Term.(const run $ n_arg $ k_arg $ merged_arg $ model_arg $ fault_set_arg
+          $ sample_arg $ domains_arg $ seed_arg $ symmetry_arg
+          $ crosscheck_arg $ no_splice_arg $ trace_out_arg)
 
 (* -------------------- table -------------------- *)
 
@@ -361,32 +597,51 @@ let simulate_cmd =
     Arg.(value & opt int 0 & info [ "inject" ] ~docv:"F"
            ~doc:"Number of random faults to inject during the run.")
   in
-  let run n k stages rounds inject seed trace_out =
+  let run n k stages rounds inject seed model_name trace_out =
     with_trace trace_out @@ fun () ->
     let inst = Family.build ~n ~k in
-    let stage_chain =
-      match Faultsim.Workload.parse stages with
-      | Ok chain -> chain
-      | Error e -> failwith e
-    in
-    let machine = Faultsim.Machine.create inst in
-    let rng = Faultsim.Stream.Prng.create seed in
-    let schedule =
-      if inject = 0 then []
-      else Faultsim.Injector.random ~rng inst ~count:inject ~rounds
-    in
-    let metrics =
-      Faultsim.Runner.run ~machine ~stages:stage_chain
-        ~source:(Faultsim.Stream.Sine_mixture [ (0.013, 1.0); (0.05, 0.3) ])
-        ~frame_length:256 ~rounds ~schedule ~seed ()
-    in
-    pf "%a@." Faultsim.Runner.pp_metrics metrics;
-    if metrics.Faultsim.Runner.pipeline_lost then 1 else 0
+    match model_of_name inst model_name with
+    | Error e ->
+      pf "error: %s@." e;
+      2
+    | Ok model ->
+      let stage_chain =
+        match Faultsim.Workload.parse stages with
+        | Ok chain -> chain
+        | Error e -> failwith e
+      in
+      (* The node model keeps the legacy machine (node-indexed faults);
+         other models run the machine over the generalized universe. *)
+      let generalized = not (Fault_model.is_node model) in
+      let machine =
+        if generalized then Faultsim.Machine.create ~model inst
+        else Faultsim.Machine.create inst
+      in
+      if generalized then
+        pf "fault model: %s (universe %d elements)@." (Fault_model.name model)
+          (Fault_model.size model);
+      let rng = Faultsim.Stream.Prng.create seed in
+      let schedule =
+        if inject = 0 then []
+        else if generalized then
+          Faultsim.Injector.random_model ~rng model ~count:inject ~rounds
+        else Faultsim.Injector.random ~rng inst ~count:inject ~rounds
+      in
+      let metrics =
+        Faultsim.Runner.run ~machine ~stages:stage_chain
+          ~source:(Faultsim.Stream.Sine_mixture [ (0.013, 1.0); (0.05, 0.3) ])
+          ~frame_length:256 ~rounds ~schedule ~seed ()
+      in
+      (if generalized && Faultsim.Machine.fault_count machine > 0 then
+         pf "injected faults: %s@."
+           (Fault_model.describe model (Faultsim.Machine.faults machine)));
+      pf "%a@." Faultsim.Runner.pp_metrics metrics;
+      if metrics.Faultsim.Runner.pipeline_lost then 1 else 0
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Stream a workload under fault injection.")
     Term.(const run $ n_arg $ k_arg $ stages_arg $ rounds_arg $ count_arg
-          $ seed_arg $ trace_out_arg)
+          $ seed_arg $ model_arg $ trace_out_arg)
 
 (* -------------------- figure -------------------- *)
 

@@ -19,17 +19,34 @@ let probe ?ctx ~budget inst mask =
   in
   (!expansions, outcome)
 
-let worst_case ~rng ?(restarts = 5) ?(budget = 500_000) inst =
-  let order = Instance.order inst in
+let worst_case ~rng ?(restarts = 5) ?(budget = 500_000) ?model inst =
+  (match model with
+  | Some m when not (Fault_model.instance m == inst) ->
+    invalid_arg "Attack.worst_case: model built over a different instance"
+  | Some _ | None -> ());
+  (* Best-response search over the model's universe: candidate sets are
+     drawn from (and swapped within) all of it, so the climb can trade a
+     node for a link or a colour class whenever that costs the solver
+     more.  Without a model this is the original node-only search,
+     drawing the same RNG sequence. *)
+  let order =
+    match model with
+    | Some m -> Fault_model.size m
+    | None -> Instance.order inst
+  in
   let k = inst.Instance.k in
   let evaluations = ref 0 in
   (* Hill climbing evaluates thousands of candidate sets: one reusable
-     context serves them all.  Expansion counts are ctx-independent, so the
-     search trajectory is unchanged. *)
+     context serves them all (degraded instances preserve the order, so
+     one ctx also serves every link-degraded probe).  Expansion counts
+     are ctx-independent, so the search trajectory is unchanged. *)
   let ctx = Reconfig.make_ctx inst in
   let eval faults =
     incr evaluations;
-    probe ~ctx ~budget inst (Bitset.of_list order faults)
+    let mask = Bitset.of_list order faults in
+    match model with
+    | Some m -> Fault_model.probe ~ctx ~budget m mask
+    | None -> probe ~ctx ~budget inst mask
   in
   let best = ref { faults = []; expansions = 0; outcome = `Found;
                    restarts; evaluations = 0 } in

@@ -12,7 +12,10 @@
     flat (see the B7 ablation and EXPERIMENTS.md E14). *)
 
 type finding = {
-  faults : int list;  (** the adversarial fault set found *)
+  faults : int list;
+      (** the adversarial fault set found: node ids without a model,
+          universe indices with one (render with
+          {!Fault_model.describe}) *)
   expansions : int;  (** generic-solver node expansions it causes *)
   outcome : [ `Found | `None | `Gave_up ];
   restarts : int;  (** hill-climbing restarts performed *)
@@ -23,13 +26,18 @@ val worst_case :
   rng:Random.State.t ->
   ?restarts:int ->
   ?budget:int ->
+  ?model:Fault_model.t ->
   Instance.t ->
   finding
 (** Hill-climb for the size-[k] fault set maximising generic-solver
     expansions.  [restarts] (default 5) independent climbs from random
     seeds; [budget] (default 500_000) caps each probe so a pathological
     candidate cannot stall the search — a probe that exhausts the budget
-    scores as the budget value. *)
+    scores as the budget value.  With [model] (built over this instance —
+    [Invalid_argument] otherwise) the search runs best-response over the
+    model's whole universe: candidates mix nodes, links, colour classes
+    or neighborhoods, probes measure the link-degraded instance, and the
+    node model reproduces the plain search byte for byte. *)
 
 val random_baseline :
   rng:Random.State.t -> trials:int -> ?budget:int -> Instance.t -> int * int

@@ -99,6 +99,125 @@ let generate_orbits ?solve ~symmetry inst =
     Buffer.contents buf
   end
 
+(* Model-naming (v3) certificates: the flat v1 scheme lifted to a fault
+   model's universe — one witness line per universe subset in canonical
+   order, fault elements rendered in the model's element syntax ("3",
+   "2-5", "c4", "n7").  The checker rebuilds the model from its declared
+   name, so universe indexing is canonical on both sides, and validates
+   each witness against the link-degraded instance — still no search and
+   no trust in the generator. *)
+let generate_model ?solve model =
+  let inst = Fault_model.instance model in
+  let usize = Fault_model.size model in
+  let k = Fault_model.max_faults model in
+  let solve =
+    match solve with
+    | Some f -> f
+    | None ->
+      let ctx = Reconfig.make_ctx inst in
+      fun ~faults -> Fault_model.solve ~ctx model ~faults
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "gdpn-cert 3\n";
+  Buffer.add_string buf (Printf.sprintf "instance %s\n" (digest inst));
+  Buffer.add_string buf (Printf.sprintf "model %s\n" (Fault_model.name model));
+  Buffer.add_string buf
+    (Printf.sprintf "sets %d\n" (Combinat.count_up_to usize k));
+  let mask = Bitset.create usize in
+  Combinat.iter_subsets_up_to usize k (fun set len ->
+      Bitset.clear mask;
+      for i = 0 to len - 1 do
+        Bitset.add mask set.(i)
+      done;
+      let faults_s =
+        String.concat ","
+          (List.init len (fun i ->
+               Fault_model.elt_to_string (Fault_model.element model set.(i))))
+      in
+      match solve ~faults:mask with
+      | Reconfig.Pipeline p ->
+        Buffer.add_string buf
+          (Printf.sprintf "w %s|%s\n" faults_s
+             (String.concat " " (List.map string_of_int p.Pipeline.nodes)))
+      | Reconfig.No_pipeline | Reconfig.Gave_up ->
+        failwith
+          (Printf.sprintf
+             "Certify.generate_model: fault set {%s} has no pipeline" faults_s));
+  Buffer.contents buf
+
+let check_v3 inst model_line sets_line witnesses =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let model_name =
+    match String.split_on_char ' ' model_line with
+    | [ "model"; name ] -> Some name
+    | _ -> None
+  in
+  match Option.bind model_name (Fault_model.of_name inst) with
+  | None -> err "bad model line %S" model_line
+  | Some model -> (
+    let usize = Fault_model.size model in
+    let k = Fault_model.max_faults model in
+    let expected = Combinat.count_up_to usize k in
+    let declared =
+      match String.split_on_char ' ' sets_line with
+      | [ "sets"; n ] -> int_of_string_opt n
+      | _ -> None
+    in
+    match declared with
+    | None -> err "bad sets line %S" sets_line
+    | Some declared ->
+      if declared <> expected then
+        err "certificate declares %d fault sets, model needs %d" declared
+          expected
+      else if List.length witnesses <> expected then
+        err "certificate contains %d witnesses, expected %d"
+          (List.length witnesses) expected
+      else begin
+        (* Walk the canonical universe enumeration in lockstep. *)
+        let remaining = ref witnesses in
+        let failure = ref None in
+        let mask = Bitset.create usize in
+        Combinat.iter_subsets_up_to usize k (fun set len ->
+            if !failure = None then begin
+              match !remaining with
+              | [] -> failure := Some "ran out of witness lines"
+              | line :: rest -> (
+                remaining := rest;
+                let expected_faults =
+                  String.concat ","
+                    (List.init len (fun i ->
+                         Fault_model.elt_to_string
+                           (Fault_model.element model set.(i))))
+                in
+                match String.split_on_char '|' line with
+                | [ left; right ]
+                  when left = Printf.sprintf "w %s" expected_faults -> (
+                  let nodes =
+                    List.filter_map int_of_string_opt
+                      (String.split_on_char ' ' right)
+                  in
+                  Bitset.clear mask;
+                  for i = 0 to len - 1 do
+                    Bitset.add mask set.(i)
+                  done;
+                  match Fault_model.validate model ~faults:mask nodes with
+                  | Ok _ -> ()
+                  | Error e ->
+                    failure :=
+                      Some
+                        (Printf.sprintf "witness for {%s} invalid: %s"
+                           expected_faults e))
+                | _ ->
+                  failure :=
+                    Some
+                      (Printf.sprintf "expected witness for {%s}, found %S"
+                         expected_faults line))
+            end);
+        match !failure with
+        | Some msg -> Error msg
+        | None -> Ok expected
+      end)
+
 (* v2 checking.  Soundness argument for completeness: every member the
    checker derives is validated to be a subset of size <= k (sizes and
    distinctness are preserved by the verified permutations), duplicates
@@ -288,6 +407,10 @@ let check inst text =
     if digest_line <> Printf.sprintf "instance %s" (digest inst) then
       err "certificate is for a different instance"
     else check_v2 inst rest
+  | "gdpn-cert 3" :: digest_line :: model_line :: sets_line :: witnesses ->
+    if digest_line <> Printf.sprintf "instance %s" (digest inst) then
+      err "certificate is for a different instance"
+    else check_v3 inst model_line sets_line witnesses
   | header :: digest_line :: sets_line :: witnesses -> (
     if header <> "gdpn-cert 1" then err "bad header %S" header
     else if digest_line <> Printf.sprintf "instance %s" (digest inst) then

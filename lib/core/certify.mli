@@ -65,11 +65,33 @@ val generate_orbits :
     the group is trivial.  Raises [Failure] if a representative has no
     pipeline. *)
 
+val generate_model :
+  ?solve:(faults:Gdpn_graph.Bitset.t -> Reconfig.outcome) ->
+  Fault_model.t ->
+  string
+(** Model-naming (v3) certificate: the flat enumeration lifted to a fault
+    model's universe, fault elements in the model's element syntax
+    (node ["3"], link ["2-5"], colour class ["c4"], neighborhood ["n7"]):
+
+    {v
+    gdpn-cert 3
+    instance <hex digest>
+    model <node|mixed|colored|neighbor>
+    sets <count>
+    w <e1,e2,..>|<n1 n2 ..>
+    v}
+
+    The checker rebuilds the model from its declared name (universe
+    indexing is canonical), so witnesses are validated against the
+    link-degraded instance with no search and no trust in the generator.
+    Raises [Failure] if some fault set has no pipeline. *)
+
 val check : Instance.t -> string -> (int, string) result
-(** Validate a certificate (either format, dispatched on the header)
-    against an instance: digest match, complete enumeration — directly in
-    v1, by orbit expansion and counting in v2 — and every witness valid
-    for its fault set.  Returns the number of fault sets certified. *)
+(** Validate a certificate (any format, dispatched on the header) against
+    an instance: digest match, complete enumeration — directly in v1 and
+    v3, by orbit expansion and counting in v2 — and every witness valid
+    for its fault set (against the link-degraded instance in v3).
+    Returns the number of fault sets certified. *)
 
 val digest : Instance.t -> string
 (** Hex digest of the instance's canonical serialization. *)

@@ -1,3 +1,10 @@
+(* Thin wrapper over the mixed node+link fault model.  This module used
+   to carry its own degradation and solver loop; Fault_model now owns the
+   universe encoding, the degraded-instance cache and the graceful solve,
+   leaving only the Hayes endpoint-killing fallback (a *degraded* mode
+   the generalized verifier deliberately does not offer) and the survey
+   bookkeeping here. *)
+
 module Graph = Gdpn_graph.Graph
 module Bitset = Gdpn_graph.Bitset
 module Combinat = Gdpn_graph.Combinat
@@ -10,44 +17,43 @@ type outcome =
   | No_pipeline
   | Gave_up
 
-let norm (u, v) = if u < v then (u, v) else (v, u)
-
 let degrade inst ~links =
-  let g = inst.Instance.graph in
-  let links = List.map norm links in
-  List.iter
-    (fun (u, v) ->
-      if not (Graph.adjacent g u v) then
-        invalid_arg "Link_faults.degrade: not an edge of the instance")
-    links;
-  let b = Graph.builder (Graph.order g) in
-  List.iter
-    (fun e -> if not (List.mem (norm e) links) then Graph.add_edge b (fst e) (snd e))
-    (Graph.edges g);
-  Instance.make ~graph:(Graph.freeze b)
-    ~kind:(Array.init (Instance.order inst) (Instance.kind_of inst))
-    ~n:inst.Instance.n ~k:inst.Instance.k
-    ~name:(inst.Instance.name ^ " [degraded]")
-    ~strategy:Instance.Generic
+  try Fault_model.degrade_links inst ~links
+  with Invalid_argument _ ->
+    invalid_arg "Link_faults.degrade: not an edge of the instance"
 
-let split faults =
-  List.partition_map
-    (function Node v -> Left v | Link (u, v) -> Right (norm (u, v)))
-    faults
+let to_mask model faults =
+  let usize = Fault_model.size model in
+  let mask = Bitset.create usize in
+  List.iter
+    (fun f ->
+      let e =
+        match f with
+        | Node v -> Fault_model.Node v
+        | Link (u, v) -> Fault_model.Link (u, v)
+      in
+      match Fault_model.index_of model e with
+      | Some i -> Bitset.add mask i
+      | None ->
+        invalid_arg "Link_faults.solve: not a node or edge of the instance")
+    faults;
+  mask
 
-let solve ?budget inst ~faults =
-  let nodes, links = split faults in
-  let weakened = if links = [] then inst else degrade inst ~links in
-  match Reconfig.solve_list ?budget weakened ~faults:nodes with
+(* Graceful first through the model; on a miss with link faults present,
+   the Hayes reduction: kill one endpoint per faulty link, over all
+   choices — the space is tiny (2^L).  A returned pipeline avoids the
+   killed processors, so it also avoids every faulty link. *)
+let solve_mask ?budget ?ctx model mask =
+  match Fault_model.solve ?budget ?ctx model ~faults:mask with
   | Reconfig.Pipeline p -> Graceful p
   | Reconfig.Gave_up -> Gave_up
-  | Reconfig.No_pipeline ->
+  | Reconfig.No_pipeline -> (
+    let node_mask, links = Fault_model.decompose model mask in
     if links = [] then No_pipeline
     else begin
-      (* Hayes reduction: kill one endpoint per faulty link, over all
-         choices, most-sharing choices first is unnecessary — the space is
-         tiny (2^L).  A returned pipeline avoids the killed processors, so
-         it also avoids every faulty link. *)
+      let weakened, _ = Fault_model.effective model mask in
+      let order = Instance.order weakened in
+      let nodes = Bitset.elements node_mask in
       let rec choices = function
         | [] -> [ [] ]
         | (u, v) :: rest ->
@@ -58,7 +64,8 @@ let solve ?budget inst ~faults =
         List.filter_map
           (fun killed ->
             match
-              Reconfig.solve_list ?budget weakened ~faults:(nodes @ killed)
+              Reconfig.solve ?budget ?ctx weakened
+                ~faults:(Bitset.of_list order (nodes @ killed))
             with
             | Reconfig.Pipeline p -> Some p
             | Reconfig.No_pipeline | Reconfig.Gave_up -> None)
@@ -77,7 +84,18 @@ let solve ?budget inst ~faults =
             (List.hd ps) (List.tl ps)
         in
         Degraded best
-    end
+    end)
+
+let solve ?budget ?ctx ?model inst ~faults =
+  let model =
+    match model with
+    | Some m ->
+      if not (Fault_model.instance m == inst) then
+        invalid_arg "Link_faults.solve: model built over a different instance";
+      m
+    | None -> Fault_model.mixed inst
+  in
+  solve_mask ?budget ?ctx model (to_mask model faults)
 
 type survey = {
   fault_sets : int;
@@ -88,23 +106,26 @@ type survey = {
 }
 
 let survey_exhaustive ?budget inst =
-  let order = Instance.order inst in
-  let edges = Graph.edges inst.Instance.graph in
-  let universe =
-    Array.append
-      (Array.init order (fun v -> Node v))
-      (Array.of_list (List.map (fun (u, v) -> Link (u, v)) edges))
-  in
+  (* One model (hence one degraded-instance cache) and one search context
+     serve the whole survey: consecutive fault sets keep re-deriving the
+     same handful of degraded graphs. *)
+  let model = Fault_model.mixed inst in
+  let usize = Fault_model.size model in
   let k = inst.Instance.k in
+  let ctx = Reconfig.make_ctx inst in
+  let mask = Bitset.create usize in
   let total = ref 0 in
   let graceful = ref 0 in
   let degraded = ref 0 in
   let lost = ref 0 in
   let min_procs = ref max_int in
-  Combinat.iter_subsets_up_to (Array.length universe) k (fun buf len ->
+  Combinat.iter_subsets_up_to usize k (fun buf len ->
       incr total;
-      let faults = List.init len (fun i -> universe.(buf.(i))) in
-      match solve ?budget inst ~faults with
+      Bitset.clear mask;
+      for i = 0 to len - 1 do
+        Bitset.add mask buf.(i)
+      done;
+      match solve_mask ?budget ~ctx model mask with
       | Graceful p ->
         incr graceful;
         min_procs := min !min_procs (Pipeline.processor_count p)

@@ -19,7 +19,12 @@
     between two processors whose remaining connectivity cannot absorb a
     detour forces the degraded mode.  They {e are} degradedly tolerant of
     any [<= k] mixed faults, which [solve] realises constructively by
-    searching over endpoint-killing choices. *)
+    searching over endpoint-killing choices.
+
+    Since the introduction of {!Fault_model} this module is a thin wrapper
+    over the mixed node+link model: the universe encoding, link
+    degradation and the graceful solve live there; only the Hayes
+    fallback and the survey bookkeeping remain here. *)
 
 type fault =
   | Node of int
@@ -39,10 +44,21 @@ val degrade : Instance.t -> links:(int * int) list -> Instance.t
     reset to the generic solver, since structural shortcuts assume the full
     edge set).  Unknown edges raise [Invalid_argument]. *)
 
-val solve : ?budget:int -> Instance.t -> faults:fault list -> outcome
-(** Try graceful first; fall back to the Hayes reduction over all
-    endpoint-killing choices (at most [2^L] graceful solves for [L] link
-    faults). *)
+val solve :
+  ?budget:int ->
+  ?ctx:Gdpn_graph.Hamilton.ctx ->
+  ?model:Fault_model.t ->
+  Instance.t ->
+  faults:fault list ->
+  outcome
+(** Try graceful first ({!Fault_model.solve} on the mixed model); fall
+    back to the Hayes reduction over all endpoint-killing choices (at most
+    [2^L] graceful solves for [L] link faults).  [ctx] threads a
+    persistent search context through every solve, graceful and fallback
+    alike — link degradation preserves the node order, so one ctx serves
+    all degraded instances.  [model] shares a prebuilt mixed model (and
+    hence its degraded-instance cache) across calls; it must be built
+    over [inst] ([Invalid_argument] otherwise). *)
 
 type survey = {
   fault_sets : int;

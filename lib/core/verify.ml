@@ -157,12 +157,48 @@ let merge_tagged ~max_failures ~counts per_source =
 let check_fault_set ?budget inst faults =
   check_mask ?budget inst (Bitset.of_list (Instance.order inst) faults)
 
-let run_checks ?budget ?solve ?(max_failures = 5) inst iter_sets =
+(* ------------------------------------------------------------------ *)
+(* Enumeration cores                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Every exhaustive strategy below is written once, against this record
+   of checking closures over an abstract element universe: the node path
+   instantiates it with {!solve_checked}/{!splice_checked} on the
+   instance (element = node id), the generalized path with the
+   {!Fault_model}-aware twins further down (element = universe index).
+   Sharing one body is what makes "node reports stay byte-identical
+   through the refactor" a structural property rather than a testing
+   aspiration — the model twins short-circuit to the very same solver
+   and patch calls when the model is the node model. *)
+type core = {
+  c_mask : Bitset.t;  (* scratch fault mask over the element id space *)
+  c_full : Bitset.t -> (Pipeline.t, string) result;
+  c_splice :
+    reported:bool ->
+    parent:(Pipeline.t, string) result ->
+    Bitset.t ->
+    int ->
+    (Pipeline.t, string) result;
+}
+
+let core_check core mask =
+  Metrics.incr m_solver_calls;
+  Result.map ignore (core.c_full mask)
+
+let node_core ?budget ?solve inst =
+  {
+    c_mask = Bitset.create (Instance.order inst);
+    c_full = (fun mask -> solve_checked ?budget ?solve inst mask);
+    c_splice =
+      (fun ~reported ~parent mask failed ->
+        splice_checked ?budget ?solve ~reported inst ~parent ~mask ~failed);
+  }
+
+let run_checks_core core ~max_failures iter_sets =
   let checked = ref 0 in
   let failures = ref [] in
   let gave_up = ref 0 in
-  let order = Instance.order inst in
-  let mask = Bitset.create order in
+  let mask = core.c_mask in
   let exception Stop in
   (try
      iter_sets (fun (buf : int array) (len : int) ->
@@ -171,7 +207,7 @@ let run_checks ?budget ?solve ?(max_failures = 5) inst iter_sets =
            Bitset.add mask buf.(i)
          done;
          incr checked;
-         (match check_mask ?budget ?solve inst mask with
+         (match core_check core mask with
          | Ok () -> ()
          | Error reason ->
            if reason = "solver gave up" then incr gave_up;
@@ -188,23 +224,21 @@ let run_checks ?budget ?solve ?(max_failures = 5) inst iter_sets =
     gave_up = !gave_up;
   }
 
+let run_checks ?budget ?solve ?(max_failures = 5) inst iter_sets =
+  run_checks_core (node_core ?budget ?solve inst) ~max_failures iter_sets
+
 (* Orbit-reduced exhaustive mode: check one representative per orbit of
    the symmetry group and scale every count by the orbit size.  Sound
    because the group's elements preserve fault-set solvability (label
    automorphisms map pipelines to pipelines; a reversal maps them to
    reversed pipelines, which the definition also admits), so all members
    of an orbit share the representative's outcome. *)
-let exhaustive_orbits ?budget ?solve ?(max_failures = 5) ?universe group inst =
-  let order = Instance.order inst in
-  if Auto.degree group <> order then
-    invalid_arg "Verify.exhaustive: symmetry group degree <> instance order";
-  let universe = Option.map Array.of_list universe in
-  let reps = Auto.fault_orbits ?universe group ~max_size:inst.Instance.k in
+let orbits_core core ~max_failures reps =
   let checked = ref 0 in
   let calls = ref 0 in
   let gave_up = ref 0 in
   let failures = ref [] in
-  let mask = Bitset.create order in
+  let mask = core.c_mask in
   let exception Stop in
   (try
      Array.iter
@@ -215,7 +249,7 @@ let exhaustive_orbits ?budget ?solve ?(max_failures = 5) ?universe group inst =
          incr calls;
          Metrics.incr m_orbits_checked;
          Metrics.add m_calls_saved (size - 1);
-         match check_mask ?budget ?solve inst mask with
+         match core_check core mask with
          | Ok () -> ()
          | Error reason ->
            if reason = "solver gave up" then gave_up := !gave_up + size;
@@ -231,6 +265,13 @@ let exhaustive_orbits ?budget ?solve ?(max_failures = 5) ?universe group inst =
     gave_up = !gave_up;
   }
 
+let exhaustive_orbits ?budget ?solve ?(max_failures = 5) ?universe group inst =
+  if Auto.degree group <> Instance.order inst then
+    invalid_arg "Verify.exhaustive: symmetry group degree <> instance order";
+  let universe = Option.map Array.of_list universe in
+  let reps = Auto.fault_orbits ?universe group ~max_size:inst.Instance.k in
+  orbits_core (node_core ?budget ?solve inst) ~max_failures reps
+
 (* Prefix-tree (DFS) exhaustive mode: walk the subset tree maintaining a
    per-branch stack of solved plans, so the child S ∪ {v} is first
    patched from S's pipeline and only solved from scratch when the splice
@@ -239,37 +280,37 @@ let exhaustive_orbits ?budget ?solve ?(max_failures = 5) ?universe group inst =
    member outranks the worst kept failure is pruned (strict descendants
    have strictly larger size, hence strictly larger size-major rank, so
    the sequential early stop would never have reached them). *)
-let exhaustive_dfs ?budget ?solve ?(max_failures = 5) ~nodes inst =
-  let u = Array.length nodes in
-  let k = Stdlib.min inst.Instance.k u in
+let dfs_core core ~max_failures ~elts ~k =
+  let u = Array.length elts in
+  let k = Stdlib.min k u in
   let total = Combinat.count_up_to u k in
-  let mask = Bitset.create (Instance.order inst) in
+  let mask = core.c_mask in
   let plans = Array.make (k + 1) (Error "unsolved") in
   let kept = Topk.create max_failures in
   let cutoff = ref max_int in
   let enter buf len =
-    if len > 0 then Bitset.add mask nodes.(buf.(len - 1));
+    if len > 0 then Bitset.add mask elts.(buf.(len - 1));
     if !cutoff < max_int && Combinat.rank_of_subset u buf len > !cutoff then
       false
     else begin
       let r =
-        if len = 0 then solve_checked ?budget ?solve inst mask
+        if len = 0 then core.c_full mask
         else
-          splice_checked ?budget ?solve inst ~parent:plans.(len - 1) ~mask
-            ~failed:nodes.(buf.(len - 1))
+          core.c_splice ~reported:true ~parent:plans.(len - 1) mask
+            elts.(buf.(len - 1))
       in
       plans.(len) <- r;
       (match r with
       | Ok _ -> ()
       | Error reason ->
         let rank = Combinat.rank_of_subset u buf len in
-        let faults = List.init len (fun i -> nodes.(buf.(i))) in
+        let faults = List.init len (fun i -> elts.(buf.(i))) in
         Topk.insert kept ~rank { faults; reason; orbit = 1 };
         if Topk.full kept then cutoff := Topk.max_rank kept);
       true
     end
   in
-  let leave buf len = if len > 0 then Bitset.remove mask nodes.(buf.(len - 1)) in
+  let leave buf len = if len > 0 then Bitset.remove mask elts.(buf.(len - 1)) in
   Combinat.iter_subsets_dfs u k ~enter ~leave;
   let counts = function Some r -> (r + 1, r + 1) | None -> (total, total) in
   let report = merge_tagged ~max_failures ~counts [ Topk.to_list kept ] in
@@ -279,6 +320,10 @@ let exhaustive_dfs ?budget ?solve ?(max_failures = 5) ~nodes inst =
   Metrics.add m_solver_calls report.solver_calls;
   report
 
+let exhaustive_dfs ?budget ?solve ?(max_failures = 5) ~nodes inst =
+  dfs_core (node_core ?budget ?solve inst) ~max_failures ~elts:nodes
+    ~k:inst.Instance.k
+
 (* Orbit-reduced mode with splicing: representatives arrive in
    size-ascending min-lex order, so consecutive sets share prefixes.  A
    chain of solved prefixes ([elts]/[res]) is popped to the longest
@@ -286,24 +331,14 @@ let exhaustive_dfs ?budget ?solve ?(max_failures = 5) ~nodes inst =
    ancestor seeds each patch attempt; prefixes that are not themselves
    being reported are scaffold pushes.  Accounting (counts, metrics,
    early stop) is exactly the from-scratch orbit path's. *)
-let exhaustive_orbits_splice ?budget ?solve ?(max_failures = 5) ?universe
-    group inst =
-  let order = Instance.order inst in
-  if Auto.degree group <> order then
-    invalid_arg "Verify.exhaustive: symmetry group degree <> instance order";
-  let universe = Option.map Array.of_list universe in
-  let reps = Auto.fault_orbits ?universe group ~max_size:inst.Instance.k in
-  let k = inst.Instance.k in
-  let mask = Bitset.create order in
+let orbits_splice_core core ~max_failures ~k reps =
+  let mask = core.c_mask in
   let elts = Array.make (Stdlib.max 1 k) (-1) in
   let res = Array.make (k + 1) (Error "unsolved") in
   let len = ref (-1) in
   let push ~reported e =
     Bitset.add mask e;
-    let r =
-      splice_checked ?budget ?solve ~reported inst ~parent:res.(!len) ~mask
-        ~failed:e
-    in
+    let r = core.c_splice ~reported ~parent:res.(!len) mask e in
     elts.(!len) <- e;
     res.(!len + 1) <- r;
     incr len;
@@ -312,7 +347,7 @@ let exhaustive_orbits_splice ?budget ?solve ?(max_failures = 5) ?universe
   let check_rep set m =
     if m = 0 then begin
       if !len < 0 then begin
-        res.(0) <- solve_checked ?budget ?solve inst mask;
+        res.(0) <- core.c_full mask;
         len := 0
       end;
       res.(0)
@@ -321,7 +356,7 @@ let exhaustive_orbits_splice ?budget ?solve ?(max_failures = 5) ?universe
       if !len < 0 then begin
         (* Lazy root: the empty set solved once as scaffold. *)
         Metrics.incr m_scaffold_solves;
-        res.(0) <- solve_checked ?budget ?solve inst mask;
+        res.(0) <- core.c_full mask;
         len := 0
       end;
       let lcp = ref 0 in
@@ -366,6 +401,16 @@ let exhaustive_orbits_splice ?budget ?solve ?(max_failures = 5) ?universe
     failures = List.rev !failures;
     gave_up = !gave_up;
   }
+
+let exhaustive_orbits_splice ?budget ?solve ?(max_failures = 5) ?universe
+    group inst =
+  if Auto.degree group <> Instance.order inst then
+    invalid_arg "Verify.exhaustive: symmetry group degree <> instance order";
+  let universe = Option.map Array.of_list universe in
+  let reps = Auto.fault_orbits ?universe group ~max_size:inst.Instance.k in
+  orbits_splice_core
+    (node_core ?budget ?solve inst)
+    ~max_failures ~k:inst.Instance.k reps
 
 let exhaustive ?budget ?solve ?max_failures ?universe ?symmetry
     ?(splice = true) inst =
@@ -419,6 +464,119 @@ let sampled ~rng ~trials ?budget ?solve ?max_failures inst =
         let buf = Combinat.sample_up_to rng order k in
         f buf (Array.length buf)
       done)
+
+(* ------------------------------------------------------------------ *)
+(* Generalized fault models                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Model-aware twins of {!solve_checked}/{!check_mask}/{!splice_checked}:
+   same metric cells, same revalidation discipline, with {!Fault_model}
+   supplying the degraded instance and the local repair rule.  For the
+   node model every call short-circuits to the legacy helper's exact
+   code path (same solver entry, same patch rule, same validator), which
+   is what keeps the [_model] entry points byte-identical to the legacy
+   ones there — the equivalence tests and the CI crosscheck enforce it. *)
+let solve_checked_model ?budget ?solve model mask =
+  let outcome =
+    match solve with
+    | Some f -> f ~faults:mask
+    | None -> Fault_model.solve ?budget model ~faults:mask
+  in
+  match outcome with
+  | Reconfig.Pipeline p -> (
+    match Fault_model.validate model ~faults:mask p.Pipeline.nodes with
+    | Ok _ -> Ok p
+    | Error e -> Error ("invalid witness: " ^ e))
+  | Reconfig.No_pipeline -> Error "no pipeline"
+  | Reconfig.Gave_up -> Error "solver gave up"
+
+let check_mask_model ?budget ?solve model mask =
+  Metrics.incr m_solver_calls;
+  Result.map ignore (solve_checked_model ?budget ?solve model mask)
+
+let splice_checked_model ?budget ?solve ?(reported = true) model ~parent
+    ~mask ~failed =
+  match parent with
+  | Ok current -> (
+    match Fault_model.splice model ~current ~faults:mask ~failed with
+    | Some (`Unchanged p | `Spliced p) ->
+      if reported then Metrics.incr m_splices;
+      Ok p
+    | None ->
+      if reported then Metrics.incr m_splice_failures
+      else Metrics.incr m_scaffold_solves;
+      solve_checked_model ?budget ?solve model mask)
+  | Error _ ->
+    if not reported then Metrics.incr m_scaffold_solves;
+    solve_checked_model ?budget ?solve model mask
+
+let model_core ?budget ?solve model =
+  {
+    c_mask = Bitset.create (Fault_model.size model);
+    c_full = (fun mask -> solve_checked_model ?budget ?solve model mask);
+    c_splice =
+      (fun ~reported ~parent mask failed ->
+        splice_checked_model ?budget ?solve ~reported model ~parent ~mask
+          ~failed);
+  }
+
+let exhaustive_model ?budget ?solve ?(max_failures = 5) ?universe ?symmetry
+    ?(splice = true) model =
+  let usize = Fault_model.size model in
+  let k = Fault_model.max_faults model in
+  let core = model_core ?budget ?solve model in
+  (* The caller hands the instance's node group; its action on the
+     model's universe is what the orbit machinery needs. *)
+  let induced = Option.map (Fault_model.induced_symmetry model) symmetry in
+  match induced with
+  | Some group when not (Auto.is_trivial group) ->
+    let universe = Option.map Array.of_list universe in
+    let reps = Auto.fault_orbits ?universe group ~max_size:k in
+    if splice then orbits_splice_core core ~max_failures ~k reps
+    else orbits_core core ~max_failures reps
+  | Some _ | None when splice ->
+    let elts =
+      match universe with
+      | None -> Array.init usize Fun.id
+      | Some l -> Array.of_list l
+    in
+    dfs_core core ~max_failures ~elts ~k
+  | Some _ | None -> (
+    match universe with
+    | None ->
+      run_checks_core core ~max_failures (fun f ->
+          Combinat.iter_subsets_up_to usize k (fun buf len -> f buf len))
+    | Some l ->
+      let elts = Array.of_list l in
+      let translated = Array.make (Array.length elts) 0 in
+      run_checks_core core ~max_failures (fun f ->
+          Combinat.iter_subsets_up_to (Array.length elts) k (fun buf len ->
+              for i = 0 to len - 1 do
+                translated.(i) <- elts.(buf.(i))
+              done;
+              f translated len)))
+
+let sampled_model ~rng ~trials ?budget ?solve ?(max_failures = 5) model =
+  let usize = Fault_model.size model in
+  let k = Fault_model.max_faults model in
+  run_checks_core
+    (model_core ?budget ?solve model)
+    ~max_failures
+    (fun f ->
+      for _ = 1 to trials do
+        let buf = Combinat.sample_up_to rng usize k in
+        f buf (Array.length buf)
+      done)
+
+let check_model_set ?budget model indices =
+  let usize = Fault_model.size model in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= usize then
+        invalid_arg "Verify.check_model_set: universe index out of range")
+    indices;
+  Metrics.incr m_solver_calls;
+  solve_checked_model ?budget model (Bitset.of_list usize indices)
 
 let exhaustive_parallel ?budget ?(max_failures = 5) ?domains inst =
   let order = Instance.order inst in

@@ -188,3 +188,80 @@ val merge_tagged :
     into orbit-expanded totals. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Generalized fault models}
+
+    Model-parametric twins of the node entry points: fault sets are
+    subsets of the model's universe ({!Fault_model.size} elements), so
+    [failure.faults] holds universe {e indices} (render with
+    {!Fault_model.describe}).  All four strategies — plain, splice-first
+    DFS, orbit-reduced from scratch, orbit-reduced with splicing — share
+    their enumeration bodies with the legacy path, and for the node model
+    ({!Fault_model.node}) each produces a report byte-identical to its
+    legacy twin (enforced by the equivalence tests and the CI
+    crosscheck). *)
+
+val exhaustive_model :
+  ?budget:int ->
+  ?solve:(faults:Gdpn_graph.Bitset.t -> Reconfig.outcome) ->
+  ?max_failures:int ->
+  ?universe:int list ->
+  ?symmetry:Gdpn_graph.Auto.group ->
+  ?splice:bool ->
+  Fault_model.t ->
+  report
+(** {!exhaustive} over the model's universe.  [universe] is a list of
+    universe indices (default: the whole universe).  [symmetry] is the
+    {e node} symmetry group (typically
+    [Instance.symmetry (Fault_model.instance m)]); its action on the
+    universe is derived via {!Fault_model.induced_symmetry}, so
+    orbit-reduced enumeration works for links, colour classes and
+    neighborhoods exactly as for nodes.  [solve] overrides the per-set
+    solver (the engine passes its context-reusing, cache-aware solver);
+    witnesses are revalidated against the degraded instance regardless. *)
+
+val sampled_model :
+  rng:Random.State.t ->
+  trials:int ->
+  ?budget:int ->
+  ?solve:(faults:Gdpn_graph.Bitset.t -> Reconfig.outcome) ->
+  ?max_failures:int ->
+  Fault_model.t ->
+  report
+(** {!sampled} over the model's universe. *)
+
+val check_model_set :
+  ?budget:int -> Fault_model.t -> int list -> (Pipeline.t, string) result
+(** Check one explicit fault set given as universe indices, keeping the
+    witness pipeline (the CLI's [--faults] debugging aid).  Raises
+    [Invalid_argument] on an out-of-range index. *)
+
+val solve_checked_model :
+  ?budget:int ->
+  ?solve:(faults:Gdpn_graph.Bitset.t -> Reconfig.outcome) ->
+  Fault_model.t ->
+  Gdpn_graph.Bitset.t ->
+  (Pipeline.t, string) result
+(** {!solve_checked} against a model: solve through
+    {!Fault_model.solve}, revalidate the witness on the degraded
+    instance.  Like its twin, does not touch [verify.solver_calls]. *)
+
+val check_mask_model :
+  ?budget:int ->
+  ?solve:(faults:Gdpn_graph.Bitset.t -> Reconfig.outcome) ->
+  Fault_model.t ->
+  Gdpn_graph.Bitset.t ->
+  (unit, string) result
+
+val splice_checked_model :
+  ?budget:int ->
+  ?solve:(faults:Gdpn_graph.Bitset.t -> Reconfig.outcome) ->
+  ?reported:bool ->
+  Fault_model.t ->
+  parent:(Pipeline.t, string) result ->
+  mask:Gdpn_graph.Bitset.t ->
+  failed:int ->
+  (Pipeline.t, string) result
+(** {!splice_checked} against a model: local repair via
+    {!Fault_model.splice} ([failed] is a universe index), full solve on
+    splice failure.  Metric cells match the legacy twin. *)

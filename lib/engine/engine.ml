@@ -54,6 +54,15 @@ type stats = {
 let fresh_stats () =
   { lookups = 0; cache_hits = 0; splices = 0; full_solves = 0 }
 
+(* One plan cache per fault model, created on first use; the node model
+   (id 0) owns the engine's primary table so the legacy hot path never
+   pays the extra indirection.  Masks from different models never meet in
+   one table, so the effective cache key is [(model id, mask)]. *)
+type model_cache = {
+  mc_cache : Reconfig.outcome Masks.t;
+  mc_scratch : Bitset.t;  (* predecessor-mask scratch, universe-sized *)
+}
+
 type t = {
   inst : Instance.t;
   budget : int;
@@ -62,6 +71,7 @@ type t = {
   cache_limit : int;
   stats : stats;
   scratch : Bitset.t;  (** predecessor-mask scratch for the splice probe *)
+  model_caches : (int, model_cache) Hashtbl.t;
 }
 
 let default_budget = 2_000_000
@@ -77,6 +87,7 @@ let create ?(budget = default_budget) ?(cache_limit = default_cache_limit)
     cache_limit;
     stats = fresh_stats ();
     scratch = Bitset.create (Instance.order inst);
+    model_caches = Hashtbl.create 4;
   }
 
 let instance t = t.inst
@@ -86,6 +97,7 @@ let cache_size t = Masks.length t.cache
 
 let reset t =
   Masks.reset t.cache;
+  Hashtbl.reset t.model_caches;
   t.stats.lookups <- 0;
   t.stats.cache_hits <- 0;
   t.stats.splices <- 0;
@@ -177,6 +189,93 @@ let solve_child t ~parent ~faults ~failed =
     full_solve t ~faults
 
 (* ------------------------------------------------------------------ *)
+(* Generalized fault models                                            *)
+(* ------------------------------------------------------------------ *)
+
+let require_same_instance t model name =
+  if not (Fault_model.instance model == t.inst) then
+    invalid_arg (name ^ ": model built over a different instance")
+
+let model_cache t model =
+  let id = Fault_model.id model in
+  match Hashtbl.find_opt t.model_caches id with
+  | Some mc -> mc
+  | None ->
+    let mc =
+      {
+        mc_cache = Masks.create 256;
+        mc_scratch = Bitset.create (Fault_model.size model);
+      }
+    in
+    Hashtbl.replace t.model_caches id mc;
+    mc
+
+let full_solve_model t model ~faults =
+  t.stats.full_solves <- t.stats.full_solves + 1;
+  Metrics.incr m_full_solves;
+  Fault_model.solve ~budget:t.budget ~ctx:t.ctx model ~faults
+
+(* The splice-before-solve cache probe, over universe elements: a cached
+   plan for [faults \ {e}] is repaired around element [e] when the
+   model's local rule applies (node patch, or revalidate-unchanged for
+   link-like elements). *)
+let splice_from_cache_model t mc model ~faults =
+  let exception Found of Reconfig.outcome in
+  try
+    Bitset.iter
+      (fun e ->
+        Bitset.blit ~src:faults ~dst:mc.mc_scratch;
+        Bitset.remove mc.mc_scratch e;
+        match Masks.find_opt mc.mc_cache mc.mc_scratch with
+        | Some (Reconfig.Pipeline current) -> (
+          match Fault_model.splice model ~current ~faults ~failed:e with
+          | Some (`Unchanged p) | Some (`Spliced p) ->
+            t.stats.splices <- t.stats.splices + 1;
+            Metrics.incr m_splices;
+            raise (Found (Reconfig.Pipeline p))
+          | None -> ())
+        | Some (Reconfig.No_pipeline | Reconfig.Gave_up) | None -> ())
+      faults;
+    None
+  with Found o -> Some o
+
+let solve_model ?(cache = true) t model ~faults =
+  require_same_instance t model "Engine.solve_model";
+  if Fault_model.is_node model then solve ~cache t ~faults
+  else if not cache then full_solve_model t model ~faults
+  else begin
+    t.stats.lookups <- t.stats.lookups + 1;
+    let mc = model_cache t model in
+    match Masks.find_opt mc.mc_cache faults with
+    | Some outcome ->
+      t.stats.cache_hits <- t.stats.cache_hits + 1;
+      Metrics.incr m_cache_hits;
+      outcome
+    | None ->
+      Metrics.incr m_cache_misses;
+      let start = Mclock.now_ns () in
+      let outcome =
+        match splice_from_cache_model t mc model ~faults with
+        | Some o -> o
+        | None -> full_solve_model t model ~faults
+      in
+      if Masks.length mc.mc_cache < t.cache_limit then
+        Masks.add mc.mc_cache (Bitset.copy faults) outcome
+      else Metrics.incr m_cache_evictions;
+      let dur = Mclock.now_ns () - start in
+      Metrics.observe h_solve_miss dur;
+      if Span.enabled () then
+        Span.emit ~name:"engine.solve"
+          ~attrs:
+            [
+              ("faults", Span.Int (Bitset.cardinal faults));
+              ("model", Span.Int (Fault_model.id model));
+            ]
+          ~start_ns:start ~dur_ns:dur ();
+      outcome
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Engine-backed workloads                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -194,14 +293,41 @@ let verify_sampled ~seed ~trials ?max_failures t =
         ~solve:(fun ~faults -> solve ~cache:false t ~faults)
         ?max_failures t.inst)
 
+let verify_exhaustive_model ?max_failures ?universe ?symmetry ?splice t model
+    =
+  require_same_instance t model "Engine.verify_exhaustive_model";
+  Metrics.time h_verify (fun () ->
+      Verify.exhaustive_model ~budget:t.budget
+        ~solve:(fun ~faults -> solve_model ~cache:false t model ~faults)
+        ?max_failures ?universe ?symmetry ?splice model)
+
+let verify_sampled_model ~seed ~trials ?max_failures t model =
+  require_same_instance t model "Engine.verify_sampled_model";
+  Metrics.time h_verify (fun () ->
+      Verify.sampled_model
+        ~rng:(Random.State.make [| seed |])
+        ~trials ~budget:t.budget
+        ~solve:(fun ~faults -> solve_model ~cache:false t model ~faults)
+        ?max_failures model)
+
 let certify ?(symmetry = true) t =
   let solve ~faults = solve t ~faults in
   if symmetry then
     Certify.generate_orbits ~solve ~symmetry:(Instance.symmetry t.inst) t.inst
   else Certify.generate ~solve t.inst
 
-let attack ~rng ?restarts t =
-  Attack.worst_case ~rng ?restarts ~budget:(min t.budget 500_000) t.inst
+let certify_model t model =
+  require_same_instance t model "Engine.certify_model";
+  Certify.generate_model
+    ~solve:(fun ~faults -> solve_model t model ~faults)
+    model
+
+let attack ~rng ?restarts ?model t =
+  (match model with
+  | Some m -> require_same_instance t m "Engine.attack"
+  | None -> ());
+  Attack.worst_case ~rng ?restarts ?model ~budget:(min t.budget 500_000)
+    t.inst
 
 let pp_stats ppf s =
   Format.fprintf ppf "lookups=%d hits=%d splices=%d solves=%d" s.lookups
@@ -359,8 +485,13 @@ module Parallel = struct
      maintainer: every reported check is a from-scratch solve and
      scaffold pushes cost nothing. *)
   type chain = {
-    c_inst : Instance.t;
-    c_solve : faults:Bitset.t -> Reconfig.outcome;
+    c_full : Bitset.t -> (Pipeline.t, string) result;
+    c_patch :
+      reported:bool ->
+      parent:(Pipeline.t, string) result ->
+      Bitset.t ->
+      int ->
+      (Pipeline.t, string) result;
     c_splice : bool;
     c_mask : Bitset.t;
     c_elts : int array;
@@ -368,11 +499,17 @@ module Parallel = struct
     mutable c_len : int;
   }
 
+  (* Chains are built from closures so the node path and the fault-model
+     path share every line of the sharded walks: the node maker wires in
+     {!Verify.solve_checked}/{!Verify.splice_checked} on the instance,
+     the model maker their [_model] twins on the universe. *)
   let chain_make ~splice inst solve =
     let k = inst.Instance.k in
     {
-      c_inst = inst;
-      c_solve = solve;
+      c_full = (fun mask -> Verify.solve_checked ~solve inst mask);
+      c_patch =
+        (fun ~reported ~parent mask failed ->
+          Verify.splice_checked ~solve ~reported inst ~parent ~mask ~failed);
       c_splice = splice;
       c_mask = Bitset.create (Instance.order inst);
       c_elts = Array.make (Stdlib.max 1 k) (-1);
@@ -380,7 +517,22 @@ module Parallel = struct
       c_len = -1;
     }
 
-  let chain_solve ch = Verify.solve_checked ~solve:ch.c_solve ch.c_inst ch.c_mask
+  let chain_make_model ~splice model solve =
+    let k = Fault_model.max_faults model in
+    {
+      c_full = (fun mask -> Verify.solve_checked_model ~solve model mask);
+      c_patch =
+        (fun ~reported ~parent mask failed ->
+          Verify.splice_checked_model ~solve ~reported model ~parent ~mask
+            ~failed);
+      c_splice = splice;
+      c_mask = Bitset.create (Fault_model.size model);
+      c_elts = Array.make (Stdlib.max 1 k) (-1);
+      c_res = Array.make (k + 1) (Error "unsolved");
+      c_len = -1;
+    }
+
+  let chain_solve ch = ch.c_full ch.c_mask
 
   (* Ensure the empty set has a plan (scaffold — the empty set is
      reported by whichever unit covers rank 0). *)
@@ -397,8 +549,7 @@ module Parallel = struct
     Bitset.add ch.c_mask e;
     let r =
       if ch.c_splice then
-        Verify.splice_checked ~solve:ch.c_solve ~reported ch.c_inst
-          ~parent:ch.c_res.(ch.c_len) ~mask:ch.c_mask ~failed:e
+        ch.c_patch ~reported ~parent:ch.c_res.(ch.c_len) ch.c_mask e
       else if reported then chain_solve ch
       else Error "unsolved"
     in
@@ -430,12 +581,14 @@ module Parallel = struct
      [make_process ~solve ~record ~cutoff] builds the per-domain unit
      processor ([record] feeds the domain's rank-tagged failure buffer and
      propagates the early-stop cutoff; [cutoff ()] reads the current safe
-     bound).  [est_items] is the caller's fault-set-count estimate; when
-     it divides out to fewer than [min_items_per_domain] items per domain,
-     the call runs serially on the calling domain (identical report, no
-     spawn cost).  Returns the merged report. *)
-  let run_sharded ?budget ~max_failures ~domains ~min_items_per_domain
-      ~est_items ~counts ~nunits inst make_process =
+     bound).  [mk_solve] builds the per-domain solver (called on the
+     worker domain, so domain-local ctx caching applies).  [est_items] is
+     the caller's fault-set-count estimate; when it divides out to fewer
+     than [min_items_per_domain] items per domain, the call runs serially
+     on the calling domain (identical report, no spawn cost).  Returns
+     the merged report. *)
+  let run_sharded ~max_failures ~domains ~min_items_per_domain ~est_items
+      ~counts ~nunits ~mk_solve make_process =
     let cap = Stdlib.max 1 max_failures in
     let domains =
       if domains > 1 && est_items / domains < min_items_per_domain then 1
@@ -456,8 +609,7 @@ module Parallel = struct
     in
     let run_domain me () =
       let shard_start = Mclock.now_ns () in
-      let ctx = Reconfig.cached_ctx inst in
-      let solve ~faults = Reconfig.solve ?budget ~ctx inst ~faults in
+      let solve = mk_solve () in
       let kept = Verify.Topk.create cap in
       let record ~rank failure =
         Verify.Topk.insert kept ~rank failure;
@@ -513,10 +665,8 @@ module Parallel = struct
      one element per representative; ranks are representative indices and
      [counts] translates them back into orbit-expanded totals via prefix
      sums. *)
-  let verify_exhaustive_orbits ?budget ~max_failures ~domains
-      ~min_items_per_domain ~splice group inst =
-    let k = inst.Instance.k in
-    let reps = Auto.fault_orbits group ~max_size:k in
+  let orbits_sharded ~max_failures ~domains ~min_items_per_domain ~reps
+      ~mk_solve ~mk_chain =
     let nreps = Array.length reps in
     let prefix = Array.make (nreps + 1) 0 in
     for i = 0 to nreps - 1 do
@@ -528,10 +678,10 @@ module Parallel = struct
     in
     let chunk = Stdlib.max 1 (nreps / (domains * 8)) in
     let nunits = (nreps + chunk - 1) / chunk in
-    run_sharded ?budget ~max_failures ~domains ~min_items_per_domain
-      ~est_items:nreps ~counts ~nunits inst
+    run_sharded ~max_failures ~domains ~min_items_per_domain
+      ~est_items:nreps ~counts ~nunits ~mk_solve
       (fun ~solve ~record ~cutoff ->
-        let ch = chain_make ~splice inst solve in
+        let ch = mk_chain solve in
         fun u ->
           let start = u * chunk in
           for i = start to Stdlib.min (start + chunk - 1) (nreps - 1) do
@@ -587,22 +737,21 @@ module Parallel = struct
     in
     Array.of_list (Shallow :: roots)
 
-  let verify_exhaustive_plain ?budget ~max_failures ~domains
-      ~min_items_per_domain ~splice inst =
-    let order = Instance.order inst in
-    let k = Stdlib.min inst.Instance.k order in
-    let total = Combinat.count_up_to order k in
-    let units = plain_units ~order ~k in
+  let plain_sharded ~max_failures ~domains ~min_items_per_domain ~usize ~k
+      ~mk_solve ~mk_chain =
+    let k = Stdlib.min k usize in
+    let total = Combinat.count_up_to usize k in
+    let units = plain_units ~order:usize ~k in
     let counts = function Some r -> (r + 1, r + 1) | None -> (total, total) in
     let d = Stdlib.min k 2 in
     let report =
-      run_sharded ?budget ~max_failures ~domains ~min_items_per_domain
-        ~est_items:total ~counts ~nunits:(Array.length units) inst
+      run_sharded ~max_failures ~domains ~min_items_per_domain
+        ~est_items:total ~counts ~nunits:(Array.length units) ~mk_solve
         (fun ~solve ~record ~cutoff ->
-          let ch = chain_make ~splice inst solve in
+          let ch = mk_chain solve in
           let fail buf len reason =
             record
-              ~rank:(Combinat.rank_of_subset order buf len)
+              ~rank:(Combinat.rank_of_subset usize buf len)
               {
                 Verify.faults = Array.to_list (Array.sub buf 0 len);
                 reason;
@@ -622,7 +771,7 @@ module Parallel = struct
             | Error reason ->
               record ~rank:0 { Verify.faults = []; reason; orbit = 1 });
             if d >= 2 then
-              for v = 0 to order - 1 do
+              for v = 0 to usize - 1 do
                 let co = cutoff () in
                 if not (co < max_int && 1 + v > co) then begin
                   (match chain_push ch ~reported:true v with
@@ -635,16 +784,16 @@ module Parallel = struct
           let process_rooted prefix =
             let dd = Array.length prefix in
             let co0 = cutoff () in
-            if co0 < max_int && Combinat.rank_of_subset order prefix dd > co0
+            if co0 < max_int && Combinat.rank_of_subset usize prefix dd > co0
             then ()
             else begin
               chain_align ch prefix (dd - 1);
-              Combinat.iter_subsets_dfs ~root:prefix order k
+              Combinat.iter_subsets_dfs ~root:prefix usize k
                 ~enter:(fun buf len ->
                   let e = buf.(len - 1) in
                   let co = cutoff () in
                   if
-                    co < max_int && Combinat.rank_of_subset order buf len > co
+                    co < max_int && Combinat.rank_of_subset usize buf len > co
                   then begin
                     (* Pruned: push a placeholder so [leave]'s pop pairs
                        up; no child ever reads it. *)
@@ -674,44 +823,67 @@ module Parallel = struct
     Metrics.add m_v_solver_calls report.Verify.solver_calls;
     report
 
+  let resolve_min_items = function
+    | Some m -> Stdlib.max 0 m
+    | None -> default_min_items_per_domain ()
+
+  let node_mk_solve ?budget inst () =
+    let ctx = Reconfig.cached_ctx inst in
+    fun ~faults -> Reconfig.solve ?budget ~ctx inst ~faults
+
+  (* One ctx serves the base instance and every link-degraded one: ctx
+     scratch is sized by graph order, which degradation preserves. *)
+  let model_mk_solve ?budget model () =
+    let ctx = Reconfig.cached_ctx (Fault_model.instance model) in
+    fun ~faults -> Fault_model.solve ?budget ~ctx model ~faults
+
   let verify_exhaustive ?budget ?(max_failures = 5) ?domains
       ?min_items_per_domain ?symmetry ?(splice = true) inst =
     let order = Instance.order inst in
     let domains = resolve_domains domains in
-    let min_items_per_domain =
-      match min_items_per_domain with
-      | Some m -> Stdlib.max 0 m
-      | None -> default_min_items_per_domain ()
-    in
+    let min_items_per_domain = resolve_min_items min_items_per_domain in
+    let mk_solve = node_mk_solve ?budget inst in
+    let mk_chain solve = chain_make ~splice inst solve in
     match symmetry with
     | Some group when not (Auto.is_trivial group) ->
       if Auto.degree group <> order then
         invalid_arg
           "Engine.Parallel.verify_exhaustive: symmetry degree <> order";
-      verify_exhaustive_orbits ?budget ~max_failures ~domains
-        ~min_items_per_domain ~splice group inst
+      let reps = Auto.fault_orbits group ~max_size:inst.Instance.k in
+      orbits_sharded ~max_failures ~domains ~min_items_per_domain ~reps
+        ~mk_solve ~mk_chain
     | Some _ | None ->
-      verify_exhaustive_plain ?budget ~max_failures ~domains
-        ~min_items_per_domain ~splice inst
+      plain_sharded ~max_failures ~domains ~min_items_per_domain
+        ~usize:order ~k:inst.Instance.k ~mk_solve ~mk_chain
 
-  let verify_sampled ~seed ~trials ?budget ?(max_failures = 5) ?domains
-      ?min_items_per_domain inst =
-    let order = Instance.order inst in
-    let k = inst.Instance.k in
+  let verify_exhaustive_model ?budget ?(max_failures = 5) ?domains
+      ?min_items_per_domain ?symmetry ?(splice = true) model =
+    let usize = Fault_model.size model in
     let domains = resolve_domains domains in
-    let min_items_per_domain =
-      match min_items_per_domain with
-      | Some m -> Stdlib.max 0 m
-      | None -> default_min_items_per_domain ()
-    in
-    (* Draw the whole trial sequence up front on one RNG — byte-identical
-       to the sequential [Verify.sampled] stream for the same seed — then
-       shard only the solving.  Sampled sets share no prefix structure,
-       so there is no chain: each trial is checked from scratch. *)
+    let min_items_per_domain = resolve_min_items min_items_per_domain in
+    let mk_solve = model_mk_solve ?budget model in
+    let mk_chain solve = chain_make_model ~splice model solve in
+    let k = Fault_model.max_faults model in
+    let induced = Option.map (Fault_model.induced_symmetry model) symmetry in
+    match induced with
+    | Some group when not (Auto.is_trivial group) ->
+      let reps = Auto.fault_orbits group ~max_size:k in
+      orbits_sharded ~max_failures ~domains ~min_items_per_domain ~reps
+        ~mk_solve ~mk_chain
+    | Some _ | None ->
+      plain_sharded ~max_failures ~domains ~min_items_per_domain ~usize ~k
+        ~mk_solve ~mk_chain
+
+  (* Draw the whole trial sequence up front on one RNG — byte-identical
+     to the sequential sampled stream for the same seed — then shard only
+     the solving.  Sampled sets share no prefix structure, so there is no
+     chain: each trial is checked from scratch. *)
+  let sampled_sharded ~seed ~trials ~max_failures ~domains
+      ~min_items_per_domain ~usize ~k ~mk_solve ~check =
     let rng = Random.State.make [| seed |] in
     let sets = Array.make trials [||] in
     for i = 0 to trials - 1 do
-      sets.(i) <- Combinat.sample_up_to rng order k
+      sets.(i) <- Combinat.sample_up_to rng usize k
     done;
     let chunk = Stdlib.max 1 (trials / (domains * 8)) in
     let nunits = (trials + chunk - 1) / chunk in
@@ -719,10 +891,10 @@ module Parallel = struct
       | Some r -> (r + 1, r + 1)
       | None -> (trials, trials)
     in
-    run_sharded ?budget ~max_failures ~domains ~min_items_per_domain
-      ~est_items:trials ~counts ~nunits inst
+    run_sharded ~max_failures ~domains ~min_items_per_domain
+      ~est_items:trials ~counts ~nunits ~mk_solve
       (fun ~solve ~record ~cutoff ->
-        let mask = Bitset.create order in
+        let mask = Bitset.create usize in
         fun u ->
           let start = u * chunk in
           for i = start to Stdlib.min (start + chunk - 1) (trials - 1) do
@@ -733,11 +905,31 @@ module Parallel = struct
               for j = 0 to len - 1 do
                 Bitset.add mask buf.(j)
               done;
-              match Verify.check_mask ?budget ~solve inst mask with
+              match check ~solve mask with
               | Ok () -> ()
               | Error reason ->
                 record ~rank:i
                   { Verify.faults = Array.to_list buf; reason; orbit = 1 }
             end
           done)
+
+  let verify_sampled ~seed ~trials ?budget ?(max_failures = 5) ?domains
+      ?min_items_per_domain inst =
+    sampled_sharded ~seed ~trials ~max_failures
+      ~domains:(resolve_domains domains)
+      ~min_items_per_domain:(resolve_min_items min_items_per_domain)
+      ~usize:(Instance.order inst) ~k:inst.Instance.k
+      ~mk_solve:(node_mk_solve ?budget inst)
+      ~check:(fun ~solve mask -> Verify.check_mask ?budget ~solve inst mask)
+
+  let verify_sampled_model ~seed ~trials ?budget ?(max_failures = 5) ?domains
+      ?min_items_per_domain model =
+    sampled_sharded ~seed ~trials ~max_failures
+      ~domains:(resolve_domains domains)
+      ~min_items_per_domain:(resolve_min_items min_items_per_domain)
+      ~usize:(Fault_model.size model)
+      ~k:(Fault_model.max_faults model)
+      ~mk_solve:(model_mk_solve ?budget model)
+      ~check:(fun ~solve mask ->
+        Verify.check_mask_model ?budget ~solve model mask)
 end

@@ -70,6 +70,20 @@ val solve_child :
     always at hand — unlike {!solve}'s cache probe, it never has to guess
     which predecessor might be cached. *)
 
+val solve_model :
+  ?cache:bool ->
+  t ->
+  Gdpn_core.Fault_model.t ->
+  faults:Gdpn_graph.Bitset.t ->
+  Gdpn_core.Reconfig.outcome
+(** {!solve} generalized to a fault model built over this engine's
+    instance ([Invalid_argument] otherwise): [faults] is a mask over the
+    model's universe, plans are cached per model — the effective key is
+    [(Fault_model.id, mask)] — and the splice probe repairs cached
+    one-element-smaller predecessors through the model's local rule.  The
+    node model takes the legacy {!solve} path unchanged (same cache, same
+    counters, zero extra cost). *)
+
 val stats : t -> stats
 val cache_size : t -> int
 
@@ -94,6 +108,27 @@ val verify_sampled :
     parameters, which would correlate the fault-sample sequences of
     same-order instances. *)
 
+val verify_exhaustive_model :
+  ?max_failures:int ->
+  ?universe:int list ->
+  ?symmetry:Gdpn_graph.Auto.group ->
+  ?splice:bool ->
+  t ->
+  Gdpn_core.Fault_model.t ->
+  Gdpn_core.Verify.report
+(** {!Gdpn_core.Verify.exhaustive_model} through the engine's ctx and
+    model-keyed plan cache (uncached checks, as in {!verify_exhaustive}).
+    [symmetry] is the node group; the induced action on the model's
+    universe drives orbit reduction. *)
+
+val verify_sampled_model :
+  seed:int ->
+  trials:int ->
+  ?max_failures:int ->
+  t ->
+  Gdpn_core.Fault_model.t ->
+  Gdpn_core.Verify.report
+
 val certify : ?symmetry:bool -> t -> string
 (** Certificate generation through the cached solver: witnesses for
     size-[s] fault sets are spliced from their cached size-[s-1]
@@ -103,9 +138,21 @@ val certify : ?symmetry:bool -> t -> string
     ({!Gdpn_core.Certify.generate_orbits}); pass [~symmetry:false] to
     force the flat v1 enumeration. *)
 
-val attack : rng:Random.State.t -> ?restarts:int -> t -> Gdpn_core.Attack.finding
+val certify_model : t -> Gdpn_core.Fault_model.t -> string
+(** Model-naming (v3) certificate through the cached model solver
+    ({!Gdpn_core.Certify.generate_model}): witnesses splice from cached
+    one-element-smaller predecessors whenever the model's local repair
+    rule applies. *)
+
+val attack :
+  rng:Random.State.t ->
+  ?restarts:int ->
+  ?model:Gdpn_core.Fault_model.t ->
+  t ->
+  Gdpn_core.Attack.finding
 (** {!Gdpn_core.Attack.worst_case} on this engine's instance (the attack
-    probes measure the {e generic} solver and manage their own ctx). *)
+    probes measure the {e generic} solver and manage their own ctx).
+    With [model], best-response search over the model's universe. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 
@@ -180,4 +227,32 @@ module Parallel : sig
       [seed] on one RNG (byte-identical to the sequential stream), then
       only the solving is sharded.  [min_items_per_domain] as in
       {!verify_exhaustive}. *)
+
+  val verify_exhaustive_model :
+    ?budget:int ->
+    ?max_failures:int ->
+    ?domains:int ->
+    ?min_items_per_domain:int ->
+    ?symmetry:Gdpn_graph.Auto.group ->
+    ?splice:bool ->
+    Gdpn_core.Fault_model.t ->
+    Gdpn_core.Verify.report
+  (** {!verify_exhaustive} over a fault model's universe: the same
+      work-stealing shards and per-domain prefix chains, with the model
+      supplying the degraded instance and the local repair rule (the
+      model's degraded-instance cache is mutex-protected, so all domains
+      share one model).  [symmetry] is the {e node} group; its induced
+      action on the universe drives orbit-reduced sharding.  For the node
+      model the report is byte-identical to {!verify_exhaustive}. *)
+
+  val verify_sampled_model :
+    seed:int ->
+    trials:int ->
+    ?budget:int ->
+    ?max_failures:int ->
+    ?domains:int ->
+    ?min_items_per_domain:int ->
+    Gdpn_core.Fault_model.t ->
+    Gdpn_core.Verify.report
+  (** {!verify_sampled} over a fault model's universe. *)
 end

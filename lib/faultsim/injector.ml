@@ -24,6 +24,12 @@ let random ~rng inst ~count ~rounds =
   sort_schedule
     (List.map (fun node -> { round = Stream.Prng.int rng rounds; node }) nodes)
 
+let random_model ~rng model ~count ~rounds =
+  let usize = Fault_model.size model in
+  let elts = distinct_sample rng (List.init usize Fun.id) count in
+  sort_schedule
+    (List.map (fun node -> { round = Stream.Prng.int rng rounds; node }) elts)
+
 let random_processors_only ~rng inst ~count ~rounds =
   let nodes = distinct_sample rng (Instance.processors inst) count in
   sort_schedule

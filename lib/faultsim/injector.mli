@@ -15,6 +15,16 @@ val random :
 (** [count <= k] faults at uniformly random distinct nodes (terminals
     included) and uniformly random rounds. *)
 
+val random_model :
+  rng:Stream.Prng.t ->
+  Gdpn_core.Fault_model.t ->
+  count:int ->
+  rounds:int ->
+  schedule
+(** Like {!random} but over a generalized fault universe: events carry
+    distinct universe indices (nodes, links, colour classes,
+    neighborhoods) for a machine created with the same model. *)
+
 val random_processors_only :
   rng:Stream.Prng.t -> Gdpn_core.Instance.t -> count:int -> rounds:int -> schedule
 (** Like {!random} but only processor nodes fail (the merged-terminal

@@ -11,6 +11,8 @@ let m_lost = Metrics.counter "machine.streams_lost"
 
 type t = {
   engine : Engine.t;
+  model : Fault_model.t option;
+      (* when set, fault_mask/fault_list hold universe indices *)
   fault_mask : Bitset.t;
   local_repair : bool;
   mutable fault_list : int list;
@@ -31,7 +33,11 @@ let solver_budget = ref 2_000_000
    B8/E14 ablation baseline) — still on the engine's reusable ctx. *)
 let resolve t =
   let before = (Engine.stats t.engine).Engine.full_solves in
-  let outcome = Engine.solve ~cache:t.local_repair t.engine ~faults:t.fault_mask in
+  let outcome =
+    match t.model with
+    | Some m -> Engine.solve_model ~cache:t.local_repair t.engine m ~faults:t.fault_mask
+    | None -> Engine.solve ~cache:t.local_repair t.engine ~faults:t.fault_mask
+  in
   let solved_fully = (Engine.stats t.engine).Engine.full_solves > before in
   match outcome with
   | Reconfig.Pipeline p ->
@@ -41,7 +47,7 @@ let resolve t =
     t.current <- None;
     (None, not solved_fully)
 
-let create ?engine ?(local_repair = true) inst =
+let create ?engine ?(local_repair = true) ?model inst =
   let engine =
     match engine with
     | Some e ->
@@ -50,10 +56,20 @@ let create ?engine ?(local_repair = true) inst =
       e
     | None -> Engine.create ~budget:!solver_budget inst
   in
+  (match model with
+  | Some m when Fault_model.instance m != inst ->
+    invalid_arg "Machine.create: model built over a different instance"
+  | _ -> ());
+  let universe_size =
+    match model with
+    | Some m -> Fault_model.size m
+    | None -> Instance.order inst
+  in
   let t =
     {
       engine;
-      fault_mask = Bitset.create (Instance.order inst);
+      model;
+      fault_mask = Bitset.create universe_size;
       local_repair;
       fault_list = [];
       current = None;
@@ -66,15 +82,23 @@ let create ?engine ?(local_repair = true) inst =
 
 let instance t = Engine.instance t.engine
 let engine t = t.engine
+let model t = t.model
 let fault_count t = List.length t.fault_list
 let faults t = List.rev t.fault_list
 let remap_count t = t.remaps
 let pipeline t = t.current
 
 let healthy_processor_count t =
+  (* Under a generalized model only the node component of the fault set
+     kills processors; link/class faults degrade connectivity instead. *)
+  let node_mask =
+    match t.model with
+    | Some m -> fst (Fault_model.decompose m t.fault_mask)
+    | None -> t.fault_mask
+  in
   List.length
     (List.filter
-       (fun p -> not (Bitset.mem t.fault_mask p))
+       (fun p -> not (Bitset.mem node_mask p))
        (Instance.processors (instance t)))
 
 let used_processor_count t =
@@ -90,7 +114,12 @@ let local_repair_count t = t.local_repairs
 let plan_cache_hits t = (Engine.stats t.engine).Engine.cache_hits
 
 let inject t node =
-  if node < 0 || node >= Instance.order (instance t) then
+  let universe_size =
+    match t.model with
+    | Some m -> Fault_model.size m
+    | None -> Instance.order (instance t)
+  in
+  if node < 0 || node >= universe_size then
     invalid_arg "Machine.inject: node out of range";
   if Bitset.mem t.fault_mask node then Unchanged
   else begin

@@ -18,13 +18,22 @@ type inject_result =
   | Lost  (** no pipeline exists any more *)
 
 val create :
-  ?engine:Gdpn_engine.Engine.t -> ?local_repair:bool -> Gdpn_core.Instance.t -> t
+  ?engine:Gdpn_engine.Engine.t ->
+  ?local_repair:bool ->
+  ?model:Gdpn_core.Fault_model.t ->
+  Gdpn_core.Instance.t ->
+  t
 (** Fresh machine with no faults and the initial pipeline embedded.
     [engine] reuses an existing engine (and its warm plan cache) instead of
     building a fresh one — it must wrap the same instance.  [local_repair]
     (default true) enables the cached path in {!inject} (plan cache plus
     O(degree) splice); disable it to force full reconfiguration on every
-    fault (the B8/E14 ablation baseline). *)
+    fault (the B8/E14 ablation baseline).  [model] (built over [inst] —
+    [Invalid_argument] otherwise) runs the machine over a generalized
+    fault universe: {!inject} then takes universe indices (nodes, links,
+    colour classes, neighborhoods — see {!Gdpn_core.Fault_model}) and
+    reconfiguration goes through {!Gdpn_engine.Engine.solve_model}, so the
+    model-keyed plan cache and splice path apply. *)
 
 val instance : t -> Gdpn_core.Instance.t
 
@@ -32,7 +41,14 @@ val engine : t -> Gdpn_engine.Engine.t
 (** The engine this machine solves through (shared when [create ?engine]
     was used). *)
 
+val model : t -> Gdpn_core.Fault_model.t option
+(** The generalized fault model, when the machine was created with one. *)
+
 val fault_count : t -> int
+
+(** Injected faults in injection order: node ids without a model,
+    universe indices with one (render with
+    {!Gdpn_core.Fault_model.describe}). *)
 val faults : t -> int list
 val remap_count : t -> int
 
@@ -40,6 +56,9 @@ val pipeline : t -> Gdpn_core.Pipeline.t option
 (** Current embedding ([None] once lost). *)
 
 val healthy_processor_count : t -> int
+(** Processors not killed by a fault.  Under a generalized model only the
+    node component of the fault set counts: link/class faults degrade
+    connectivity without removing processors. *)
 
 val used_processor_count : t -> int
 (** Processors on the current pipeline — for the paper's constructions this
@@ -51,8 +70,9 @@ val utilization : t -> float
     processors are in use. *)
 
 val inject : t -> int -> inject_result
-(** Mark a node faulty and re-embed: first the O(degree) local patch
-    ({!Gdpn_core.Repair}), then the full strategy solver. *)
+(** Mark a node (or, with a model, a universe element) faulty and
+    re-embed: first the O(degree) local patch ({!Gdpn_core.Repair}), then
+    the full strategy solver. *)
 
 val local_repair_count : t -> int
 (** How many injections were absorbed without a full strategy-solver run —

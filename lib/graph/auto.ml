@@ -134,6 +134,24 @@ let automorphisms ?(colour = fun _ -> 0) g =
     { degree = n; gens = List.rev !gens; order = !order }
   end
 
+let of_generators ~degree ~order gens =
+  if degree < 0 then invalid_arg "Auto.of_generators: negative degree";
+  let moves_something p =
+    let moved = ref false in
+    Array.iteri (fun i v -> if i <> v then moved := true) p;
+    !moved
+  in
+  let gens =
+    List.filter
+      (fun p ->
+        if not (is_permutation p degree) then
+          invalid_arg "Auto.of_generators: not a permutation of the degree";
+        moves_something p)
+      gens
+  in
+  if gens = [] then trivial degree
+  else { degree; gens; order = Stdlib.max 1 order }
+
 let adjoin_involution g perm =
   if not (is_permutation perm g.degree) then
     invalid_arg "Auto.adjoin_involution: not a permutation of the degree";

@@ -23,6 +23,17 @@ val automorphisms : ?colour:(int -> int) -> Graph.t -> group
     isomorphism backtracker; intended for the few-dozen-node instances
     this repo verifies. *)
 
+val of_generators : degree:int -> order:int -> int array list -> group
+(** A group on [0..degree-1] from an explicit generator list (identity
+    generators are dropped; an empty list yields the trivial group).
+    Orbit computations ({!orbit_of_set}, {!fault_orbits}) are exact for
+    any generator set; [order] is recorded as given — callers building an
+    {e induced} action (e.g. node automorphisms acting on a fault-model
+    universe) pass the order of the acting group, an upper bound on the
+    image's order, which is all the orbit machinery needs.  Raises
+    [Invalid_argument] if a generator is not a permutation of the
+    degree. *)
+
 val adjoin_involution : group -> int array -> group
 (** [adjoin_involution g phi] extends [g] with one extra generator and
     doubles the reported order.
