@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke clean
+.PHONY: all build test check bench bench-smoke resume-smoke clean
 
 all: build
 
@@ -30,6 +30,16 @@ check: build test
 	GDPN_DOMAINS=2 dune exec bin/gdp.exe -- verify -n 5 -k 2 --faults "3,7,2-5"; test $$? -ne 2
 	GDPN_DOMAINS=2 dune exec bin/gdp.exe -- verify -n 8 -k 2 --symmetry --trace-out /tmp/gdpn-check-trace.jsonl
 	tail -1 /tmp/gdpn-check-trace.jsonl | grep -q '"snapshot"'
+	dune exec bin/gdp.exe -- verify -n 8 -k 2 --procs 2 --crosscheck
+	dune exec bin/gdp.exe -- verify -n 3 -k 5 --procs 2 --symmetry --crosscheck
+	$(MAKE) resume-smoke
+
+# Kill-and-resume smoke: SIGKILL a checkpointed G(30,4) verification
+# (149,986 fault sets, ~4 s) mid-run, resume it, and require the final
+# report to be identical to an uninterrupted run's (exit 3 on
+# divergence).
+resume-smoke: build
+	sh scripts/resume_smoke.sh 30 4 1.5
 
 bench:
 	dune exec bench/main.exe

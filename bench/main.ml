@@ -659,6 +659,52 @@ let b15_fault_model =
                   g13)));
     ]
 
+let b16_out_of_core =
+  (* Out-of-core task scheduler (PR 7).  The fused row drains the
+     orbit-representative stream re-ordered into DFS preorder, so each
+     representative splices from its nearest solved ancestor — against
+     its two standalone ancestors: orbit reduction with every
+     representative solved from scratch, and splice-first enumeration of
+     the full fault space.  The checkpointed row adds the write-through
+     cost (one framed append + flush per drained unit, 253 units on
+     G(3,5)).  All four rows produce the identical report by contract
+     (test_resume, gdp verify --crosscheck). *)
+  let module Engine = Gdpn_engine.Engine in
+  let module Task = Engine.Parallel.Task in
+  let module Checkpoint = Gdpn_engine.Checkpoint in
+  let g35 = Small_n.g3 ~k:5 in
+  let g35_sym = Instance.symmetry g35 in
+  let fused = Task.exhaustive ~symmetry:g35_sym g35 in
+  let orbit_only = Task.exhaustive ~symmetry:g35_sym ~splice:false g35 in
+  let splice_only = Task.exhaustive g35 in
+  Test.make_grouped ~name:"B16-out-of-core"
+    [
+      Test.make ~name:"G(3,5) fused orbit x splice task"
+        (Staged.stage (fun () ->
+             Sys.opaque_identity (Engine.Parallel.run_task ~domains:1 fused)));
+      Test.make ~name:"G(3,5) orbit-only, representatives from scratch"
+        (Staged.stage (fun () ->
+             Sys.opaque_identity
+               (Engine.Parallel.run_task ~domains:1 orbit_only)));
+      Test.make ~name:"G(3,5) splice-only, full enumeration"
+        (Staged.stage (fun () ->
+             Sys.opaque_identity
+               (Engine.Parallel.run_task ~domains:1 splice_only)));
+      Test.make ~name:"G(3,5) fused, checkpointed write-through"
+        (Staged.stage
+           (let path = Filename.temp_file "gdpn_b16" ".ckpt" in
+            at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+            fun () ->
+              let w =
+                Checkpoint.create ~path (Task.header fused ~max_failures:5)
+              in
+              let r =
+                Engine.Parallel.run_task ~domains:1 ~checkpoint:w fused
+              in
+              Checkpoint.close w;
+              Sys.opaque_identity r));
+    ]
+
 let groups =
   [
     ("B1-construction", b1_construction);
@@ -676,6 +722,7 @@ let groups =
     ("B13-kernel", b13_kernel);
     ("B14-splice", b14_splice);
     ("B15-fault-model", b15_fault_model);
+    ("B16-out-of-core", b16_out_of_core);
   ]
 
 type row = {
@@ -708,28 +755,40 @@ let run_benchmarks ?(only = "") () =
     let instances =
       Toolkit.Instance.[ monotonic_clock; minor_allocated ]
     in
-    let cfg =
-      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None
+    let analyze cfg tests =
+      if tests = [] then []
+      else begin
+        let raw =
+          Benchmark.all cfg instances (Test.make_grouped ~name:"gdpn" tests)
+        in
+        let times = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+        let allocs = Analyze.all ols Toolkit.Instance.minor_allocated raw in
+        Hashtbl.fold
+          (fun name r acc ->
+            {
+              row_name = name;
+              ns_per_run = estimate r;
+              minor_words_per_run =
+                Option.bind (Hashtbl.find_opt allocs name) estimate;
+              r2 = Analyze.OLS.r_square r;
+            }
+            :: acc)
+          times []
+      end
+    in
+    (* The discrete-event rows have per-run costs in the hundreds of µs
+       with a scheduling-heavy inner loop; at the default 0.5 s quota
+       their OLS fits were noise (r² ~0.2).  They get a 2 s quota of
+       their own — the other groups stay fast. *)
+    let is_slow (name, _) = name = "B10-discrete-event" in
+    let cfg_of quota =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None
         ~stabilize:false ()
     in
-    let raw =
-      Benchmark.all cfg instances
-        (Test.make_grouped ~name:"gdpn" (List.map snd selected))
-    in
-    let times = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-    let allocs = Analyze.all ols Toolkit.Instance.minor_allocated raw in
+    let fast, slow = List.partition (fun g -> not (is_slow g)) selected in
     let rows =
-      Hashtbl.fold
-        (fun name r acc ->
-          {
-            row_name = name;
-            ns_per_run = estimate r;
-            minor_words_per_run =
-              Option.bind (Hashtbl.find_opt allocs name) estimate;
-            r2 = Analyze.OLS.r_square r;
-          }
-          :: acc)
-        times []
+      analyze (cfg_of 0.5) (List.map snd fast)
+      @ analyze (cfg_of 2.0) (List.map snd slow)
     in
     let rows =
       List.sort (fun a b -> compare a.row_name b.row_name) rows
@@ -1095,6 +1154,239 @@ let print_adversary_sweep stats =
     stats
 
 (* ------------------------------------------------------------------ *)
+(* B16 companion: multi-process scaling and the scale wall (PR 7)      *)
+(* ------------------------------------------------------------------ *)
+
+(* The coordinator spawns `gdp verify-worker` children, so these rows
+   need the CLI binary on disk; GDPN_GDP overrides the default dune
+   layout path.  On a single-core host the per-procs rows measure
+   coordination overhead, not speedup — sets_per_s across procs is the
+   honest scaling record either way. *)
+let gdp_binary () =
+  match Sys.getenv_opt "GDPN_GDP" with
+  | Some p -> p
+  | None -> "_build/default/bin/gdp.exe"
+
+let worker_argv ~n ~k =
+  [|
+    gdp_binary (); "verify-worker"; "-n"; string_of_int n; "-k";
+    string_of_int k; "--model"; "node"; "--max-failures"; "5";
+  |]
+
+type procs_row = {
+  pr_label : string;
+  pr_procs : int;  (** 0 = in-process run_task (no workers) *)
+  pr_wall_ns : int;
+  pr_sets : int;
+  pr_sets_per_s : float;
+  pr_ipc_bytes : int;  (** coordinator<->worker bytes, both directions *)
+  pr_equal : bool;  (** report equals the sequential reference *)
+}
+
+let oocore_procs_rows () =
+  let module Engine = Gdpn_engine.Engine in
+  let module Task = Engine.Parallel.Task in
+  let module Mp = Gdpn_engine.Mp in
+  let module Metrics = Gdpn_obs.Metrics in
+  let module Mclock = Gdpn_obs.Mclock in
+  let n, k = (60, 3) in
+  let inst = Family.build ~n ~k in
+  let task = Task.exhaustive inst in
+  let reference = Verify.exhaustive inst in
+  let ipc = Metrics.counter "engine.ipc_bytes" in
+  let argv = worker_argv ~n ~k in
+  let row label procs f =
+    let i0 = Metrics.value ipc in
+    let t0 = Mclock.now_ns () in
+    let r = f () in
+    let wall = Stdlib.max 1 (Mclock.now_ns () - t0) in
+    {
+      pr_label = label;
+      pr_procs = procs;
+      pr_wall_ns = wall;
+      pr_sets = r.Verify.fault_sets_checked;
+      pr_sets_per_s =
+        float_of_int r.Verify.fault_sets_checked
+        /. (float_of_int wall /. 1e9);
+      pr_ipc_bytes = Metrics.value ipc - i0;
+      pr_equal = r = reference;
+    }
+  in
+  if not (Sys.file_exists (gdp_binary ())) then begin
+    pf "note: %s not found — skipping multi-process rows (build bin/gdp \
+        or set GDPN_GDP)@."
+      (gdp_binary ());
+    []
+  end
+  else
+    List.map
+      (fun (label, procs) ->
+        if procs = 0 then
+          row label 0 (fun () -> Engine.Parallel.run_task ~domains:1 task)
+        else row label procs (fun () -> Mp.run ~procs ~argv task))
+      [
+        ("G(60,3) in-process, 1 domain", 0); ("G(60,3) mp, 1 proc", 1);
+        ("G(60,3) mp, 2 procs", 2); ("G(60,3) mp, 4 procs", 4);
+      ]
+
+let print_procs_rows rows =
+  if rows <> [] then begin
+    pf "@.--- B16 companion: multi-process verification, G(60,3) (59712 \
+        sets) ---@.";
+    pf "%-34s %6s %12s %12s %12s %6s@." "row" "procs" "wall_ns" "sets/s"
+      "ipc_bytes" "=rep";
+    List.iter
+      (fun r ->
+        pf "%-34s %6d %12d %12.0f %12d %6b@." r.pr_label r.pr_procs
+          r.pr_wall_ns r.pr_sets_per_s r.pr_ipc_bytes r.pr_equal)
+      rows
+  end
+
+(* The scale wall itself: an instance two orders of magnitude past the
+   largest bechamel verification row (G(22,4), 66712 sets), verified once
+   through the checkpointed multi-process path, then re-verified from a
+   truncated copy of its own checkpoint — the resumed report must equal
+   the full run's.  Minutes of single-core wall clock, so it only runs
+   when GDPN_SCALE is set; the committed BENCH json carries the recorded
+   numbers. *)
+type scale_stat = {
+  sc_name : string;
+  sc_nodes : int;
+  sc_k : int;
+  sc_sets : int;
+  sc_units : int;
+  sc_procs : int;
+  sc_wall_ns : int;
+  sc_sets_per_s : float;
+  sc_ipc_bytes : int;
+  sc_ckpt_bytes : int;
+  sc_units_checkpointed : int;
+  sc_resume_units_kept : int;
+  sc_resume_wall_ns : int;
+  sc_resume_equal : bool;
+  sc_all_tolerated : bool;
+}
+
+let oocore_scale () =
+  if Sys.getenv_opt "GDPN_SCALE" = None then begin
+    pf "note: GDPN_SCALE not set — skipping the G(333,3) scale run \
+        (~an hour of single-core wall clock)@.";
+    None
+  end
+  else if not (Sys.file_exists (gdp_binary ())) then None
+  else begin
+    let module Engine = Gdpn_engine.Engine in
+    let module Task = Engine.Parallel.Task in
+    let module Mp = Gdpn_engine.Mp in
+    let module Checkpoint = Gdpn_engine.Checkpoint in
+    let module Metrics = Gdpn_obs.Metrics in
+    let module Mclock = Gdpn_obs.Mclock in
+    let n, k = (333, 3) in
+    let procs = 2 in
+    let inst = Family.build ~n ~k in
+    let task = Task.exhaustive inst in
+    let header = Task.header task ~max_failures:5 in
+    let nunits = Task.nunits task in
+    let argv = worker_argv ~n ~k in
+    let ipc = Metrics.counter "engine.ipc_bytes" in
+    let ckpt_units = Metrics.counter "verify.units_checkpointed" in
+    let path = Filename.temp_file "gdpn_scale" ".ckpt" in
+    let partial = Filename.temp_file "gdpn_scale_resume" ".ckpt" in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun p -> try Sys.remove p with Sys_error _ -> ())
+          [ path; partial ])
+    @@ fun () ->
+    pf "scale run: G(%d,%d), %d units, procs=%d (GDPN_SCALE)...@." n k
+      nunits procs;
+    let w = Checkpoint.create ~path header in
+    let i0 = Metrics.value ipc in
+    let c0 = Metrics.value ckpt_units in
+    let t0 = Mclock.now_ns () in
+    let report = Mp.run ~procs ~argv ~checkpoint:w task in
+    Checkpoint.close w;
+    let wall = Stdlib.max 1 (Mclock.now_ns () - t0) in
+    let ipc_bytes = Metrics.value ipc - i0 in
+    let units_checkpointed = Metrics.value ckpt_units - c0 in
+    let ckpt_bytes =
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      close_in ic;
+      n
+    in
+    (* Resume leg: keep the first ~70% of recorded units, drop the rest
+       — the shape an interrupted run leaves behind. *)
+    let loaded =
+      match Checkpoint.load ~path with
+      | Ok l -> l
+      | Error e -> failwith ("scale checkpoint unreadable: " ^ e)
+    in
+    let keep = 7 * nunits / 10 in
+    let w2 = Checkpoint.create ~path:partial header in
+    let kept = ref 0 in
+    for u = 0 to nunits - 1 do
+      if !kept < keep then
+        match Hashtbl.find_opt loaded.Checkpoint.l_results u with
+        | Some r ->
+          Checkpoint.append w2 r;
+          incr kept
+        | None -> ()
+    done;
+    Checkpoint.close w2;
+    let l2 =
+      match Checkpoint.load ~path:partial with
+      | Ok l -> l
+      | Error e -> failwith ("partial checkpoint unreadable: " ^ e)
+    in
+    let w3 = Checkpoint.open_append ~path:partial in
+    let t1 = Mclock.now_ns () in
+    let resumed_report =
+      Mp.run ~procs ~argv ~checkpoint:w3 ~resumed:l2.Checkpoint.l_results
+        task
+    in
+    Checkpoint.close w3;
+    let resume_wall = Stdlib.max 1 (Mclock.now_ns () - t1) in
+    Some
+      {
+        sc_name = Printf.sprintf "G(%d,%d)" n k;
+        sc_nodes = Instance.order inst;
+        sc_k = k;
+        sc_sets = report.Verify.fault_sets_checked;
+        sc_units = nunits;
+        sc_procs = procs;
+        sc_wall_ns = wall;
+        sc_sets_per_s =
+          float_of_int report.Verify.fault_sets_checked
+          /. (float_of_int wall /. 1e9);
+        sc_ipc_bytes = ipc_bytes;
+        sc_ckpt_bytes = ckpt_bytes;
+        sc_units_checkpointed = units_checkpointed;
+        sc_resume_units_kept = !kept;
+        sc_resume_wall_ns = resume_wall;
+        sc_resume_equal = resumed_report = report;
+        sc_all_tolerated = Verify.is_k_gd report;
+      }
+  end
+
+let print_scale = function
+  | None -> ()
+  | Some s ->
+    pf "@.--- B16 companion: the scale wall, checkpointed multi-process \
+        ---@.";
+    pf "%s: %d nodes, k=%d, %d fault sets over %d units, procs=%d@."
+      s.sc_name s.sc_nodes s.sc_k s.sc_sets s.sc_units s.sc_procs;
+    pf "full run: %.1f s (%.0f sets/s), ipc %d bytes, checkpoint %d \
+        bytes (%d units), all tolerated: %b@."
+      (float_of_int s.sc_wall_ns /. 1e9)
+      s.sc_sets_per_s s.sc_ipc_bytes s.sc_ckpt_bytes s.sc_units_checkpointed
+      s.sc_all_tolerated;
+    pf "resume from %d/%d units: %.1f s, report identical: %b@."
+      s.sc_resume_units_kept s.sc_units
+      (float_of_int s.sc_resume_wall_ns /. 1e9)
+      s.sc_resume_equal
+
+(* ------------------------------------------------------------------ *)
 (* JSON emission (hand-rolled: no JSON dependency in the image)        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1116,12 +1408,13 @@ let json_float = function
   | Some f when Float.is_finite f -> Printf.sprintf "%.6g" f
   | Some _ | None -> "null"
 
-let write_json ~path rows stats cmps splices fms advs =
+let write_json ~path rows stats cmps splices fms advs procs_rows scale =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"pr\": 6,\n";
+  Buffer.add_string buf "  \"pr\": 7,\n";
   Buffer.add_string buf
-    "  \"config\": {\"quota_s\": 0.5, \"limit\": 2000, \"bootstrap\": 0},\n";
+    "  \"config\": {\"quota_s\": 0.5, \"slow_quota_s\": 2.0, \"limit\": \
+     2000, \"bootstrap\": 0},\n";
   Buffer.add_string buf "  \"benchmarks\": [\n";
   List.iteri
     (fun i row ->
@@ -1222,6 +1515,40 @@ let write_json ~path rows stats cmps splices fms advs =
            (if i = List.length advs - 1 then "" else ",")))
     advs;
   Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"out_of_core\": {\n";
+  Buffer.add_string buf "    \"procs_rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      {\"row\": \"%s\", \"procs\": %d, \"wall_ns\": %d, \
+            \"fault_sets\": %d, \"sets_per_s\": %s, \"ipc_bytes\": %d, \
+            \"report_equal\": %b}%s\n"
+           (json_escape r.pr_label) r.pr_procs r.pr_wall_ns r.pr_sets
+           (json_float (Some r.pr_sets_per_s))
+           r.pr_ipc_bytes r.pr_equal
+           (if i = List.length procs_rows - 1 then "" else ",")))
+    procs_rows;
+  Buffer.add_string buf "    ],\n";
+  Buffer.add_string buf "    \"scale\": ";
+  (match scale with
+  | None -> Buffer.add_string buf "null\n"
+  | Some s ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"instance\": \"%s\", \"nodes\": %d, \"k\": %d, \"fault_sets\": \
+          %d, \"units\": %d, \"procs\": %d, \"wall_ns\": %d, \
+          \"sets_per_s\": %s, \"ipc_bytes\": %d, \"checkpoint_bytes\": %d, \
+          \"units_checkpointed\": %d, \"resume_units_kept\": %d, \
+          \"resume_wall_ns\": %d, \"resume_report_equal\": %b, \
+          \"all_tolerated\": %b}\n"
+         (json_escape s.sc_name) s.sc_nodes s.sc_k s.sc_sets s.sc_units
+         s.sc_procs s.sc_wall_ns
+         (json_float (Some s.sc_sets_per_s))
+         s.sc_ipc_bytes s.sc_ckpt_bytes s.sc_units_checkpointed
+         s.sc_resume_units_kept s.sc_resume_wall_ns s.sc_resume_equal
+         s.sc_all_tolerated));
+  Buffer.add_string buf "  },\n";
   (* Registry state accumulated over the whole benchmark run: solver and
      cache counters give the run a coarse self-audit (e.g. that the
      plan-cache rows actually hit the cache). *)
@@ -1230,20 +1557,28 @@ let write_json ~path rows stats cmps splices fms advs =
     (Gdpn_obs.Metrics.snapshot_to_json (Gdpn_obs.Metrics.snapshot ()));
   Buffer.add_string buf ",\n";
   Buffer.add_string buf
-    "  \"notes\": \"Generalized fault models (PR 6): verification, orbit \
-     reduction, the engine plan cache, parallel sharding and the \
-     adversary all run over a Fault_model universe (nodes, node+link \
-     mixed, per-node colour classes, closed neighborhoods) encoded as \
-     canonical integer indices so fault sets stay bitmasks. The \
-     generalized node model reuses the node-path enumeration cores, so \
-     its reports are byte-identical to the legacy path (B15's first two \
-     rows, and the CI crosscheck). fault_model_solver_calls shows the \
-     induced-symmetry orbit reduction on mixed universes; the paper's \
-     constructions are k-node-GD but not link-GD, so mixed exhaustive \
-     runs report genuine counterexamples. Earlier layers still measured \
-     here: prefix-tree splice-first verification with work-stealing \
-     shards (PR 5, splice_comparison), word-parallel Hamilton kernel \
-     (PR 4, kernel_comparison), orbit-reduced node verification (PR 2, \
+    "  \"notes\": \"Out-of-core verification (PR 7): exhaustive runs \
+     decompose into a canonical rank-tagged unit stream (Engine.Parallel.\
+     Task) that drains identically in-process, across domains, across \
+     gdp verify-worker child processes, and across SIGKILL/resume \
+     boundaries — out_of_core.procs_rows and the CI smoke check \
+     report_equal against the sequential path. out_of_core.scale is the \
+     headline: G(333,3) with 6,784,885 fault sets (101.7x the largest \
+     bechamel verification row, G(22,4) at 66,712) verified through the \
+     checkpointed 2-process path, then re-verified from a 70%-truncated \
+     copy of its own checkpoint with an identical report. This host has \
+     a single CPU core, so procs>1 rows measure coordination overhead \
+     (ipc_bytes), not parallel speedup — sets_per_s is the honest \
+     record. B16 isolates orbit x splice fusion on G(3,5): the fused \
+     task splices each of the 1,262 orbit representatives from its \
+     nearest solved DFS ancestor, vs solving representatives from \
+     scratch (orbit-only) or splicing all 21,700 sets (splice-only). \
+     B10-discrete-event now runs under a 2 s quota (slow_quota_s) to \
+     fix its r2~0.23 noise. Earlier layers still measured here: \
+     generalized fault models (PR 6, fault_model_solver_calls), \
+     prefix-tree splice-first verification with work-stealing shards \
+     (PR 5, splice_comparison), word-parallel Hamilton kernel (PR 4, \
+     kernel_comparison), orbit-reduced node verification (PR 2, \
      symmetry_solver_calls).\"\n";
   Buffer.add_string buf "}\n";
   let oc = open_out path in
@@ -1289,6 +1624,10 @@ let () =
     print_fault_model_stats fms;
     let advs = adversary_sweep () in
     print_adversary_sweep advs;
-    write_json ~path rows stats cmps splices fms advs
+    let procs_rows = oocore_procs_rows () in
+    print_procs_rows procs_rows;
+    let scale = oocore_scale () in
+    print_scale scale;
+    write_json ~path rows stats cmps splices fms advs procs_rows scale
   | None -> ());
   pf "@.done.@."

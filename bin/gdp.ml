@@ -244,6 +244,178 @@ let verify_model inst model ~sample ~domains ~seed ~symmetry ~crosscheck
   in
   if crosscheck_failed then 3 else if Verify.is_k_gd report then 0 else 1
 
+(* Out-of-core verification: --procs / --checkpoint / --resume route the
+   run through the first-class task decomposition
+   ([Engine.Parallel.Task]), optionally farmed over worker processes
+   ([Mp.run] spawning `gdp verify-worker` children) and/or streamed to a
+   resumable checkpoint file.  Both the resumed and the multi-process
+   reports are byte-identical to the sequential one — the deterministic
+   rank merge is the same in every topology — which --crosscheck verifies
+   directly (exit 3 on divergence). *)
+let verify_oocore inst model ~model_name ~n ~k ~domains ~procs ~ckpt_path
+    ~resume_path ~symmetry ~crosscheck ~no_splice ~sample ~merged =
+  let module Auto = Gdpn_graph.Auto in
+  let module Task = Engine.Parallel.Task in
+  let module Checkpoint = Gdpn_engine.Checkpoint in
+  let module Mp = Gdpn_engine.Mp in
+  if sample <> None then begin
+    pf "error: --procs/--checkpoint/--resume require exhaustive mode@.";
+    2
+  end
+  else if merged then begin
+    pf "error: --merged restricts the fault universe to the sequential \
+        path; it cannot be checkpointed or farmed over processes@.";
+    2
+  end
+  else if ckpt_path <> None && resume_path <> None then begin
+    pf "error: --resume already appends to its own file; give one of \
+        --checkpoint/--resume@.";
+    2
+  end
+  else begin
+    let max_failures = 5 in
+    let is_node = Fault_model.is_node model in
+    pf "%a@." Instance.pp inst;
+    if not is_node then
+      pf "fault model: %s (universe %d elements, sets of size <= %d)@."
+        (Fault_model.name model) (Fault_model.size model)
+        (Fault_model.max_faults model);
+    let group =
+      if symmetry then begin
+        let g = Instance.symmetry inst in
+        pf "symmetry: group order %d — orbit-reduced units in DFS preorder \
+            (orbit x splice fusion)@."
+          (Auto.order g);
+        Some g
+      end
+      else None
+    in
+    let task =
+      if is_node then
+        Task.exhaustive ?symmetry:group ~splice:(not no_splice) inst
+      else Task.exhaustive_model ?symmetry:group ~splice:(not no_splice) model
+    in
+    let header = Task.header task ~max_failures in
+    let nunits = Task.nunits task in
+    let resume_state =
+      match resume_path with
+      | None -> Ok None
+      | Some path -> (
+        match Checkpoint.load ~path with
+        | Error e -> Error e
+        | Ok l -> (
+          match
+            Checkpoint.check_header ~expected:header l.Checkpoint.l_header
+          with
+          | Error e -> Error e
+          | Ok () -> Ok (Some l)))
+    in
+    match resume_state with
+    | Error e ->
+      pf "error: cannot resume: %s@." e;
+      2
+    | Ok loaded ->
+      let resumed = Option.map (fun l -> l.Checkpoint.l_results) loaded in
+      Option.iter
+        (fun l ->
+          pf "resume: %d/%d units already recorded%s%s@."
+            (Hashtbl.length l.Checkpoint.l_results)
+            nunits
+            (if l.Checkpoint.l_duplicates > 0 then
+               Printf.sprintf ", %d duplicate records dropped"
+                 l.Checkpoint.l_duplicates
+             else "")
+            (if l.Checkpoint.l_torn_bytes > 0 then
+               Printf.sprintf ", %d torn trailing bytes discarded"
+                 l.Checkpoint.l_torn_bytes
+             else ""))
+        loaded;
+      let writer =
+        match (ckpt_path, resume_path) with
+        | Some path, _ -> Some (Checkpoint.create ~path header)
+        | None, Some path -> Some (Checkpoint.open_append ~path)
+        | None, None -> None
+      in
+      let run_report () =
+        Fun.protect
+          ~finally:(fun () -> Option.iter Checkpoint.close writer)
+        @@ fun () ->
+        if procs > 1 then begin
+          let argv =
+            Array.of_list
+              ([
+                 Sys.executable_name; "verify-worker"; "-n"; string_of_int n;
+                 "-k"; string_of_int k; "--model"; model_name;
+                 "--max-failures"; string_of_int max_failures;
+               ]
+              @ (if symmetry then [ "--symmetry" ] else [])
+              @ if no_splice then [ "--no-splice" ] else [])
+          in
+          pf "multi-process verification: procs=%d units=%d@." procs nunits;
+          Mp.run ~max_failures ~procs ~argv ?checkpoint:writer ?resumed task
+        end
+        else begin
+          let d =
+            match domains with
+            | Some d -> d
+            | None -> Engine.Parallel.default_domains ()
+          in
+          pf "checkpointed verification: domains=%d units=%d@." d nunits;
+          Engine.Parallel.run_task ~max_failures ~domains:d ?checkpoint:writer
+            ?resumed task
+        end
+      in
+      (match run_report () with
+      | exception Mp.Worker_died pid ->
+        pf "error: worker process %d died with a unit still assigned@." pid;
+        2
+      | report ->
+        (match ckpt_path with
+        | Some p -> pf "checkpoint: %s@." p
+        | None -> ());
+        (if is_node then pf "%a@." Verify.pp_report report
+         else
+           pf "checked %d fault sets: %s@." report.Verify.fault_sets_checked
+             (if Verify.is_k_gd report then "all tolerated"
+              else
+                Printf.sprintf "%d failures (first: %s — %s)"
+                  (List.length report.Verify.failures)
+                  (match report.Verify.failures with
+                  | f :: _ -> Fault_model.describe model f.Verify.faults
+                  | [] -> "?")
+                  (match report.Verify.failures with
+                  | f :: _ -> f.Verify.reason
+                  | [] -> "")));
+        if report.Verify.solver_calls < report.Verify.fault_sets_checked then
+          pf "orbit reduction: %d solver calls covered %d fault sets \
+              (%.1fx fewer)@."
+            report.Verify.solver_calls report.Verify.fault_sets_checked
+            (float_of_int report.Verify.fault_sets_checked
+            /. float_of_int (max 1 report.Verify.solver_calls));
+        let crosscheck_failed =
+          if crosscheck then begin
+            let seq =
+              if is_node then
+                Verify.exhaustive ~max_failures ?symmetry:group
+                  ~splice:(not no_splice) inst
+              else
+                Verify.exhaustive_model ~max_failures ?symmetry:group
+                  ~splice:(not no_splice) model
+            in
+            let agree = report = seq in
+            pf "crosscheck out-of-core vs sequential: %s (%d sets, %d \
+                solver calls)@."
+              (if agree then "PASS" else "FAIL")
+              seq.Verify.fault_sets_checked seq.Verify.solver_calls;
+            not agree
+          end
+          else false
+        in
+        if crosscheck_failed then 3
+        else if Verify.is_k_gd report then 0
+        else 1)
+  end
+
 let verify_cmd =
   let sample_arg =
     Arg.(value & opt (some int) None & info [ "sample" ] ~docv:"TRIALS"
@@ -277,6 +449,24 @@ let verify_cmd =
            ~doc:"Disable splice-first prefix-tree solving: every fault set \
                  is solved from scratch (the pre-splice behaviour; mainly \
                  for benchmarking and crosschecks).")
+  in
+  let procs_arg =
+    Arg.(value & opt int 0 & info [ "procs" ] ~docv:"P"
+           ~doc:"Farm the exhaustive enumeration over $(docv) worker \
+                 processes ($(b,gdp verify-worker) children over pipes). \
+                 The report is byte-identical to the sequential one.")
+  in
+  let checkpoint_arg =
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Append one compact binary record per drained work unit to \
+                 $(docv); an interrupted run resumes with $(b,--resume).")
+  in
+  let resume_arg =
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE"
+           ~doc:"Resume an interrupted $(b,--checkpoint) run: recorded \
+                 units are skipped, new ones keep appending to $(docv), \
+                 and the final report is byte-identical to an \
+                 uninterrupted run's (any --domains/--procs).")
   in
   let fault_set_arg =
     Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SET"
@@ -351,7 +541,7 @@ let verify_cmd =
           1))
   in
   let run n k merged model_name fault_spec sample domains seed symmetry
-      crosscheck no_splice trace_out =
+      crosscheck no_splice procs ckpt_path resume_path trace_out =
     with_trace trace_out @@ fun () ->
     let module Auto = Gdpn_graph.Auto in
     let inst = build_instance n k merged in
@@ -361,6 +551,9 @@ let verify_cmd =
       2
     | Ok model when fault_spec <> None ->
       check_fault_spec inst model (Option.get fault_spec)
+    | Ok model when procs > 1 || ckpt_path <> None || resume_path <> None ->
+      verify_oocore inst model ~model_name ~n ~k ~domains ~procs ~ckpt_path
+        ~resume_path ~symmetry ~crosscheck ~no_splice ~sample ~merged
     | Ok model when not (Fault_model.is_node model) ->
       verify_model inst model ~sample ~domains ~seed ~symmetry ~crosscheck
         ~no_splice ~merged
@@ -541,7 +734,54 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Verify k-graceful-degradability.")
     Term.(const run $ n_arg $ k_arg $ merged_arg $ model_arg $ fault_set_arg
           $ sample_arg $ domains_arg $ seed_arg $ symmetry_arg
-          $ crosscheck_arg $ no_splice_arg $ trace_out_arg)
+          $ crosscheck_arg $ no_splice_arg $ procs_arg $ checkpoint_arg
+          $ resume_arg $ trace_out_arg)
+
+(* -------------------- verify-worker -------------------- *)
+
+(* The child half of `gdp verify --procs`: rebuild the identical task
+   from the spec flags (the unit decomposition is canonical, so matching
+   specs guarantee matching unit arrays) and serve Codec-framed unit
+   assignments on stdin/stdout.  stdout carries protocol frames only —
+   this command never prints. *)
+let verify_worker_cmd =
+  let symmetry_arg =
+    Arg.(value & flag & info [ "symmetry" ]
+           ~doc:"Orbit-reduced decomposition (must match the coordinator).")
+  in
+  let no_splice_arg =
+    Arg.(value & flag & info [ "no-splice" ]
+           ~doc:"Solve every fault set from scratch.")
+  in
+  let max_failures_arg =
+    Arg.(value & opt int 5 & info [ "max-failures" ] ~docv:"M"
+           ~doc:"Per-unit recorded-entry cap (must match the coordinator).")
+  in
+  let run n k model_name symmetry no_splice max_failures =
+    let inst = Family.build ~n ~k in
+    match model_of_name inst model_name with
+    | Error e ->
+      prerr_endline ("verify-worker: " ^ e);
+      2
+    | Ok model ->
+      let group = if symmetry then Some (Instance.symmetry inst) else None in
+      let task =
+        if Fault_model.is_node model then
+          Engine.Parallel.Task.exhaustive ?symmetry:group
+            ~splice:(not no_splice) inst
+        else
+          Engine.Parallel.Task.exhaustive_model ?symmetry:group
+            ~splice:(not no_splice) model
+      in
+      Gdpn_engine.Mp.worker_main ~max_failures task;
+      0
+  in
+  Cmd.v
+    (Cmd.info "verify-worker"
+       ~doc:"(internal) Serve verification work units over stdin/stdout; \
+             spawned by $(b,gdp verify --procs).")
+    Term.(const run $ n_arg $ k_arg $ model_arg $ symmetry_arg
+          $ no_splice_arg $ max_failures_arg)
 
 (* -------------------- table -------------------- *)
 
@@ -702,28 +942,52 @@ let certify_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
            ~doc:"Destination certificate file.")
   in
-  let run n k file =
+  let stream_arg =
+    Arg.(value & flag & info [ "stream" ]
+           ~doc:"Stream a compact binary (v4) certificate record by record \
+                 as each fault set is solved, instead of accumulating the \
+                 whole text in memory — O(1) memory for arbitrarily large \
+                 fault spaces.  `gdp check-cert` validates both formats.")
+  in
+  let run n k stream file =
     let inst = Family.build ~n ~k in
     pf "%a@." Instance.pp inst;
     (* Through the engine: size-s witnesses splice from their cached
        size-(s-1) predecessors instead of re-running the solver. *)
     let engine = Engine.create inst in
-    (match Engine.certify engine with
-    | cert ->
-      let oc = open_out file in
-      output_string oc cert;
-      close_out oc;
-      pf "wrote %s (%d bytes); re-check with `gdp check-cert`@." file
-        (String.length cert);
-      0
-    | exception Failure msg ->
-      pf "cannot certify: %s@." msg;
-      1)
+    if stream then begin
+      let oc = open_out_bin file in
+      match Engine.certify_to engine oc with
+      | () ->
+        let size = out_channel_length oc in
+        close_out oc;
+        pf "wrote %s (%d bytes, streamed v4); re-check with `gdp \
+            check-cert`@."
+          file size;
+        0
+      | exception Failure msg ->
+        close_out oc;
+        (try Sys.remove file with Sys_error _ -> ());
+        pf "cannot certify: %s@." msg;
+        1
+    end
+    else
+      match Engine.certify engine with
+      | cert ->
+        let oc = open_out file in
+        output_string oc cert;
+        close_out oc;
+        pf "wrote %s (%d bytes); re-check with `gdp check-cert`@." file
+          (String.length cert);
+        0
+      | exception Failure msg ->
+        pf "cannot certify: %s@." msg;
+        1
   in
   Cmd.v
     (Cmd.info "certify"
        ~doc:"Emit a witness certificate of k-graceful-degradability.")
-    Term.(const run $ n_arg $ k_arg $ file_arg)
+    Term.(const run $ n_arg $ k_arg $ stream_arg $ file_arg)
 
 let check_cert_cmd =
   let file_arg =
@@ -1081,7 +1345,8 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [
-            build_cmd; solve_cmd; verify_cmd; table_cmd; compare_cmd;
+            build_cmd; solve_cmd; verify_cmd; verify_worker_cmd; table_cmd;
+            compare_cmd;
             simulate_cmd; figure_cmd; impossibility_cmd; links_cmd;
             tolerance_cmd; trace_cmd; save_cmd; check_cmd; survival_cmd;
             draw_cmd; bounds_cmd; console_cmd; plan_cmd; certify_cmd;

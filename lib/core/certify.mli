@@ -86,11 +86,35 @@ val generate_model :
     link-degraded instance with no search and no trust in the generator.
     Raises [Failure] if some fault set has no pipeline. *)
 
+val generate_to :
+  ?solve:(faults:Gdpn_graph.Bitset.t -> Reconfig.outcome) ->
+  out_channel ->
+  Instance.t ->
+  unit
+(** Streamed (v4, flat) certificate: like {!generate} but one compact
+    binary record per witness written straight to the channel — varint
+    fields, fault sets delta-encoded — so memory stays O(1) regardless of
+    fault-space size (the buffer-accumulating v1/v2 generators stop
+    scaling exactly where the checkpointed verifier starts).  Each record
+    bumps [certify.records_streamed].  Raises [Failure] as {!generate}. *)
+
+val generate_orbits_to :
+  ?solve:(faults:Gdpn_graph.Bitset.t -> Reconfig.outcome) ->
+  symmetry:Gdpn_graph.Auto.group ->
+  out_channel ->
+  Instance.t ->
+  unit
+(** Streamed (v4, orbit-compressed) certificate: {!generate_orbits}
+    semantics, one binary record per orbit witness.  Falls back to
+    {!generate_to} when the group is trivial. *)
+
 val check : Instance.t -> string -> (int, string) result
 (** Validate a certificate (any format, dispatched on the header) against
     an instance: digest match, complete enumeration — directly in v1 and
     v3, by orbit expansion and counting in v2 — and every witness valid
     for its fault set (against the link-degraded instance in v3).
+    v4 certificates are decoded back into the equivalent v1/v2 text and
+    checked by the same code, so the binary layer adds no trust surface.
     Returns the number of fault sets certified. *)
 
 val digest : Instance.t -> string

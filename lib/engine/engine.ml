@@ -30,6 +30,11 @@ let m_calls_saved = Metrics.counter "verify.solver_calls_saved"
 let m_v_solver_calls = Metrics.counter "verify.solver_calls"
 let m_v_scaffold_solves = Metrics.counter "verify.scaffold_solves"
 
+(* Out-of-core verification: units skipped on resume because the
+   checkpoint already held their result (the checkpointed-units twin
+   lives in Checkpoint, where the append happens). *)
+let m_units_resumed = Metrics.counter "verify.units_resumed"
+
 (* Plan cache keyed on the masks themselves: lookups hash the caller's
    mask in place, so cache hits allocate nothing (the old string-key
    scheme paid a [Bitset.to_key] allocation per probe). *)
@@ -322,6 +327,15 @@ let certify_model t model =
     ~solve:(fun ~faults -> solve_model t model ~faults)
     model
 
+(* Streamed v4 certification: witnesses leave the process as they are
+   found, so certification is bounded by disk, not memory. *)
+let certify_to ?(symmetry = true) t oc =
+  let solve ~faults = solve t ~faults in
+  if symmetry then
+    Certify.generate_orbits_to ~solve ~symmetry:(Instance.symmetry t.inst) oc
+      t.inst
+  else Certify.generate_to ~solve oc t.inst
+
 let attack ~rng ?restarts ?model t =
   (match model with
   | Some m -> require_same_instance t m "Engine.attack"
@@ -577,28 +591,458 @@ module Parallel = struct
       ignore (chain_push ch ~reported:false target.(i))
     done
 
-  (* Shard [nunits] work units over [domains] through {!Steal}.
-     [make_process ~solve ~record ~cutoff] builds the per-domain unit
-     processor ([record] feeds the domain's rank-tagged failure buffer and
-     propagates the early-stop cutoff; [cutoff ()] reads the current safe
-     bound).  [mk_solve] builds the per-domain solver (called on the
-     worker domain, so domain-local ctx caching applies).  [est_items] is
-     the caller's fault-set-count estimate; when it divides out to fewer
-     than [min_items_per_domain] items per domain, the call runs serially
-     on the calling domain (identical report, no spawn cost).  Returns
-     the merged report. *)
-  let run_sharded ~max_failures ~domains ~min_items_per_domain ~est_items
-      ~counts ~nunits ~mk_solve make_process =
+  (* ------------------------------------------------------------------ *)
+  (* First-class work units                                              *)
+  (* ------------------------------------------------------------------ *)
+
+  let resolve_min_items = function
+    | Some m -> Stdlib.max 0 m
+    | None -> default_min_items_per_domain ()
+
+  let node_mk_solve ?budget inst () =
+    let ctx = Reconfig.cached_ctx inst in
+    fun ~faults -> Reconfig.solve ?budget ~ctx inst ~faults
+
+  (* One ctx serves the base instance and every link-degraded one: ctx
+     scratch is sized by graph order, which degradation preserves. *)
+  let model_mk_solve ?budget model () =
+    let ctx = Reconfig.cached_ctx (Fault_model.instance model) in
+    fun ~faults -> Fault_model.solve ?budget ~ctx model ~faults
+
+  (* A [task] is one verification problem decomposed into serializable
+     work units ({!Codec.unit_desc}).  The decomposition is canonical —
+     a function of the instance and mode alone, never of the domain or
+     process count — so a checkpoint written under one topology resumes
+     under any other, and an out-of-process worker rebuilds the identical
+     unit array from the spec on its command line. *)
+  type task = {
+    t_units : Codec.unit_desc array;
+    t_min_rank : int array;
+        (* per-unit lower bound on the ranks it can emit: lets schedulers
+           and coordinators skip whole units once the early-stop cutoff
+           passes them *)
+    t_est_items : int;  (* fault-set estimate for the serial-fallback gate *)
+    t_counts : int option -> int * int;
+    t_header : max_failures:int -> Checkpoint.header;
+    t_mk_processor :
+      unit ->
+      (record:(rank:int -> Verify.failure -> unit) ->
+      cutoff:(unit -> int) ->
+      int ->
+      unit);
+        (* called once per domain or worker process (builds the solver
+           and the prefix chain); the result processes one unit id per
+           call, with [record]/[cutoff] supplied per call so schedulers
+           can interpose per-unit capture *)
+    t_settle : Verify.report -> unit;
+  }
+
+  (* Plain-path work units: one [Shallow] unit covering the sets of size
+     < d (d = min k 2: the empty set, and the singletons when k >= 2),
+     plus one [Rooted] unit per size-d prefix, covering that prefix's
+     whole DFS subtree.  C(order, d) + 1 units of comparable weight —
+     unlike the old (size, first-element) blocks, where the f0 = 0 block
+     held roughly half the space. *)
+  let plain_units ~order ~k =
+    let roots =
+      if k = 0 then []
+      else if k = 1 then List.init order (fun v -> Codec.Rooted [| v |])
+      else
+        List.concat
+          (List.init order (fun a ->
+               List.init (order - a - 1) (fun j ->
+                   Codec.Rooted [| a; a + 1 + j |])))
+    in
+    Array.of_list (Codec.Shallow :: roots)
+
+  let plain_task ~usize ~k ~splice ~digest ~model_id ~mk_solve ~mk_chain =
+    let k = Stdlib.min k usize in
+    let total = Combinat.count_up_to usize k in
+    let units = plain_units ~order:usize ~k in
+    let d = Stdlib.min k 2 in
+    let min_rank =
+      Array.map
+        (function
+          | Codec.Shallow -> 0
+          | Codec.Rooted p -> Combinat.rank_of_subset usize p (Array.length p)
+          | Codec.Span _ -> assert false)
+        units
+    in
+    let mk_processor () =
+      let solve = mk_solve () in
+      let ch = mk_chain solve in
+      fun ~record ~cutoff u ->
+        let fail buf len reason =
+          record
+            ~rank:(Combinat.rank_of_subset usize buf len)
+            {
+              Verify.faults = Array.to_list (Array.sub buf 0 len);
+              reason;
+              orbit = 1;
+            }
+        in
+        let process_shallow () =
+          chain_root ch;
+          while ch.c_len > 0 do
+            chain_pop ch
+          done;
+          (match if ch.c_splice then ch.c_res.(0) else chain_solve ch with
+          | Ok _ -> ()
+          | Error reason ->
+            record ~rank:0 { Verify.faults = []; reason; orbit = 1 });
+          if d >= 2 then
+            for v = 0 to usize - 1 do
+              let co = cutoff () in
+              if not (co < max_int && 1 + v > co) then begin
+                (match chain_push ch ~reported:true v with
+                | Ok _ -> ()
+                | Error reason -> fail [| v |] 1 reason);
+                chain_pop ch
+              end
+            done
+        in
+        let process_rooted prefix =
+          let dd = Array.length prefix in
+          let co0 = cutoff () in
+          if co0 < max_int && Combinat.rank_of_subset usize prefix dd > co0
+          then ()
+          else begin
+            chain_align ch prefix (dd - 1);
+            Combinat.iter_subsets_dfs ~root:prefix usize k
+              ~enter:(fun buf len ->
+                let e = buf.(len - 1) in
+                let co = cutoff () in
+                if co < max_int && Combinat.rank_of_subset usize buf len > co
+                then begin
+                  (* Pruned: push a placeholder so [leave]'s pop pairs
+                     up; no child ever reads it. *)
+                  Bitset.add ch.c_mask e;
+                  ch.c_elts.(ch.c_len) <- e;
+                  ch.c_res.(ch.c_len + 1) <- Error "pruned";
+                  ch.c_len <- ch.c_len + 1;
+                  false
+                end
+                else begin
+                  (match chain_push ch ~reported:true e with
+                  | Ok _ -> ()
+                  | Error reason -> fail buf len reason);
+                  true
+                end)
+              ~leave:(fun _ _ -> chain_pop ch)
+          end
+        in
+        match units.(u) with
+        | Codec.Shallow -> process_shallow ()
+        | Codec.Rooted prefix -> process_rooted prefix
+        | Codec.Span _ -> invalid_arg "plain task: Span unit"
+    in
+    {
+      t_units = units;
+      t_min_rank = min_rank;
+      t_est_items = total;
+      t_counts = (function Some r -> (r + 1, r + 1) | None -> (total, total));
+      t_header =
+        (fun ~max_failures ->
+          {
+            Checkpoint.h_digest = digest;
+            h_model = model_id;
+            h_orbit = false;
+            h_splice = splice;
+            h_max_failures = Stdlib.max 1 max_failures;
+            h_usize = usize;
+            h_k = k;
+            h_nunits = Array.length units;
+          });
+      t_mk_processor = mk_processor;
+      (* Settle the choke-point counter against the merged report (see
+         the sequential DFS path): per-check increments would drift on
+         pruned subtrees and double-count scaffolds. *)
+      t_settle =
+        (fun r -> Metrics.add m_v_solver_calls r.Verify.solver_calls);
+    }
+
+  (* Target unit count for span-chunked modes.  Fixed — deliberately NOT
+     a function of the domain count, which would make the decomposition
+     topology-dependent and break checkpoint portability across
+     [--procs]/[GDPN_DOMAINS] settings; ~256 units keeps work stealing
+     effective at any plausible core count while bounding the number of
+     checkpoint records. *)
+  let span_unit_target = 256
+
+  let span_chunks n =
+    let chunk =
+      Stdlib.max 1 ((n + span_unit_target - 1) / span_unit_target)
+    in
+    let nunits = Stdlib.max 1 ((n + chunk - 1) / chunk) in
+    (chunk, nunits)
+
+  (* Orbit-reduced units with orbit×splice fusion: the representative
+     stream is re-ordered into DFS preorder (lexicographic by element
+     sequence, prefixes first) before span-chunking, so consecutive
+     representatives inside a unit share maximal prefixes and each
+     splices from its nearest solved ancestor — the orbit stream rides
+     the same per-domain prefix chains as the plain DFS decomposition
+     instead of popping to a shallow common prefix between size-major
+     neighbours.  Ranks stay the {e original} size-major indices, so the
+     prefix-sum counts and the merged report are untouched by the
+     re-ordering. *)
+  let orbit_task ~usize ~k ~splice ~digest ~model_id ~reps ~mk_solve
+      ~mk_chain =
+    let nreps = Array.length reps in
+    let prefix = Array.make (nreps + 1) 0 in
+    for i = 0 to nreps - 1 do
+      prefix.(i + 1) <- prefix.(i) + reps.(i).Auto.size
+    done;
+    let counts = function
+      | Some stop_rank -> (prefix.(stop_rank + 1), stop_rank + 1)
+      | None -> (prefix.(nreps), nreps)
+    in
+    let dfs = Array.init nreps Fun.id in
+    let cmp i j =
+      let a = reps.(i).Auto.set and b = reps.(j).Auto.set in
+      let la = Array.length a and lb = Array.length b in
+      let rec go t =
+        if t >= la || t >= lb then compare la lb
+        else if a.(t) <> b.(t) then compare a.(t) b.(t)
+        else go (t + 1)
+      in
+      go 0
+    in
+    Array.sort cmp dfs;
+    let chunk, nunits = span_chunks nreps in
+    let units =
+      Array.init nunits (fun u ->
+          Codec.Span (u * chunk, Stdlib.min ((u + 1) * chunk) nreps))
+    in
+    let min_rank =
+      Array.map
+        (function
+          | Codec.Span (lo, hi) ->
+            let m = ref max_int in
+            for pos = lo to hi - 1 do
+              if dfs.(pos) < !m then m := dfs.(pos)
+            done;
+            !m
+          | _ -> assert false)
+        units
+    in
+    let mk_processor () =
+      let solve = mk_solve () in
+      let ch = mk_chain solve in
+      fun ~record ~cutoff u ->
+        match units.(u) with
+        | Codec.Span (lo, hi) ->
+          for pos = lo to hi - 1 do
+            let i = dfs.(pos) in
+            if i <= cutoff () then begin
+              let { Auto.set; size } = reps.(i) in
+              let m = Array.length set in
+              Metrics.incr m_orbits_checked;
+              Metrics.add m_calls_saved (size - 1);
+              Metrics.incr m_v_solver_calls;
+              let r =
+                if m = 0 then begin
+                  if ch.c_len < 0 then begin
+                    ch.c_res.(0) <- chain_solve ch;
+                    ch.c_len <- 0
+                  end
+                  else if not ch.c_splice then begin
+                    while ch.c_len > 0 do
+                      chain_pop ch
+                    done;
+                    ch.c_res.(0) <- chain_solve ch
+                  end;
+                  ch.c_res.(0)
+                end
+                else begin
+                  chain_align ch set (m - 1);
+                  chain_push ch ~reported:true set.(m - 1)
+                end
+              in
+              match r with
+              | Ok _ -> ()
+              | Error reason ->
+                record ~rank:i
+                  { Verify.faults = Array.to_list set; reason; orbit = size }
+            end
+          done
+        | _ -> invalid_arg "orbit task: non-span unit"
+    in
+    {
+      t_units = units;
+      t_min_rank = min_rank;
+      t_est_items = nreps;
+      t_counts = counts;
+      t_header =
+        (fun ~max_failures ->
+          {
+            Checkpoint.h_digest = digest;
+            h_model = model_id;
+            h_orbit = true;
+            h_splice = splice;
+            h_max_failures = Stdlib.max 1 max_failures;
+            h_usize = usize;
+            h_k = k;
+            h_nunits = nunits;
+          });
+      t_mk_processor = mk_processor;
+      t_settle = ignore;
+    }
+
+  (* Draw the whole trial sequence up front on one RNG — byte-identical
+     to the sequential sampled stream for the same seed — then shard only
+     the solving.  Sampled sets share no prefix structure, so there is no
+     chain: each trial is checked from scratch.  Sampled tasks are not
+     checkpointable from the CLI; the header exists only to satisfy the
+     record. *)
+  let sampled_task ~seed ~trials ~usize ~k ~mk_solve ~check =
+    let rng = Random.State.make [| seed |] in
+    let sets = Array.make trials [||] in
+    for i = 0 to trials - 1 do
+      sets.(i) <- Combinat.sample_up_to rng usize k
+    done;
+    let chunk, nunits = span_chunks trials in
+    let units =
+      Array.init nunits (fun u ->
+          Codec.Span (u * chunk, Stdlib.min ((u + 1) * chunk) trials))
+    in
+    let min_rank =
+      Array.map
+        (function Codec.Span (lo, _) -> lo | _ -> assert false)
+        units
+    in
+    let mk_processor () =
+      let solve = mk_solve () in
+      let mask = Bitset.create usize in
+      fun ~record ~cutoff u ->
+        match units.(u) with
+        | Codec.Span (lo, hi) ->
+          for i = lo to Stdlib.min (hi - 1) (trials - 1) do
+            if i <= cutoff () then begin
+              let buf = sets.(i) in
+              let len = Array.length buf in
+              Bitset.clear mask;
+              for j = 0 to len - 1 do
+                Bitset.add mask buf.(j)
+              done;
+              match check ~solve mask with
+              | Ok () -> ()
+              | Error reason ->
+                record ~rank:i
+                  { Verify.faults = Array.to_list buf; reason; orbit = 1 }
+            end
+          done
+        | _ -> invalid_arg "sampled task: non-span unit"
+    in
+    {
+      t_units = units;
+      t_min_rank = min_rank;
+      t_est_items = trials;
+      t_counts =
+        (function Some r -> (r + 1, r + 1) | None -> (trials, trials));
+      t_header =
+        (fun ~max_failures ->
+          {
+            Checkpoint.h_digest = "";
+            h_model = 0;
+            h_orbit = false;
+            h_splice = false;
+            h_max_failures = Stdlib.max 1 max_failures;
+            h_usize = usize;
+            h_k = k;
+            h_nunits = nunits;
+          });
+      t_mk_processor = mk_processor;
+      t_settle = ignore;
+    }
+
+  let task_exhaustive ?budget ?symmetry ?(splice = true) inst =
+    let order = Instance.order inst in
+    let digest = Certify.digest inst in
+    let mk_solve = node_mk_solve ?budget inst in
+    let mk_chain solve = chain_make ~splice inst solve in
+    match symmetry with
+    | Some group when not (Auto.is_trivial group) ->
+      if Auto.degree group <> order then
+        invalid_arg
+          "Engine.Parallel.verify_exhaustive: symmetry degree <> order";
+      let reps = Auto.fault_orbits group ~max_size:inst.Instance.k in
+      orbit_task ~usize:order ~k:inst.Instance.k ~splice ~digest ~model_id:0
+        ~reps ~mk_solve ~mk_chain
+    | Some _ | None ->
+      plain_task ~usize:order ~k:inst.Instance.k ~splice ~digest ~model_id:0
+        ~mk_solve ~mk_chain
+
+  let task_exhaustive_model ?budget ?symmetry ?(splice = true) model =
+    let usize = Fault_model.size model in
+    let k = Fault_model.max_faults model in
+    let digest = Certify.digest (Fault_model.instance model) in
+    let model_id = Fault_model.id model in
+    let mk_solve = model_mk_solve ?budget model in
+    let mk_chain solve = chain_make_model ~splice model solve in
+    let induced = Option.map (Fault_model.induced_symmetry model) symmetry in
+    match induced with
+    | Some group when not (Auto.is_trivial group) ->
+      let reps = Auto.fault_orbits group ~max_size:k in
+      orbit_task ~usize ~k ~splice ~digest ~model_id ~reps ~mk_solve
+        ~mk_chain
+    | Some _ | None ->
+      plain_task ~usize ~k ~splice ~digest ~model_id ~mk_solve ~mk_chain
+
+  (* Drain a task's pending units over [domains] through {!Steal}, with
+     optional durable checkpointing and resume.
+
+     Checkpointing appends one {!Codec.unit_result} frame the moment a
+     unit drains, capped at [max_failures] entries by a per-unit Topk
+     (entries beyond the cap can never reach a merged report).
+     Cutoff-skipped units are deliberately NOT recorded: the cutoff that
+     justified the skip may rest on entries held by units still in
+     flight, and recording the skip as "done, clean" would let a kill
+     between the two strand the justification.  Re-skipping them on
+     resume costs one rank comparison each.
+
+     Resume seeds the early-stop cutoff from the recorded entries before
+     any unit runs, removes the recorded units from the schedule, and
+     feeds the recorded entry lists into the same deterministic rank
+     merge as live per-domain buffers — so an interrupted-and-resumed run
+     reproduces the uninterrupted report byte for byte, under any domain
+     or process count. *)
+  let run_task ?(max_failures = 5) ?domains ?min_items_per_domain
+      ?checkpoint ?resumed task =
     let cap = Stdlib.max 1 max_failures in
+    let domains = resolve_domains domains in
+    let min_items = resolve_min_items min_items_per_domain in
+    let nunits = Array.length task.t_units in
+    let done_tbl =
+      match resumed with Some tbl -> tbl | None -> Hashtbl.create 1
+    in
+    let pending =
+      Array.of_list
+        (List.filter
+           (fun u -> not (Hashtbl.mem done_tbl u))
+           (List.init nunits Fun.id))
+    in
+    Metrics.add m_units_resumed (nunits - Array.length pending);
+    let resumed_sources =
+      Hashtbl.fold (fun _ r acc -> r.Codec.r_entries :: acc) done_tbl []
+    in
+    let seed_topk = Verify.Topk.create cap in
+    List.iter
+      (List.iter (fun (rank, f) -> Verify.Topk.insert seed_topk ~rank f))
+      resumed_sources;
+    let init_cutoff =
+      if Verify.Topk.full seed_topk then Verify.Topk.max_rank seed_topk
+      else max_int
+    in
     let domains =
-      if domains > 1 && est_items / domains < min_items_per_domain then 1
+      if domains > 1 && task.t_est_items / domains < min_items then 1
       else domains
     in
-    let steal = Steal.create ~nunits ~domains in
+    let steal = Steal.create ~nunits:(Array.length pending) ~domains in
     (* Once some domain holds [cap] failures, every fault set ranked
        above that domain's highest kept rank is dead weight; [cutoff]
        propagates a safe upper bound. *)
-    let cutoff = Atomic.make max_int in
+    let cutoff = Atomic.make init_cutoff in
     let tighten r =
       let rec go () =
         let current = Atomic.get cutoff in
@@ -607,23 +1051,35 @@ module Parallel = struct
       in
       go ()
     in
+    let read_cutoff () = Atomic.get cutoff in
     let run_domain me () =
       let shard_start = Mclock.now_ns () in
-      let solve = mk_solve () in
+      let process = task.t_mk_processor () in
       let kept = Verify.Topk.create cap in
       let record ~rank failure =
         Verify.Topk.insert kept ~rank failure;
         if Verify.Topk.full kept then tighten (Verify.Topk.max_rank kept)
       in
-      let process =
-        make_process ~solve ~record ~cutoff:(fun () -> Atomic.get cutoff)
-      in
       let steals = ref 0 in
       let rec drain () =
         match Steal.take steal ~me with
-        | Some (u, stolen) ->
+        | Some (idx, stolen) ->
           if stolen then incr steals;
-          process u;
+          let u = pending.(idx) in
+          let co = Atomic.get cutoff in
+          if not (co < max_int && task.t_min_rank.(u) > co) then begin
+            match checkpoint with
+            | None -> process ~record ~cutoff:read_cutoff u
+            | Some w ->
+              let local = Verify.Topk.create cap in
+              let record_ck ~rank failure =
+                record ~rank failure;
+                Verify.Topk.insert local ~rank failure
+              in
+              process ~record:record_ck ~cutoff:read_cutoff u;
+              Checkpoint.append w
+                { Codec.r_unit = u; r_entries = Verify.Topk.to_list local }
+          end;
           drain ()
         | None -> ()
       in
@@ -657,279 +1113,58 @@ module Parallel = struct
             ~start_ns ~dur_ns:elapsed ())
       timed;
     let per_domain = List.map (fun (kept, _, _, _) -> kept) timed in
-    Verify.merge_tagged ~max_failures:cap ~counts per_domain
-
-  (* Orbit-reduced sharding: work units are small contiguous chunks of
-     the representative array.  Representatives arrive size-ascending
-     min-lex, so a domain's chain pops to the common prefix and re-grows
-     one element per representative; ranks are representative indices and
-     [counts] translates them back into orbit-expanded totals via prefix
-     sums. *)
-  let orbits_sharded ~max_failures ~domains ~min_items_per_domain ~reps
-      ~mk_solve ~mk_chain =
-    let nreps = Array.length reps in
-    let prefix = Array.make (nreps + 1) 0 in
-    for i = 0 to nreps - 1 do
-      prefix.(i + 1) <- prefix.(i) + reps.(i).Auto.size
-    done;
-    let counts = function
-      | Some stop_rank -> (prefix.(stop_rank + 1), stop_rank + 1)
-      | None -> (prefix.(nreps), nreps)
-    in
-    let chunk = Stdlib.max 1 (nreps / (domains * 8)) in
-    let nunits = (nreps + chunk - 1) / chunk in
-    run_sharded ~max_failures ~domains ~min_items_per_domain
-      ~est_items:nreps ~counts ~nunits ~mk_solve
-      (fun ~solve ~record ~cutoff ->
-        let ch = mk_chain solve in
-        fun u ->
-          let start = u * chunk in
-          for i = start to Stdlib.min (start + chunk - 1) (nreps - 1) do
-            if i <= cutoff () then begin
-              let { Auto.set; size } = reps.(i) in
-              let m = Array.length set in
-              Metrics.incr m_orbits_checked;
-              Metrics.add m_calls_saved (size - 1);
-              Metrics.incr m_v_solver_calls;
-              let r =
-                if m = 0 then begin
-                  if ch.c_len < 0 then begin
-                    ch.c_res.(0) <- chain_solve ch;
-                    ch.c_len <- 0
-                  end
-                  else if not ch.c_splice then begin
-                    while ch.c_len > 0 do
-                      chain_pop ch
-                    done;
-                    ch.c_res.(0) <- chain_solve ch
-                  end;
-                  ch.c_res.(0)
-                end
-                else begin
-                  chain_align ch set (m - 1);
-                  chain_push ch ~reported:true set.(m - 1)
-                end
-              in
-              match r with
-              | Ok _ -> ()
-              | Error reason ->
-                record ~rank:i
-                  { Verify.faults = Array.to_list set; reason; orbit = size }
-            end
-          done)
-
-  (* Plain-path work units: one [Shallow] unit covering the sets of size
-     < d (d = min k 2: the empty set, and the singletons when k >= 2),
-     plus one [Rooted] unit per size-d prefix, covering that prefix's
-     whole DFS subtree.  C(order, d) + 1 units of comparable weight —
-     unlike the old (size, first-element) blocks, where the f0 = 0 block
-     held roughly half the space. *)
-  type plain_unit = Shallow | Rooted of int array
-
-  let plain_units ~order ~k =
-    let roots =
-      if k = 0 then []
-      else if k = 1 then List.init order (fun v -> Rooted [| v |])
-      else
-        List.concat
-          (List.init order (fun a ->
-               List.init (order - a - 1) (fun j -> Rooted [| a; a + 1 + j |])))
-    in
-    Array.of_list (Shallow :: roots)
-
-  let plain_sharded ~max_failures ~domains ~min_items_per_domain ~usize ~k
-      ~mk_solve ~mk_chain =
-    let k = Stdlib.min k usize in
-    let total = Combinat.count_up_to usize k in
-    let units = plain_units ~order:usize ~k in
-    let counts = function Some r -> (r + 1, r + 1) | None -> (total, total) in
-    let d = Stdlib.min k 2 in
     let report =
-      run_sharded ~max_failures ~domains ~min_items_per_domain
-        ~est_items:total ~counts ~nunits:(Array.length units) ~mk_solve
-        (fun ~solve ~record ~cutoff ->
-          let ch = mk_chain solve in
-          let fail buf len reason =
-            record
-              ~rank:(Combinat.rank_of_subset usize buf len)
-              {
-                Verify.faults = Array.to_list (Array.sub buf 0 len);
-                reason;
-                orbit = 1;
-              }
-          in
-          let process_shallow () =
-            chain_root ch;
-            while ch.c_len > 0 do
-              chain_pop ch
-            done;
-            (match
-               if ch.c_splice then ch.c_res.(0)
-               else chain_solve ch
-             with
-            | Ok _ -> ()
-            | Error reason ->
-              record ~rank:0 { Verify.faults = []; reason; orbit = 1 });
-            if d >= 2 then
-              for v = 0 to usize - 1 do
-                let co = cutoff () in
-                if not (co < max_int && 1 + v > co) then begin
-                  (match chain_push ch ~reported:true v with
-                  | Ok _ -> ()
-                  | Error reason -> fail [| v |] 1 reason);
-                  chain_pop ch
-                end
-              done
-          in
-          let process_rooted prefix =
-            let dd = Array.length prefix in
-            let co0 = cutoff () in
-            if co0 < max_int && Combinat.rank_of_subset usize prefix dd > co0
-            then ()
-            else begin
-              chain_align ch prefix (dd - 1);
-              Combinat.iter_subsets_dfs ~root:prefix usize k
-                ~enter:(fun buf len ->
-                  let e = buf.(len - 1) in
-                  let co = cutoff () in
-                  if
-                    co < max_int && Combinat.rank_of_subset usize buf len > co
-                  then begin
-                    (* Pruned: push a placeholder so [leave]'s pop pairs
-                       up; no child ever reads it. *)
-                    Bitset.add ch.c_mask e;
-                    ch.c_elts.(ch.c_len) <- e;
-                    ch.c_res.(ch.c_len + 1) <- Error "pruned";
-                    ch.c_len <- ch.c_len + 1;
-                    false
-                  end
-                  else begin
-                    (match chain_push ch ~reported:true e with
-                    | Ok _ -> ()
-                    | Error reason -> fail buf len reason);
-                    true
-                  end)
-                ~leave:(fun _ _ -> chain_pop ch)
-            end
-          in
-          fun u ->
-            match units.(u) with
-            | Shallow -> process_shallow ()
-            | Rooted prefix -> process_rooted prefix)
+      Verify.merge_tagged ~max_failures:cap ~counts:task.t_counts
+        (per_domain @ resumed_sources)
     in
-    (* Settle the choke-point counter against the merged report (see the
-       sequential DFS path): per-check increments would drift on pruned
-       subtrees and double-count scaffolds. *)
-    Metrics.add m_v_solver_calls report.Verify.solver_calls;
+    task.t_settle report;
     report
 
-  let resolve_min_items = function
-    | Some m -> Stdlib.max 0 m
-    | None -> default_min_items_per_domain ()
+  module Task = struct
+    type t = task
 
-  let node_mk_solve ?budget inst () =
-    let ctx = Reconfig.cached_ctx inst in
-    fun ~faults -> Reconfig.solve ?budget ~ctx inst ~faults
+    let exhaustive = task_exhaustive
+    let exhaustive_model = task_exhaustive_model
+    let nunits t = Array.length t.t_units
+    let min_rank t u = t.t_min_rank.(u)
+    let header t ~max_failures = t.t_header ~max_failures
+    let processor t = t.t_mk_processor ()
 
-  (* One ctx serves the base instance and every link-degraded one: ctx
-     scratch is sized by graph order, which degradation preserves. *)
-  let model_mk_solve ?budget model () =
-    let ctx = Reconfig.cached_ctx (Fault_model.instance model) in
-    fun ~faults -> Fault_model.solve ?budget ~ctx model ~faults
+    let merge t ~max_failures sources =
+      let report =
+        Verify.merge_tagged
+          ~max_failures:(Stdlib.max 1 max_failures)
+          ~counts:t.t_counts sources
+      in
+      t.t_settle report;
+      report
+  end
 
-  let verify_exhaustive ?budget ?(max_failures = 5) ?domains
-      ?min_items_per_domain ?symmetry ?(splice = true) inst =
-    let order = Instance.order inst in
-    let domains = resolve_domains domains in
-    let min_items_per_domain = resolve_min_items min_items_per_domain in
-    let mk_solve = node_mk_solve ?budget inst in
-    let mk_chain solve = chain_make ~splice inst solve in
-    match symmetry with
-    | Some group when not (Auto.is_trivial group) ->
-      if Auto.degree group <> order then
-        invalid_arg
-          "Engine.Parallel.verify_exhaustive: symmetry degree <> order";
-      let reps = Auto.fault_orbits group ~max_size:inst.Instance.k in
-      orbits_sharded ~max_failures ~domains ~min_items_per_domain ~reps
-        ~mk_solve ~mk_chain
-    | Some _ | None ->
-      plain_sharded ~max_failures ~domains ~min_items_per_domain
-        ~usize:order ~k:inst.Instance.k ~mk_solve ~mk_chain
+  let verify_exhaustive ?budget ?max_failures ?domains ?min_items_per_domain
+      ?symmetry ?splice inst =
+    run_task ?max_failures ?domains ?min_items_per_domain
+      (task_exhaustive ?budget ?symmetry ?splice inst)
 
-  let verify_exhaustive_model ?budget ?(max_failures = 5) ?domains
-      ?min_items_per_domain ?symmetry ?(splice = true) model =
-    let usize = Fault_model.size model in
-    let domains = resolve_domains domains in
-    let min_items_per_domain = resolve_min_items min_items_per_domain in
-    let mk_solve = model_mk_solve ?budget model in
-    let mk_chain solve = chain_make_model ~splice model solve in
-    let k = Fault_model.max_faults model in
-    let induced = Option.map (Fault_model.induced_symmetry model) symmetry in
-    match induced with
-    | Some group when not (Auto.is_trivial group) ->
-      let reps = Auto.fault_orbits group ~max_size:k in
-      orbits_sharded ~max_failures ~domains ~min_items_per_domain ~reps
-        ~mk_solve ~mk_chain
-    | Some _ | None ->
-      plain_sharded ~max_failures ~domains ~min_items_per_domain ~usize ~k
-        ~mk_solve ~mk_chain
+  let verify_exhaustive_model ?budget ?max_failures ?domains
+      ?min_items_per_domain ?symmetry ?splice model =
+    run_task ?max_failures ?domains ?min_items_per_domain
+      (task_exhaustive_model ?budget ?symmetry ?splice model)
 
-  (* Draw the whole trial sequence up front on one RNG — byte-identical
-     to the sequential sampled stream for the same seed — then shard only
-     the solving.  Sampled sets share no prefix structure, so there is no
-     chain: each trial is checked from scratch. *)
-  let sampled_sharded ~seed ~trials ~max_failures ~domains
-      ~min_items_per_domain ~usize ~k ~mk_solve ~check =
-    let rng = Random.State.make [| seed |] in
-    let sets = Array.make trials [||] in
-    for i = 0 to trials - 1 do
-      sets.(i) <- Combinat.sample_up_to rng usize k
-    done;
-    let chunk = Stdlib.max 1 (trials / (domains * 8)) in
-    let nunits = (trials + chunk - 1) / chunk in
-    let counts = function
-      | Some r -> (r + 1, r + 1)
-      | None -> (trials, trials)
-    in
-    run_sharded ~max_failures ~domains ~min_items_per_domain
-      ~est_items:trials ~counts ~nunits ~mk_solve
-      (fun ~solve ~record ~cutoff ->
-        let mask = Bitset.create usize in
-        fun u ->
-          let start = u * chunk in
-          for i = start to Stdlib.min (start + chunk - 1) (trials - 1) do
-            if i <= cutoff () then begin
-              let buf = sets.(i) in
-              let len = Array.length buf in
-              Bitset.clear mask;
-              for j = 0 to len - 1 do
-                Bitset.add mask buf.(j)
-              done;
-              match check ~solve mask with
-              | Ok () -> ()
-              | Error reason ->
-                record ~rank:i
-                  { Verify.faults = Array.to_list buf; reason; orbit = 1 }
-            end
-          done)
-
-  let verify_sampled ~seed ~trials ?budget ?(max_failures = 5) ?domains
+  let verify_sampled ~seed ~trials ?budget ?max_failures ?domains
       ?min_items_per_domain inst =
-    sampled_sharded ~seed ~trials ~max_failures
-      ~domains:(resolve_domains domains)
-      ~min_items_per_domain:(resolve_min_items min_items_per_domain)
-      ~usize:(Instance.order inst) ~k:inst.Instance.k
-      ~mk_solve:(node_mk_solve ?budget inst)
-      ~check:(fun ~solve mask -> Verify.check_mask ?budget ~solve inst mask)
+    run_task ?max_failures ?domains ?min_items_per_domain
+      (sampled_task ~seed ~trials ~usize:(Instance.order inst)
+         ~k:inst.Instance.k
+         ~mk_solve:(node_mk_solve ?budget inst)
+         ~check:(fun ~solve mask ->
+           Verify.check_mask ?budget ~solve inst mask))
 
-  let verify_sampled_model ~seed ~trials ?budget ?(max_failures = 5) ?domains
+  let verify_sampled_model ~seed ~trials ?budget ?max_failures ?domains
       ?min_items_per_domain model =
-    sampled_sharded ~seed ~trials ~max_failures
-      ~domains:(resolve_domains domains)
-      ~min_items_per_domain:(resolve_min_items min_items_per_domain)
-      ~usize:(Fault_model.size model)
-      ~k:(Fault_model.max_faults model)
-      ~mk_solve:(model_mk_solve ?budget model)
-      ~check:(fun ~solve mask ->
-        Verify.check_mask_model ?budget ~solve model mask)
+    run_task ?max_failures ?domains ?min_items_per_domain
+      (sampled_task ~seed ~trials ~usize:(Fault_model.size model)
+         ~k:(Fault_model.max_faults model)
+         ~mk_solve:(model_mk_solve ?budget model)
+         ~check:(fun ~solve mask ->
+           Verify.check_mask_model ?budget ~solve model mask))
 end

@@ -144,6 +144,14 @@ val certify_model : t -> Gdpn_core.Fault_model.t -> string
     one-element-smaller predecessors whenever the model's local repair
     rule applies. *)
 
+val certify_to : ?symmetry:bool -> t -> out_channel -> unit
+(** Streamed (v4) certification through the cached solver: one compact
+    binary record per witness written to the channel as it is found
+    ({!Gdpn_core.Certify.generate_orbits_to} /
+    {!Gdpn_core.Certify.generate_to}), so memory stays O(1) at fault-space
+    sizes where the string-returning {!certify} cannot allocate its
+    buffer.  Each record bumps [certify.records_streamed]. *)
+
 val attack :
   rng:Random.State.t ->
   ?restarts:int ->
@@ -255,4 +263,90 @@ module Parallel : sig
     Gdpn_core.Fault_model.t ->
     Gdpn_core.Verify.report
   (** {!verify_sampled} over a fault model's universe. *)
+
+  (** First-class verification tasks: one verification problem decomposed
+      into a canonical array of serializable work units
+      ({!Codec.unit_desc}).  The decomposition is a function of the
+      instance and mode alone — never of the domain or process count — so
+      a checkpoint written under one topology resumes under any other,
+      and an out-of-process worker ({!Mp}) rebuilds the identical unit
+      array from the spec on its command line. *)
+  module Task : sig
+    type t
+
+    val exhaustive :
+      ?budget:int ->
+      ?symmetry:Gdpn_graph.Auto.group ->
+      ?splice:bool ->
+      Gdpn_core.Instance.t ->
+      t
+    (** The unit decomposition behind {!Parallel.verify_exhaustive}: one
+        [Shallow] unit plus one [Rooted] DFS-subtree unit per
+        size-[min k 2] prefix.  With a nontrivial [symmetry] group,
+        fixed-granularity [Span] chunks of the orbit-representative
+        stream re-ordered into DFS preorder ({e orbit×splice fusion}:
+        consecutive representatives share maximal prefixes, so each
+        splices from its nearest solved ancestor, while ranks — and
+        therefore counts and the merged report — remain the canonical
+        size-major indices). *)
+
+    val exhaustive_model :
+      ?budget:int ->
+      ?symmetry:Gdpn_graph.Auto.group ->
+      ?splice:bool ->
+      Gdpn_core.Fault_model.t ->
+      t
+    (** {!exhaustive} over a fault model's universe; [symmetry] is the
+        node group, inducing the action on the universe. *)
+
+    val nunits : t -> int
+
+    val min_rank : t -> int -> int
+    (** Lower bound on the enumeration ranks unit [u] can emit — lets a
+        scheduler or coordinator skip the whole unit once the early-stop
+        cutoff drops below it. *)
+
+    val header : t -> max_failures:int -> Checkpoint.header
+    (** The checkpoint header pinning this task's spec. *)
+
+    val processor :
+      t ->
+      record:(rank:int -> Gdpn_core.Verify.failure -> unit) ->
+      cutoff:(unit -> int) ->
+      int ->
+      unit
+    (** [processor t] builds per-domain solver and prefix-chain state
+        once; the returned function processes one unit id per call,
+        reporting rank-tagged failures through [record] and polling
+        [cutoff] for the current early-stop bound.  Unit ids may arrive
+        in any order (the chain re-aligns). *)
+
+    val merge :
+      t ->
+      max_failures:int ->
+      (int * Gdpn_core.Verify.failure) list list ->
+      Gdpn_core.Verify.report
+    (** Deterministic rank merge of per-source entry lists (per-domain
+        buffers, per-unit checkpoint records, per-worker streams — any
+        mix) into the canonical sequential report. *)
+  end
+
+  val run_task :
+    ?max_failures:int ->
+    ?domains:int ->
+    ?min_items_per_domain:int ->
+    ?checkpoint:Checkpoint.writer ->
+    ?resumed:(int, Codec.unit_result) Hashtbl.t ->
+    Task.t ->
+    Gdpn_core.Verify.report
+  (** Drain a task's units over the domain pool (the machinery behind
+      {!verify_exhaustive}).  With [checkpoint], one {!Codec.unit_result}
+      frame is appended the moment each unit drains (capped at
+      [max_failures] entries — higher ranks can never reach a merged
+      report); cutoff-skipped units are not recorded, since their
+      justification may still be in flight.  With [resumed] (from
+      {!Checkpoint.load}), recorded units are skipped, their entries seed
+      the early-stop cutoff and join the final merge — the resumed report
+      is byte-identical to an uninterrupted run's, under any domain or
+      process count.  Bumps [verify.units_resumed]. *)
 end

@@ -1,12 +1,27 @@
+(* Overflow-guarded addition: ranks at G(200,6) scale approach int63, and
+   a silent wrap would corrupt every downstream consumer (rank-tagged
+   merges, checkpoint spans) without any crash to notice.  The guard
+   checks {e before} the operation — the old [next < 0] post-check missed
+   products that wrap past the sign bit back into positive territory. *)
+let add_checked ~what a b =
+  if a > max_int - b then
+    invalid_arg (Printf.sprintf "Combinat.%s: overflow" what)
+  else a + b
+
 let binomial n k =
   if k < 0 || k > n then 0
   else begin
     let k = min k (n - k) in
     let acc = ref 1 in
     for j = 1 to k do
-      let next = !acc * (n - k + j) in
-      if next < 0 then invalid_arg "Combinat.binomial: overflow";
-      acc := next / j
+      let f = n - k + j in
+      (* Conservative within a factor of [j]: the running product holds
+         [C(n-k+j-1, j-1) * f = C(n-k+j, j) * j] before the division, so
+         values within [max_int / k] of the limit raise even when the
+         final binomial would fit.  Raising beats wrapping — callers that
+         need those extremes must widen, not guess. *)
+      if !acc > max_int / f then invalid_arg "Combinat.binomial: overflow";
+      acc := !acc * f / j
     done;
     !acc
   end
@@ -14,7 +29,7 @@ let binomial n k =
 let count_up_to n k =
   let acc = ref 0 in
   for j = 0 to k do
-    acc := !acc + binomial n j
+    acc := add_checked ~what:"count_up_to" !acc (binomial n j)
   done;
   !acc
 
@@ -85,10 +100,12 @@ let rank_of_subset n buf len =
   let lex = ref 0 and prev = ref (-1) in
   for i = 0 to len - 1 do
     let a = buf.(i) in
-    lex := !lex + (binomial (n - !prev - 1) (len - i) - binomial (n - a) (len - i));
+    lex :=
+      add_checked ~what:"rank_of_subset" !lex
+        (binomial (n - !prev - 1) (len - i) - binomial (n - a) (len - i));
     prev := a
   done;
-  base + !lex
+  add_checked ~what:"rank_of_subset" base !lex
 
 let fold_choose n k f init =
   let acc = ref init in

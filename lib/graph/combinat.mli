@@ -4,11 +4,20 @@
 
 val binomial : int -> int -> int
 (** [binomial n k] is "n choose k" (0 when [k < 0] or [k > n]).
-    Raises [Invalid_argument] on overflow of the native int range. *)
+    Raises [Invalid_argument] {e before} the native int range overflows —
+    the guard is checked ahead of each multiplication, so a product that
+    would wrap past the sign bit back into positive territory can never
+    be returned.  Conservative within a factor of [min k (n-k)]: the
+    guarded intermediate is [C(n-k+j, j) * j], so a handful of binomials
+    within that factor of [max_int] raise even though the exact value
+    fits. *)
 
 val count_up_to : int -> int -> int
 (** [count_up_to n k] is the number of subsets of an [n]-element universe of
-    size at most [k]: sum of [binomial n j] for [j = 0..k]. *)
+    size at most [k]: sum of [binomial n j] for [j = 0..k].  Raises
+    [Invalid_argument] if the sum would overflow (G(200,6)-scale universes
+    exceed int63 at larger [k]; verification spans must fail loudly, not
+    wrap). *)
 
 val iter_choose : int -> int -> (int array -> unit) -> unit
 (** [iter_choose n k f] calls [f] once for every size-[k] subset of
@@ -43,7 +52,8 @@ val rank_of_subset : int -> int array -> int -> int
     subset [buf.(0..len-1)] in the order {!iter_subsets_up_to} visits
     subsets: sizes ascending, lexicographic within a size.  Used to merge
     out-of-order (DFS, parallel) enumeration results back into the
-    canonical report order. *)
+    canonical report order.  Raises [Invalid_argument] rather than wrap
+    when the rank exceeds the native int range. *)
 
 val fold_choose : int -> int -> ('a -> int array -> 'a) -> 'a -> 'a
 (** Fold version of {!iter_choose}. *)

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Kill-and-resume smoke: run checkpointed exhaustive verification,
+# SIGKILL it mid-run, resume from the surviving checkpoint, and require
+# the final report to be identical to an uninterrupted run's.
+#
+# Exit 3 on report divergence (the CI-fatal outcome); otherwise exits
+# with the resumed verification's own status (0 = k-GD).  If the run
+# finishes before the kill lands, the resume below still exercises the
+# fully-recorded path and the comparison still applies.
+set -u
+
+GDP=${GDPN_GDP:-_build/default/bin/gdp.exe}
+N=${1:-30}
+K=${2:-4}
+KILL_AFTER=${3:-1.5}
+
+if [ ! -x "$GDP" ]; then
+  echo "resume-smoke: $GDP not found (dune build first, or set GDPN_GDP)" >&2
+  exit 2
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+"$GDP" verify -n "$N" -k "$K" >"$TMP/ref.out"
+grep '^checked' "$TMP/ref.out" >"$TMP/ref.report"
+
+"$GDP" verify -n "$N" -k "$K" --checkpoint "$TMP/run.ckpt" \
+  >"$TMP/killed.out" 2>&1 &
+pid=$!
+sleep "$KILL_AFTER"
+if kill -KILL "$pid" 2>/dev/null; then
+  echo "resume-smoke: SIGKILLed pid $pid ${KILL_AFTER}s into the run"
+else
+  echo "resume-smoke: run finished before the kill (still resuming)"
+fi
+wait "$pid" 2>/dev/null
+
+"$GDP" verify -n "$N" -k "$K" --resume "$TMP/run.ckpt" >"$TMP/resumed.out"
+status=$?
+grep '^resume:' "$TMP/resumed.out" || true
+grep '^checked' "$TMP/resumed.out" >"$TMP/resumed.report"
+
+if ! cmp -s "$TMP/ref.report" "$TMP/resumed.report"; then
+  echo "resume-smoke: DIVERGENCE between resumed and uninterrupted reports" >&2
+  diff "$TMP/ref.report" "$TMP/resumed.report" >&2 || true
+  exit 3
+fi
+echo "resume-smoke: resumed report identical to uninterrupted run"
+exit "$status"

@@ -132,6 +132,29 @@ let combinat_tests =
           (Combinat.exists_choose 10 2 (fun buf -> buf.(0) = 3 && buf.(1) = 7));
         check Alcotest.bool "absent" false
           (Combinat.exists_choose 4 2 (fun buf -> buf.(1) > 10)));
+    tc "overflow boundary raises, never wraps" (fun () ->
+        (* G(200,6)-scale ranks still fit int63 exactly. *)
+        check Alcotest.int "200C6" 82_408_626_300 (Combinat.binomial 200 6);
+        check Alcotest.int "count_up_to 200 6" 85_010_294_791
+          (Combinat.count_up_to 200 6);
+        let last = Array.init 6 (fun i -> 194 + i) in
+        check Alcotest.int "rank of last size-6 subset"
+          (Combinat.count_up_to 200 6 - 1)
+          (Combinat.rank_of_subset 200 last 6);
+        (* Past the representable range the guard must raise
+           Invalid_argument — the old post-hoc sign check missed products
+           wrapping back into positive territory. *)
+        let raises f =
+          match f () with
+          | (_ : int) -> false
+          | exception Invalid_argument _ -> true
+        in
+        check Alcotest.bool "binomial 300 150 raises" true
+          (raises (fun () -> Combinat.binomial 300 150));
+        check Alcotest.bool "binomial 100 50 raises" true
+          (raises (fun () -> Combinat.binomial 100 50));
+        check Alcotest.bool "count_up_to 300 150 raises" true
+          (raises (fun () -> Combinat.count_up_to 300 150)));
   ]
 
 let combinat_props =
