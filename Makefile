@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke resume-smoke clean
+.PHONY: all build test check bench bench-smoke resume-smoke chaos-smoke clean
 
 all: build
 
@@ -33,6 +33,18 @@ check: build test
 	dune exec bin/gdp.exe -- verify -n 8 -k 2 --procs 2 --crosscheck
 	dune exec bin/gdp.exe -- verify -n 3 -k 5 --procs 2 --symmetry --crosscheck
 	$(MAKE) resume-smoke
+	$(MAKE) chaos-smoke
+
+# Deterministic chaos smoke: seeded multi-year fault storms on G(9,2)
+# through all three rate profiles.  Exit 1 = invariant violation (the
+# failing run prints its seed and minimal event prefix; replay with
+# `gdp chaos --profile P --seed N`); exit 4 = a run failed to exercise
+# the required fault kinds beyond plain node death.
+chaos-smoke: build
+	dune exec bin/gdp.exe -- chaos -n 9 -k 2 --profile chaos --seed 1 \
+	  --count 3 --require-kinds node,link,colored,neighbor
+	dune exec bin/gdp.exe -- chaos -n 9 -k 2 --profile aggressive --seed 7
+	dune exec bin/gdp.exe -- chaos -n 9 -k 2 --profile mild --seed 7
 
 # Kill-and-resume smoke: SIGKILL a checkpointed G(30,4) verification
 # (149,986 fault sets, ~4 s) mid-run, resume it, and require the final

@@ -430,7 +430,7 @@ let b10_des =
              Sys.opaque_identity
                (Faultsim.Des.simulate
                   ~machine:(Faultsim.Machine.create inst)
-                  ~stages ~config:cfg ~faults:[] ~tokens:60)));
+                  ~stages ~config:cfg ~faults:[] ~tokens:60 ())));
       Test.make ~name:"60 tokens, one mid-stream fault"
         (Staged.stage (fun () ->
              Sys.opaque_identity
@@ -438,7 +438,7 @@ let b10_des =
                   ~machine:(Faultsim.Machine.create inst)
                   ~stages ~config:cfg
                   ~faults:[ (100_000, proc) ]
-                  ~tokens:60)));
+                  ~tokens:60 ())));
     ]
 
 let b11_engine =

@@ -8,6 +8,7 @@
      table     print a theorem degree table
      compare   run the prior-work comparison (E12)
      simulate  stream a workload through the network under fault injection
+     chaos     deterministic multi-year fault storm with invariant checks
      figure    regenerate a paper figure as a DOT file
      impossibility  run the Lemma 3.14 machine check *)
 
@@ -883,6 +884,109 @@ let simulate_cmd =
     Term.(const run $ n_arg $ k_arg $ stages_arg $ rounds_arg $ count_arg
           $ seed_arg $ model_arg $ trace_out_arg)
 
+(* -------------------- chaos -------------------- *)
+
+let chaos_cmd =
+  let profile_arg =
+    Arg.(value & opt string "chaos" & info [ "profile" ] ~docv:"PROFILE"
+           ~doc:"Fault-rate profile: $(b,mild), $(b,aggressive) or \
+                 $(b,chaos) (default).")
+  in
+  let count_arg =
+    Arg.(value & opt int 1 & info [ "count" ] ~docv:"C"
+           ~doc:"Run $(docv) consecutive seeds starting at --seed.")
+  in
+  let years_arg =
+    Arg.(value & opt int 1 & info [ "years" ] ~docv:"Y"
+           ~doc:"Virtual years of operation per run.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 200 & info [ "ops-per-day" ] ~docv:"OPS"
+           ~doc:"Virtual operations per virtual day.")
+  in
+  let require_kinds_arg =
+    Arg.(value & opt (some string) None & info [ "require-kinds" ]
+           ~docv:"KINDS"
+           ~doc:"Comma-separated fault kinds that must all be covered \
+                 across the runs (node, link, colored, neighbor, burst, \
+                 follow-up); exit 4 if any is missing.")
+  in
+  let events_arg =
+    Arg.(value & flag & info [ "events" ]
+           ~doc:"Print the full event trace of every run (violating runs \
+                 always print their prefix).")
+  in
+  let run n k merged profile_name seed count years ops_per_day require events
+      trace_out =
+    with_trace trace_out @@ fun () ->
+    match Faultsim.Scenario.profile_of_name profile_name with
+    | None ->
+      pf "error: unknown profile %S (expected mild, aggressive or chaos)@."
+        profile_name;
+      2
+    | Some profile -> (
+      let required =
+        match require with
+        | None -> Ok []
+        | Some s ->
+          let names =
+            List.filter (fun x -> x <> "") (String.split_on_char ',' s)
+          in
+          List.fold_left
+            (fun acc name ->
+              match (acc, Faultsim.Scenario.kind_of_name name) with
+              | Error e, _ -> Error e
+              | Ok ks, Some kind -> Ok (kind :: ks)
+              | Ok _, None -> Error name)
+            (Ok []) names
+      in
+      match required with
+      | Error name ->
+        pf "error: unknown fault kind %S@." name;
+        2
+      | Ok required ->
+        let config =
+          { Faultsim.Scenario.default_config with years; ops_per_day }
+        in
+        let inst = build_instance n k merged in
+        let violated = ref false in
+        let covered = ref [] in
+        for i = 0 to count - 1 do
+          let r =
+            Faultsim.Scenario.run ~config ~profile ~seed:(seed + i) inst
+          in
+          pf "%a@." Faultsim.Scenario.pp_run r;
+          if events && r.Faultsim.Scenario.violation = None then
+            List.iter
+              (fun e -> pf "  %a@." Faultsim.Scenario.pp_entry e)
+              r.Faultsim.Scenario.events;
+          if r.Faultsim.Scenario.violation <> None then violated := true;
+          List.iter
+            (fun kind ->
+              if not (List.mem kind !covered) then covered := kind :: !covered)
+            r.Faultsim.Scenario.kinds_covered
+        done;
+        let missing =
+          List.filter (fun kind -> not (List.mem kind !covered)) required
+        in
+        if !violated then 1
+        else if missing <> [] then begin
+          pf "missing required fault kinds: %s@."
+            (String.concat ","
+               (List.map Faultsim.Scenario.kind_name missing));
+          4
+        end
+        else 0)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Deterministic chaos run: a seeded multi-year fault storm with \
+             shadow-state invariant checks after every event; any failing \
+             seed replays byte-identically.")
+    Term.(const run $ n_arg $ k_arg $ merged_arg $ profile_arg $ seed_arg
+          $ count_arg $ years_arg $ ops_arg $ require_kinds_arg $ events_arg
+          $ trace_out_arg)
+
 (* -------------------- figure -------------------- *)
 
 let figure_cmd =
@@ -1347,7 +1451,7 @@ let () =
           [
             build_cmd; solve_cmd; verify_cmd; verify_worker_cmd; table_cmd;
             compare_cmd;
-            simulate_cmd; figure_cmd; impossibility_cmd; links_cmd;
+            simulate_cmd; chaos_cmd; figure_cmd; impossibility_cmd; links_cmd;
             tolerance_cmd; trace_cmd; save_cmd; check_cmd; survival_cmd;
             draw_cmd; bounds_cmd; console_cmd; plan_cmd; certify_cmd;
             check_cert_cmd; census_cmd; stats_cmd;

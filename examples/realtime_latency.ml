@@ -26,7 +26,7 @@ let percentile latencies p =
 
 let run ~label ~local_repair inst faults =
   let machine = Machine.create ~local_repair inst in
-  let o = Des.simulate ~machine ~stages ~config ~faults ~tokens in
+  let o = Des.simulate ~machine ~stages ~config ~faults ~tokens () in
   Format.printf "%-24s %a (p50=%d local-repairs=%d)@." label Des.pp_outcome o
     (percentile o.Des.latencies 50)
     (Machine.local_repair_count machine);

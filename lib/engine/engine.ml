@@ -108,6 +108,18 @@ let reset t =
   t.stats.splices <- 0;
   t.stats.full_solves <- 0
 
+(* A process crash loses exactly the in-memory plan caches — nothing
+   else: the cumulative stats model external monitoring, which survives a
+   restart.  The chaos harness (Gdpn_faultsim.Scenario) injects this to
+   check that plan-cache coherence holds across cold restarts while the
+   caches rebuild. *)
+let m_crash_restarts = Metrics.counter "engine.crash_restarts"
+
+let crash_restart t =
+  Masks.reset t.cache;
+  Hashtbl.reset t.model_caches;
+  Metrics.incr m_crash_restarts
+
 (* The caller mutates its mask between calls, so the cache must own its
    keys: copy on insert (misses only — hits stay allocation-free). *)
 let remember t mask outcome =

@@ -90,6 +90,15 @@ val cache_size : t -> int
 val reset : t -> unit
 (** Drop all cached plans and zero the counters. *)
 
+val crash_restart : t -> unit
+(** Simulate an engine process crash and restart: drop every cached plan
+    (the in-memory state a real restart loses) but keep the cumulative
+    {!stats} — they model external monitoring, which survives restarts.
+    Subsequent solves rebuild the cache from scratch; bumps the
+    [engine.crash_restarts] metric.  The chaos harness
+    ([Gdpn_faultsim.Scenario]) injects this to check plan-cache coherence
+    across cold restarts. *)
+
 val verify_exhaustive :
   ?max_failures:int ->
   ?universe:int list ->

@@ -1,8 +1,9 @@
 open Gdpn_core
 
-type t = { machine : Machine.t; inst : Instance.t }
+type t = { machine : Machine.t; inst : Instance.t; rng : Stream.Prng.t }
 
-let create inst = { machine = Machine.create inst; inst }
+let create ?(seed = 42) inst =
+  { machine = Machine.create inst; inst; rng = Stream.Prng.create seed }
 let machine t = t.machine
 
 let help_text =
@@ -72,10 +73,13 @@ let eval t line =
     match int_of_string_opt n with
     | None | Some 0 -> `Reply (Printf.sprintf "not a trial count: %s" n)
     | Some trials ->
+      (* The trial seed derives from the console's own Prng chain, so a
+         whole interactive session replays from one seed; routing through
+         the engine keeps stdlib Random out of lib/faultsim entirely. *)
+      let seed = Stream.Prng.int t.rng max_int in
       let report =
-        Verify.sampled
-          ~rng:(Random.State.make [| trials |])
-          ~trials t.inst
+        Gdpn_engine.Engine.verify_sampled ~seed ~trials
+          (Machine.engine t.machine)
       in
       `Reply (Format.asprintf "%a" Verify.pp_report report))
   | cmd :: _ -> `Reply (Printf.sprintf "unknown command %S; %s" cmd help_text)

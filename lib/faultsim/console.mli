@@ -17,7 +17,10 @@
 
 type t
 
-val create : Gdpn_core.Instance.t -> t
+val create : ?seed:int -> Gdpn_core.Instance.t -> t
+(** [seed] (default 42) seeds the console's own {!Stream.Prng} chain;
+    every [verify N] command draws its sampling seed from it, so a whole
+    interactive session replays byte-identically from one seed. *)
 
 val eval : t -> string -> [ `Reply of string | `Quit ]
 (** Unknown commands produce a [`Reply] explaining the problem; [eval]

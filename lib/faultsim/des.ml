@@ -52,6 +52,7 @@ type outcome = {
   faults_injected : int;
   faults_applied : int;
   faults_late : int;
+  stream_lost : bool;
   latencies : int array;
   activity : activity list;
 }
@@ -73,7 +74,7 @@ let stage_costs ~stages ~frame =
     stages;
   costs
 
-let simulate ~machine ~stages ~config ~faults ~tokens =
+let simulate ?(on_lost = `Fail) ~machine ~stages ~config ~faults ~tokens () =
   let sim_start = Mclock.now_ns () in
   Metrics.incr m_simulations;
   let inst = Machine.instance machine in
@@ -108,6 +109,7 @@ let simulate ~machine ~stages ~config ~faults ~tokens =
   let makespan = ref 0 in
   let stall_total = ref 0 in
   let applied = ref 0 in
+  let lost = ref false in
 
   let start_next now host =
     if (not busy.(host)) && not (Queue.is_empty queues.(host)) then begin
@@ -159,7 +161,15 @@ let simulate ~machine ~stages ~config ~faults ~tokens =
     let before_local = Machine.local_repair_count machine in
     match Machine.inject machine node with
     | Machine.Unchanged -> ()
-    | Machine.Lost -> failwith "Des.simulate: stream lost (fault beyond spec)"
+    | Machine.Lost -> (
+      match on_lost with
+      | `Fail -> failwith "Des.simulate: stream lost (fault beyond spec)"
+      | `Stop ->
+        (* Beyond-spec fault: no pipeline survives.  Record the loss and
+           let the main loop stop — in-flight and queued tokens stay
+           incomplete (latency -1), remaining scheduled events are
+           abandoned. *)
+        lost := true)
     | Machine.Remapped _ ->
       let local = Machine.local_repair_count machine > before_local in
       Metrics.incr (if local then m_local_repairs else m_global_remaps);
@@ -229,7 +239,7 @@ let simulate ~machine ~stages ~config ~faults ~tokens =
   let guard = ref 0 in
   let limit = 1000 * (tokens + List.length faults + 1) * (n_stages + 1) in
   let rec loop () =
-    if !completed < tokens then
+    if !completed < tokens && not !lost then
       match Pqueue.pop events with
       | None -> failwith "Des.simulate: event queue drained early"
       | Some (now, ev) ->
@@ -263,27 +273,41 @@ let simulate ~machine ~stages ~config ~faults ~tokens =
       drain ()
     | Some (_, (Arrival _ | Finish _)) -> drain ()
   in
-  drain ();
+  (* A lost stream has no machine to keep faulting — every remaining
+     event (fault or not) is abandoned, and [faults_applied] reflects
+     only what ran before the loss. *)
+  if not !lost then drain ();
   let late = !applied - applied_in_run in
   Metrics.add m_faults_late late;
   Metrics.add m_tokens !completed;
 
   let lat = Array.sub latencies 0 tokens in
-  let sum = Array.fold_left ( + ) 0 lat in
-  let sorted = Array.copy lat in
+  (* Latency statistics cover completed tokens only: on a lost stream the
+     unfinished tokens keep latency -1 in [latencies], and folding those
+     into mean/max/p99 would be nonsense.  On a completed run [fin] is
+     [lat] itself, so the statistics are unchanged. *)
+  let fin =
+    if !lost then
+      Array.of_seq (Seq.filter (fun x -> x >= 0) (Array.to_seq lat))
+    else lat
+  in
+  let nfin = Array.length fin in
+  let sum = Array.fold_left ( + ) 0 fin in
+  let sorted = Array.copy fin in
   Array.sort compare sorted;
   let outcome =
     {
       tokens_completed = !completed;
       makespan = !makespan;
       mean_latency =
-        (if tokens = 0 then 0.0 else float_of_int sum /. float_of_int tokens);
-      max_latency = (if tokens = 0 then 0 else sorted.(tokens - 1));
-      p99_latency = (if tokens = 0 then 0 else Stats.percentile_int lat 99);
+        (if nfin = 0 then 0.0 else float_of_int sum /. float_of_int nfin);
+      max_latency = (if nfin = 0 then 0 else sorted.(nfin - 1));
+      p99_latency = (if nfin = 0 then 0 else Stats.percentile_int fin 99);
       stall_time = !stall_total;
       faults_injected = List.length faults;
       faults_applied = !applied;
       faults_late = late;
+      stream_lost = !lost;
       latencies = lat;
       activity = List.rev !activity;
     }
@@ -310,6 +334,7 @@ let pp_outcome ppf o =
      faults=%d/%d%s"
     o.tokens_completed o.makespan o.mean_latency o.p99_latency o.max_latency
     o.stall_time o.faults_applied o.faults_injected
-    (if o.faults_late > 0 then
+    (if o.stream_lost then " STREAM LOST"
+     else if o.faults_late > 0 then
        Printf.sprintf " (%d after completion)" o.faults_late
      else "")

@@ -54,6 +54,11 @@ type outcome = {
       (** faults applied after the last token completed (they still
           mutate the machine and count into [stall_time], but cannot
           affect any token's latency) *)
+  stream_lost : bool;
+      (** a fault killed the pipeline and the run was stopped
+          ([~on_lost:`Stop] only — the default raises instead).  Latency
+          statistics then cover completed tokens only; unfinished tokens
+          keep latency [-1] in [latencies]. *)
   latencies : int array;  (** per-token end-to-end latency, arrival order *)
   activity : activity list;
       (** every completed service interval, in completion order — feeds
@@ -61,18 +66,24 @@ type outcome = {
 }
 
 val simulate :
+  ?on_lost:[ `Fail | `Stop ] ->
   machine:Machine.t ->
   stages:Stage.t list ->
   config:config ->
   faults:(int * int) list ->
   tokens:int ->
+  unit ->
   outcome
-(** [simulate ~machine ~stages ~config ~faults ~tokens] runs [tokens]
+(** [simulate ~machine ~stages ~config ~faults ~tokens ()] runs [tokens]
     arrivals with faults given as [(time, node)] pairs.  The machine must
     hold a live pipeline.  Faults scheduled after the last token
     completes are still applied (draining the event queue), so the
-    machine's end state always reflects the whole schedule.  Raises
-    [Failure] if a fault kills the stream entirely (in-spec fault lists
-    never do). *)
+    machine's end state always reflects the whole schedule.  [on_lost]
+    selects the beyond-spec behaviour when a fault kills the stream
+    entirely: [`Fail] (the default) raises [Failure] — in-spec fault
+    lists never lose the stream — while [`Stop] ends the run cleanly
+    with [stream_lost = true] and every remaining scheduled event
+    abandoned, which is what the chaos harness ({!Scenario}) needs to
+    keep driving the machine past the loss. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -3,7 +3,13 @@ open Gdpn_core
 type event = { round : int; node : int }
 type schedule = event list
 
-let sort_schedule s = List.sort (fun a b -> compare a.round b.round) s
+(* Stable sort under a total (round, node) key: [List.sort] does not
+   guarantee stability, so ordering same-round events by round alone left
+   their relative order unspecified — schedules built from the same seed
+   could replay in different orders.  Schedules never repeat a node, so
+   the key is total and the result order is unique. *)
+let sort_schedule s =
+  List.stable_sort (fun a b -> compare (a.round, a.node) (b.round, b.node)) s
 
 let distinct_sample rng pool count =
   let arr = Array.of_list pool in

@@ -8,7 +8,14 @@
 type event = { round : int; node : int }
 
 type schedule = event list
-(** Sorted by round. *)
+(** Sorted by the total key [(round, node)], so any schedule over
+    distinct nodes has exactly one valid order and replays
+    byte-identically from its seed. *)
+
+val sort_schedule : schedule -> schedule
+(** Stable sort under the total [(round, node)] key — the normal form
+    every generator below returns.  Exposed so replay tooling (and the
+    tests) can normalise hand-built schedules the same way. *)
 
 val random :
   rng:Stream.Prng.t -> Gdpn_core.Instance.t -> count:int -> rounds:int -> schedule

@@ -113,6 +113,17 @@ let local_repair_count t = t.local_repairs
 
 let plan_cache_hits t = (Engine.stats t.engine).Engine.cache_hits
 
+(* Engine crash/restart: the engine loses its plan caches, then the
+   machine re-solves its current mask through the cold engine (the
+   plan-cache rebuild).  Not a fault: the fault list, remap and repair
+   counters are untouched.  The re-embedded pipeline may legitimately
+   differ from the pre-crash one (cache iteration order is gone), but it
+   must exist whenever a pipeline existed before — the chaos harness
+   checks exactly that. *)
+let restart t =
+  Engine.crash_restart t.engine;
+  ignore (resolve t)
+
 let inject t node =
   let universe_size =
     match t.model with

@@ -69,6 +69,14 @@ val utilization : t -> float
 (** [used / healthy]; 0 when the pipeline is lost, 1 when all healthy
     processors are in use. *)
 
+val restart : t -> unit
+(** Simulate an engine crash/restart ({!Gdpn_engine.Engine.crash_restart}):
+    the shared engine drops its plan caches, then the machine re-embeds
+    its current fault mask through the cold engine, rebuilding the cache.
+    Not a fault — fault list and repair counters are untouched.  The new
+    pipeline may differ from the old one but must exist whenever one
+    existed before the crash. *)
+
 val inject : t -> int -> inject_result
 (** Mark a node (or, with a model, a universe element) faulty and
     re-embed: first the O(degree) local patch ({!Gdpn_core.Repair}), then

@@ -15,9 +15,31 @@ module Prng = struct
 
   let int t bound =
     if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
-    next t mod bound
+    (* Rejection sampling: [next] is uniform on [0, max_int], which is
+       2^62 values; plain [mod bound] over-weights the low residues
+       whenever bound does not divide 2^62.  Draws below [limit] cover
+       exactly (limit / bound) full copies of [0, bound); anything at or
+       above is redrawn.  Deterministic: the redraw count is a pure
+       function of the state. *)
+    let r = max_int mod bound in
+    let limit = max_int - r in
+    let rec draw () =
+      let v = next t in
+      if v < limit then v mod bound else draw ()
+    in
+    draw ()
 
-  let float t bound = float_of_int (next t) /. float_of_int max_int *. bound
+  let float t bound =
+    if not (bound > 0.0) then invalid_arg "Prng.float: bound must be positive";
+    (* Take the top 53 bits so the int-to-float conversion is exact, then
+       scale by 2^-53: uniform on [0, 1).  The old
+       [next t / max_int *. bound] form rounded to exactly [bound] for
+       draws near max_int, breaking half-open-interval consumers such as
+       [Injector.geometric]'s [float rng 1.0 < rate].  The final clamp
+       guards the multiply-by-bound rounding for the same reason. *)
+    let u = float_of_int (next t lsr 9) *. 0x1p-53 in
+    let x = u *. bound in
+    if x < bound then x else Float.pred bound
 
   let split t = create (next t)
 end

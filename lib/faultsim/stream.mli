@@ -11,10 +11,18 @@ module Prng : sig
   (** Seeded generator. *)
 
   val int : t -> int -> int
-  (** [int t bound] is uniform on [0, bound). *)
+  (** [int t bound] is uniform on [0, bound) — exactly uniform via
+      deterministic rejection sampling (no modulo bias), never [bound].
+      The number of raw draws consumed is a pure function of the
+      generator state, so sequences replay byte-identically from a seed.
+      @raise Invalid_argument if [bound <= 0]. *)
 
   val float : t -> float -> float
-  (** [float t bound] is uniform on [0, bound). *)
+  (** [float t bound] is uniform on the half-open interval [0, bound):
+      the result is always strictly less than [bound], so
+      [float t 1.0 < rate] implements a probability-[rate] event with no
+      edge case at the top of the range.
+      @raise Invalid_argument if [bound] is not strictly positive. *)
 
   val split : t -> t
   (** Derive an independent generator (for per-component streams). *)

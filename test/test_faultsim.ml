@@ -154,7 +154,7 @@ let stage_tests =
              ~machine:(Machine.create ~local_repair:false inst)
              ~stages ~config:cfg
              ~faults:[ (60_000, proc) ]
-             ~tokens:30)
+             ~tokens:30 ())
             .Des.stall_time
         in
         (* Same chain shape, but heavy 8-tap filters vs stateless gains. *)
@@ -196,6 +196,44 @@ let stream_tests =
           let f = Stream.Prng.float rng 1.0 in
           check Alcotest.bool "float in range" true (f >= 0.0 && f <= 1.0)
         done);
+    tc "prng int has no modulo bias (uniformity regression)" (fun () ->
+        (* With bound = 2/3 of the generator range, the old [next mod
+           bound] mapped roughly 2/3 of all draws below [max_int - bound]
+           (those residues get two preimages); an unbiased generator puts
+           exactly 1/2 of its mass there.  10_000 draws put the biased
+           fraction 30+ standard errors away from 0.5, so this cannot
+           flap. *)
+        let bound = max_int / 3 * 2 in
+        let threshold = max_int - bound in
+        let rng = Stream.Prng.create 271828 in
+        let draws = 10_000 in
+        let below = ref 0 in
+        for _ = 1 to draws do
+          if Stream.Prng.int rng bound < threshold then incr below
+        done;
+        let frac = float_of_int !below /. float_of_int draws in
+        check Alcotest.bool
+          (Printf.sprintf "fraction %.3f should be ~0.5, not ~0.667" frac)
+          true
+          (frac > 0.45 && frac < 0.55));
+    tc "prng float stays strictly below its bound" (fun () ->
+        let rng = Stream.Prng.create 31337 in
+        for _ = 1 to 10_000 do
+          let f = Stream.Prng.float rng 1.0 in
+          check Alcotest.bool "in [0, 1)" true (f >= 0.0 && f < 1.0)
+        done;
+        Alcotest.check_raises "bound 0 rejected"
+          (Invalid_argument "Prng.float: bound must be positive") (fun () ->
+            ignore (Stream.Prng.float rng 0.0)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"prng int is bounded for any seed and bound"
+         ~count:200
+         QCheck.(pair int (int_range 1 1_000_000))
+         (fun (seed, bound) ->
+           let rng = Stream.Prng.create seed in
+           List.for_all
+             (fun v -> v >= 0 && v < bound)
+             (List.init 50 (fun _ -> Stream.Prng.int rng bound))));
     tc "prng split decorrelates" (fun () ->
         let a = Stream.Prng.create 3 in
         let b = Stream.Prng.split a in
@@ -314,6 +352,41 @@ let injector_tests =
         let nodes = List.map (fun e -> e.Injector.node) s in
         check Alcotest.int "distinct" (List.length nodes)
           (List.length (List.sort_uniq compare nodes)));
+    tc "sort_schedule breaks same-round ties by node (replay stability)"
+      (fun () ->
+        (* [List.sort] on round alone leaves same-round order unspecified,
+           so two builds of the same schedule could replay faults in
+           different orders.  The total (round, node) key has exactly one
+           valid order — any permutation must normalise to it. *)
+        let open Injector in
+        let events =
+          [ { round = 1; node = 5 }; { round = 0; node = 9 };
+            { round = 1; node = 2 }; { round = 1; node = 7 };
+            { round = 0; node = 1 } ]
+        in
+        let expected =
+          [ { round = 0; node = 1 }; { round = 0; node = 9 };
+            { round = 1; node = 2 }; { round = 1; node = 5 };
+            { round = 1; node = 7 } ]
+        in
+        check Alcotest.bool "normal form" true
+          (sort_schedule events = expected);
+        (* Every permutation of the input normalises identically. *)
+        let rec permutations = function
+          | [] -> [ [] ]
+          | l ->
+            List.concat_map
+              (fun x ->
+                List.map
+                  (fun p -> x :: p)
+                  (permutations (List.filter (fun y -> y <> x) l)))
+              l
+        in
+        List.iter
+          (fun p ->
+            check Alcotest.bool "permutation-invariant" true
+              (sort_schedule p = expected))
+          (permutations events));
     tc "processors-only schedule hits processors" (fun () ->
         let inst = Family.build ~n:9 ~k:2 in
         let rng = Stream.Prng.create 6 in
@@ -607,7 +680,7 @@ let des_tests =
   [
     tc "fault-free run completes all tokens with flat latency" (fun () ->
         let machine = Machine.create (Family.build ~n:9 ~k:2) in
-        let o = Des.simulate ~machine ~stages ~config:cfg ~faults:[] ~tokens:40 in
+        let o = Des.simulate ~machine ~stages ~config:cfg ~faults:[] ~tokens:40 () in
         check Alcotest.int "all tokens" 40 o.Des.tokens_completed;
         check Alcotest.int "no stall" 0 o.Des.stall_time;
         (* In steady state with arrival period above the bottleneck service
@@ -617,7 +690,7 @@ let des_tests =
     tc "latency equals sum of stage costs when uncontended" (fun () ->
         let machine = Machine.create (Family.build ~n:9 ~k:2) in
         let o =
-          Des.simulate ~machine ~stages ~config:cfg ~faults:[] ~tokens:5
+          Des.simulate ~machine ~stages ~config:cfg ~faults:[] ~tokens:5 ()
         in
         (* 11 processors > 8 stages: each stage has its own host, so
            end-to-end latency = sum of the stage costs. *)
@@ -632,7 +705,7 @@ let des_tests =
         let clean =
           Des.simulate
             ~machine:(Machine.create inst)
-            ~stages ~config:cfg ~faults:[] ~tokens:60
+            ~stages ~config:cfg ~faults:[] ~tokens:60 ()
         in
         let proc = List.nth (Gdpn_core.Instance.processors inst) 3 in
         let faulty =
@@ -640,7 +713,7 @@ let des_tests =
             ~machine:(Machine.create inst)
             ~stages ~config:cfg
             ~faults:[ (100_000, proc) ]
-            ~tokens:60
+            ~tokens:60 ()
         in
         check Alcotest.int "still all tokens" 60 faulty.Des.tokens_completed;
         check Alcotest.bool "spike exists" true
@@ -668,14 +741,14 @@ let des_tests =
         let with_repair =
           Des.simulate ~machine ~stages ~config:cfg
             ~faults:[ (50_000, unused) ]
-            ~tokens:40
+            ~tokens:40 ()
         in
         let without =
           Des.simulate
             ~machine:(Machine.create ~local_repair:false inst)
             ~stages ~config:cfg
             ~faults:[ (50_000, unused) ]
-            ~tokens:40
+            ~tokens:40 ()
         in
         check Alcotest.int "splice stall" cfg.Des.splice_latency
           with_repair.Des.stall_time;
@@ -690,7 +763,7 @@ let des_tests =
         let run () =
           Des.simulate
             ~machine:(Machine.create inst)
-            ~stages ~config:cfg ~faults ~tokens:50
+            ~stages ~config:cfg ~faults ~tokens:50 ()
         in
         let a = run () and b = run () in
         check Alcotest.bool "same latencies" true
@@ -699,7 +772,7 @@ let des_tests =
     tc "saturated arrivals queue but nothing is dropped" (fun () ->
         let machine = Machine.create (Family.build ~n:4 ~k:1) in
         let cfg = { cfg with arrival_period = 10 } in
-        let o = Des.simulate ~machine ~stages ~config:cfg ~faults:[] ~tokens:30 in
+        let o = Des.simulate ~machine ~stages ~config:cfg ~faults:[] ~tokens:30 () in
         check Alcotest.int "all tokens" 30 o.Des.tokens_completed;
         (* Later tokens wait behind earlier ones: latency grows. *)
         check Alcotest.bool "queueing visible" true
@@ -716,7 +789,7 @@ let des_tests =
         let baseline =
           Des.simulate
             ~machine:(Machine.create inst)
-            ~stages ~config:cfg ~faults:[] ~tokens:10
+            ~stages ~config:cfg ~faults:[] ~tokens:10 ()
         in
         (* Well past the fault-free makespan: the fault fires after every
            token is done. *)
@@ -724,7 +797,7 @@ let des_tests =
         let o =
           Des.simulate ~machine ~stages ~config:cfg
             ~faults:[ (late_at, proc) ]
-            ~tokens:10
+            ~tokens:10 ()
         in
         check Alcotest.int "injected" 1 o.Des.faults_injected;
         check Alcotest.int "applied" 1 o.Des.faults_applied;
@@ -744,7 +817,7 @@ let des_tests =
             ~machine:(Machine.create inst)
             ~stages ~config:cfg
             ~faults:[ (100_000, proc) ]
-            ~tokens:60
+            ~tokens:60 ()
         in
         check Alcotest.int "injected" 1 o.Des.faults_injected;
         check Alcotest.int "applied" 1 o.Des.faults_applied;
@@ -755,7 +828,7 @@ let des_tests =
           (Invalid_argument "Des.simulate: empty stage chain") (fun () ->
             ignore
               (Des.simulate ~machine ~stages:[] ~config:cfg ~faults:[]
-                 ~tokens:1)));
+                 ~tokens:1 ())));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -849,7 +922,7 @@ let gantt_tests =
       ~machine:(Machine.create inst)
       ~stages:(Stage.fir_bank 6)
       ~config:{ Des.default_config with arrival_period = 3000 }
-      ~faults:[] ~tokens:10
+      ~faults:[] ~tokens:10 ()
   in
   [
     tc "activity intervals are consistent" (fun () ->
@@ -891,7 +964,7 @@ let gantt_tests =
           Des.simulate
             ~machine:(Machine.create (Family.build ~n:4 ~k:1))
             ~stages:(Stage.fir_bank 2)
-            ~config:Des.default_config ~faults:[] ~tokens:0
+            ~config:Des.default_config ~faults:[] ~tokens:0 ()
         in
         check Alcotest.bool "note" true
           (Testutil.contains_substring (Gantt.render o) "no activity"));
@@ -953,6 +1026,31 @@ let console_tests =
         ignore (reply c "fault 2");
         check Alcotest.bool "lost" true
           (Testutil.contains_substring (reply c "fault 3") "LOST"));
+    tc "verify replays from the console seed, not global Random state"
+      (fun () ->
+        (* The verify command used to build its RNG from stdlib
+           [Random.State.make [| trials |]]; now every draw derives from
+           the console's own Prng chain, so two consoles with the same
+           seed agree even when the global Random state differs. *)
+        let inst = Family.build ~n:4 ~k:1 in
+        let a = Console.create ~seed:9 inst in
+        let b = Console.create ~seed:9 inst in
+        Random.init 1;
+        let ra = reply a "verify 40" in
+        Random.init 999;
+        let rb = reply b "verify 40" in
+        check Alcotest.string "same report" ra rb;
+        (* Successive verifies advance the chain: the session replays as a
+           whole, not each command from scratch. *)
+        let c = Console.create ~seed:9 inst in
+        ignore (reply c "verify 40");
+        let second = reply c "verify 40" in
+        check Alcotest.string "chained session replays" second
+          (reply
+             (let d = Console.create ~seed:9 inst in
+              ignore (reply d "verify 40");
+              d)
+             "verify 40"));
   ]
 
 let () =

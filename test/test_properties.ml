@@ -353,7 +353,7 @@ let des_props =
             ~machine:(Machine.create inst)
             ~stages:(Stage.fir_bank 5)
             ~config:{ Des.default_config with arrival_period = 5000 }
-            ~faults:[] ~tokens
+            ~faults:[] ~tokens ()
         in
         o.Des.tokens_completed = tokens
         && Array.length o.Des.latencies = tokens
@@ -371,7 +371,7 @@ let des_props =
         let o =
           Des.simulate
             ~machine:(Machine.create inst)
-            ~stages ~config:cfg ~faults:[] ~tokens
+            ~stages ~config:cfg ~faults:[] ~tokens ()
         in
         let expected =
           List.fold_left
@@ -392,7 +392,7 @@ let des_props =
             ~machine:(Machine.create inst)
             ~stages
             ~config:{ Des.default_config with arrival_period = p }
-            ~faults:[] ~tokens
+            ~faults:[] ~tokens ()
         in
         let fast = run period and slow = run (2 * period) in
         Array.for_all2 (fun a b -> b <= a) fast.Des.latencies
