@@ -1,4 +1,5 @@
-.PHONY: all build test check bench bench-smoke resume-smoke chaos-smoke clean
+.PHONY: all build test check bench bench-smoke resume-smoke chaos-smoke \
+  serve-smoke clean
 
 all: build
 
@@ -34,6 +35,7 @@ check: build test
 	dune exec bin/gdp.exe -- verify -n 3 -k 5 --procs 2 --symmetry --crosscheck
 	$(MAKE) resume-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) serve-smoke
 
 # Deterministic chaos smoke: seeded multi-year fault storms on G(9,2)
 # through all three rate profiles.  Exit 1 = invariant violation (the
@@ -53,6 +55,13 @@ chaos-smoke: build
 resume-smoke: build
 	sh scripts/resume_smoke.sh 30 4 1.5
 
+# Daemon smoke: gdpd on a temp Unix socket, a bench-client burst with
+# --check (every response compared against a direct Engine.solve replay
+# of the same seeded pool; exit 3 on divergence), metrics snapshot
+# sanity, protocol shutdown, clean daemon exit.
+serve-smoke: build
+	sh scripts/serve_smoke.sh 9:2,6:2 2048 128
+
 bench:
 	dune exec bench/main.exe
 
@@ -64,6 +73,7 @@ bench-smoke:
 	dune exec bench/main.exe -- --only B13 --json /tmp/gdpn-bench-smoke-kernel.json
 	dune exec bench/main.exe -- --only B14 --json /tmp/gdpn-bench-smoke-splice.json
 	dune exec bench/main.exe -- --only B15 --json /tmp/gdpn-bench-smoke-fault-model.json
+	dune exec bench/main.exe -- --only B17 --json /tmp/gdpn-bench-smoke-server.json
 
 clean:
 	dune clean

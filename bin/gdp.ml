@@ -1413,6 +1413,15 @@ let stats_cmd =
       pf "%a@." Instance.pp inst;
       pf "workload: verify (%a), simulate (%a)@." Verify.pp_report report
         Faultsim.Runner.pp_metrics metrics;
+      let occupied =
+        Array.fold_left (fun acc (n, _) -> acc + n) 0
+          (Engine.cache_shard_stats engine)
+      in
+      pf "plan cache: %d/%d entries (%d total incl. models) across %d \
+          shards, %d evicted@."
+        occupied (Engine.cache_capacity engine) (Engine.cache_total engine)
+        (Array.length (Engine.cache_shard_stats engine))
+        (Engine.cache_evictions engine);
       pf "@.%a@." Metrics.pp_snapshot snap
     end;
     0
@@ -1422,6 +1431,18 @@ let stats_cmd =
        ~doc:"Run a representative workload and dump the metrics registry.")
     Term.(const run $ n_arg $ k_arg $ rounds_arg $ inject_arg $ seed_arg
           $ json_arg $ trace_out_arg)
+
+(* -------------------- serve / bench-client -------------------- *)
+
+(* The daemon front end lives in Serve_cli, shared with the standalone
+   [gdpd] binary. *)
+let serve_cmd =
+  Cmd.v (Cmd.info "serve" ~doc:Serve_cli.serve_doc) Serve_cli.serve_term
+
+let bench_client_cmd =
+  Cmd.v
+    (Cmd.info "bench-client" ~doc:Serve_cli.bench_client_doc)
+    Serve_cli.bench_client_term
 
 (* -------------------- impossibility -------------------- *)
 
@@ -1454,5 +1475,5 @@ let () =
             simulate_cmd; chaos_cmd; figure_cmd; impossibility_cmd; links_cmd;
             tolerance_cmd; trace_cmd; save_cmd; check_cmd; survival_cmd;
             draw_cmd; bounds_cmd; console_cmd; plan_cmd; certify_cmd;
-            check_cert_cmd; census_cmd; stats_cmd;
+            check_cert_cmd; census_cmd; stats_cmd; serve_cmd; bench_client_cmd;
           ]))

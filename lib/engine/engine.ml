@@ -13,7 +13,6 @@ open Gdpn_core
    dominate it (the B11 bench row).  Only misses get a latency sample. *)
 let m_cache_hits = Metrics.counter "engine.cache_hits"
 let m_cache_misses = Metrics.counter "engine.cache_misses"
-let m_cache_evictions = Metrics.counter "engine.cache_evictions"
 let m_splices = Metrics.counter "engine.splices"
 let m_splice_failures = Metrics.counter "engine.splice_failures"
 let m_full_solves = Metrics.counter "engine.full_solves"
@@ -37,13 +36,10 @@ let m_units_resumed = Metrics.counter "verify.units_resumed"
 
 (* Plan cache keyed on the masks themselves: lookups hash the caller's
    mask in place, so cache hits allocate nothing (the old string-key
-   scheme paid a [Bitset.to_key] allocation per probe). *)
-module Masks = Hashtbl.Make (struct
-  type t = Bitset.t
-
-  let equal = Bitset.equal
-  let hash = Bitset.hash
-end)
+   scheme paid a [Bitset.to_key] allocation per probe).  Since PR 9 the
+   table is a domain-safe sharded cache (Shard_cache): lock-free reads,
+   per-shard writer locks, bounded size with FIFO eviction — the gdpd
+   daemon's worker domains hit one shared cache in parallel. *)
 
 (* ------------------------------------------------------------------ *)
 (* Engine: per-instance solver state                                   *)
@@ -59,50 +55,96 @@ type stats = {
 let fresh_stats () =
   { lookups = 0; cache_hits = 0; splices = 0; full_solves = 0 }
 
-(* One plan cache per fault model, created on first use; the node model
-   (id 0) owns the engine's primary table so the legacy hot path never
-   pays the extra indirection.  Masks from different models never meet in
-   one table, so the effective cache key is [(model id, mask)]. *)
-type model_cache = {
-  mc_cache : Reconfig.outcome Masks.t;
-  mc_scratch : Bitset.t;  (* predecessor-mask scratch, universe-sized *)
+(* The caches are the only engine state shared between domain handles
+   (see [reader]): the node model's primary table plus one table per
+   generalized fault model, created on first use.  The node model (id 0)
+   owns the primary table so the legacy hot path never pays the extra
+   indirection.  Masks from different models never meet in one table, so
+   the effective cache key is [(model id, mask)].  The table registry is
+   mutex-guarded; the tables themselves are Shard_cache values, safe for
+   lock-free concurrent probes. *)
+type shared = {
+  s_cache : Reconfig.outcome Shard_cache.t;
+  s_model_caches : (int, Reconfig.outcome Shard_cache.t) Hashtbl.t;
+  s_lock : Mutex.t;  (* guards [s_model_caches], not the tables *)
 }
 
 type t = {
   inst : Instance.t;
   budget : int;
   ctx : Hamilton.ctx;
-  cache : Reconfig.outcome Masks.t;
+  shared : shared;
   cache_limit : int;
   stats : stats;
   scratch : Bitset.t;  (** predecessor-mask scratch for the splice probe *)
-  model_caches : (int, model_cache) Hashtbl.t;
+  model_scratch : (int, Bitset.t) Hashtbl.t;
+      (** per-handle, per-model predecessor scratch (universe-sized) *)
 }
 
 let default_budget = 2_000_000
 let default_cache_limit = 1 lsl 16
 
 let create ?(budget = default_budget) ?(cache_limit = default_cache_limit)
-    inst =
+    ?shards inst =
   {
     inst;
     budget;
     ctx = Reconfig.make_ctx inst;
-    cache = Masks.create 256;
+    shared =
+      {
+        s_cache = Shard_cache.create ?shards ~capacity:cache_limit ();
+        s_model_caches = Hashtbl.create 4;
+        s_lock = Mutex.create ();
+      };
     cache_limit;
     stats = fresh_stats ();
     scratch = Bitset.create (Instance.order inst);
-    model_caches = Hashtbl.create 4;
+    model_scratch = Hashtbl.create 4;
+  }
+
+(* A domain-private handle on the same instance and the same shared plan
+   caches: fresh solver ctx, scratch and stats (those are the parts an
+   Engine.t cannot share across domains).  The daemon gives each worker
+   domain one reader per fleet engine. *)
+let reader t =
+  {
+    t with
+    ctx = Reconfig.make_ctx t.inst;
+    stats = fresh_stats ();
+    scratch = Bitset.create (Instance.order t.inst);
+    model_scratch = Hashtbl.create 4;
   }
 
 let instance t = t.inst
 let budget t = t.budget
 let stats t = t.stats
-let cache_size t = Masks.length t.cache
+let cache_size t = Shard_cache.length t.shared.s_cache
+let cache_capacity t = Shard_cache.capacity t.shared.s_cache
+let cache_shard_stats t = Shard_cache.shard_stats t.shared.s_cache
+
+let fold_caches t f acc =
+  Mutex.lock t.shared.s_lock;
+  let acc =
+    Hashtbl.fold (fun _ c acc -> f acc c) t.shared.s_model_caches
+      (f acc t.shared.s_cache)
+  in
+  Mutex.unlock t.shared.s_lock;
+  acc
+
+let cache_total t = fold_caches t (fun acc c -> acc + Shard_cache.length c) 0
+let cache_evictions t = fold_caches t (fun acc c -> acc + Shard_cache.evictions c) 0
+
+(* Evict (oldest-first, per shard) until each table holds at most [keep]
+   entries — the chaos harness's mid-storm eviction event.  Unlike
+   [crash_restart] the removals go through the eviction path and count
+   in [engine.cache_evictions]. *)
+let cache_trim t ~keep =
+  fold_caches t (fun () c -> Shard_cache.trim c ~keep) ()
+
+let clear_caches t = fold_caches t (fun () c -> Shard_cache.clear c) ()
 
 let reset t =
-  Masks.reset t.cache;
-  Hashtbl.reset t.model_caches;
+  clear_caches t;
   t.stats.lookups <- 0;
   t.stats.cache_hits <- 0;
   t.stats.splices <- 0;
@@ -116,19 +158,14 @@ let reset t =
 let m_crash_restarts = Metrics.counter "engine.crash_restarts"
 
 let crash_restart t =
-  Masks.reset t.cache;
-  Hashtbl.reset t.model_caches;
+  clear_caches t;
   Metrics.incr m_crash_restarts
 
 (* The caller mutates its mask between calls, so the cache must own its
-   keys: copy on insert (misses only — hits stay allocation-free). *)
-let remember t mask outcome =
-  if Masks.length t.cache < t.cache_limit then
-    Masks.add t.cache (Bitset.copy mask) outcome
-  else
-    (* The cache never evicts residents; at the limit it declines the
-       insert, which is what this counter records. *)
-    Metrics.incr m_cache_evictions
+   keys: Shard_cache.add copies on insert (misses only — hits stay
+   allocation-free) and evicts its shard's oldest resident at the
+   bound. *)
+let remember t mask outcome = Shard_cache.add t.shared.s_cache mask outcome
 
 let full_solve t ~faults =
   t.stats.full_solves <- t.stats.full_solves + 1;
@@ -145,7 +182,7 @@ let splice_from_cache t ~faults =
       (fun v ->
         Bitset.blit ~src:faults ~dst:t.scratch;
         Bitset.remove t.scratch v;
-        match Masks.find_opt t.cache t.scratch with
+        match Shard_cache.find_opt t.shared.s_cache t.scratch with
         | Some (Reconfig.Pipeline current) -> (
           match Repair.patch t.inst ~current ~faults ~failed:v with
           | Some (`Unchanged p) | Some (`Spliced p) ->
@@ -162,7 +199,7 @@ let solve ?(cache = true) t ~faults =
   if not cache then full_solve t ~faults
   else begin
     t.stats.lookups <- t.stats.lookups + 1;
-    match Masks.find_opt t.cache faults with
+    match Shard_cache.find_opt t.shared.s_cache faults with
     | Some outcome ->
       t.stats.cache_hits <- t.stats.cache_hits + 1;
       Metrics.incr m_cache_hits;
@@ -213,19 +250,28 @@ let require_same_instance t model name =
   if not (Fault_model.instance model == t.inst) then
     invalid_arg (name ^ ": model built over a different instance")
 
-let model_cache t model =
+let model_table t model =
   let id = Fault_model.id model in
-  match Hashtbl.find_opt t.model_caches id with
-  | Some mc -> mc
+  Mutex.lock t.shared.s_lock;
+  let tbl =
+    match Hashtbl.find_opt t.shared.s_model_caches id with
+    | Some c -> c
+    | None ->
+      let c = Shard_cache.create ~capacity:t.cache_limit () in
+      Hashtbl.add t.shared.s_model_caches id c;
+      c
+  in
+  Mutex.unlock t.shared.s_lock;
+  tbl
+
+let model_scratch t model =
+  let id = Fault_model.id model in
+  match Hashtbl.find_opt t.model_scratch id with
+  | Some s -> s
   | None ->
-    let mc =
-      {
-        mc_cache = Masks.create 256;
-        mc_scratch = Bitset.create (Fault_model.size model);
-      }
-    in
-    Hashtbl.replace t.model_caches id mc;
-    mc
+    let s = Bitset.create (Fault_model.size model) in
+    Hashtbl.add t.model_scratch id s;
+    s
 
 let full_solve_model t model ~faults =
   t.stats.full_solves <- t.stats.full_solves + 1;
@@ -236,14 +282,14 @@ let full_solve_model t model ~faults =
    plan for [faults \ {e}] is repaired around element [e] when the
    model's local rule applies (node patch, or revalidate-unchanged for
    link-like elements). *)
-let splice_from_cache_model t mc model ~faults =
+let splice_from_cache_model t tbl scratch model ~faults =
   let exception Found of Reconfig.outcome in
   try
     Bitset.iter
       (fun e ->
-        Bitset.blit ~src:faults ~dst:mc.mc_scratch;
-        Bitset.remove mc.mc_scratch e;
-        match Masks.find_opt mc.mc_cache mc.mc_scratch with
+        Bitset.blit ~src:faults ~dst:scratch;
+        Bitset.remove scratch e;
+        match Shard_cache.find_opt tbl scratch with
         | Some (Reconfig.Pipeline current) -> (
           match Fault_model.splice model ~current ~faults ~failed:e with
           | Some (`Unchanged p) | Some (`Spliced p) ->
@@ -262,8 +308,8 @@ let solve_model ?(cache = true) t model ~faults =
   else if not cache then full_solve_model t model ~faults
   else begin
     t.stats.lookups <- t.stats.lookups + 1;
-    let mc = model_cache t model in
-    match Masks.find_opt mc.mc_cache faults with
+    let tbl = model_table t model in
+    match Shard_cache.find_opt tbl faults with
     | Some outcome ->
       t.stats.cache_hits <- t.stats.cache_hits + 1;
       Metrics.incr m_cache_hits;
@@ -271,14 +317,13 @@ let solve_model ?(cache = true) t model ~faults =
     | None ->
       Metrics.incr m_cache_misses;
       let start = Mclock.now_ns () in
+      let scratch = model_scratch t model in
       let outcome =
-        match splice_from_cache_model t mc model ~faults with
+        match splice_from_cache_model t tbl scratch model ~faults with
         | Some o -> o
         | None -> full_solve_model t model ~faults
       in
-      if Masks.length mc.mc_cache < t.cache_limit then
-        Masks.add mc.mc_cache (Bitset.copy faults) outcome
-      else Metrics.incr m_cache_evictions;
+      Shard_cache.add tbl faults outcome;
       let dur = Mclock.now_ns () - start in
       Metrics.observe h_solve_miss dur;
       if Span.enabled () then

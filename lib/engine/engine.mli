@@ -23,8 +23,13 @@
       out over OCaml 5 domains with per-domain ctxs and deterministic
       result merging.
 
-    An [Engine.t] is {e not} domain-safe; {!Parallel} builds per-domain
-    state internally. *)
+    Since PR 9 the fault-plan cache is a {!Shard_cache}: N hash-sharded
+    slices with a lock-free read path and per-shard writer locks, bounded
+    at [cache_limit] entries with oldest-first eviction.  The cache is
+    therefore safe to share between domains — but an [Engine.t] {e as a
+    whole} still is not (its solver ctx and scratch masks are
+    single-domain).  {!reader} derives a domain-private handle over the
+    same shared cache; {!Parallel} builds per-domain state internally. *)
 
 type t
 
@@ -35,10 +40,23 @@ type stats = {
   mutable full_solves : int;  (** full strategy-solver runs *)
 }
 
-val create : ?budget:int -> ?cache_limit:int -> Gdpn_core.Instance.t -> t
+val create :
+  ?budget:int -> ?cache_limit:int -> ?shards:int -> Gdpn_core.Instance.t -> t
 (** [budget] bounds solver expansions per solve (default 2_000_000);
-    [cache_limit] bounds retained plans (default 65536 — beyond it the
-    engine keeps solving correctly but stops inserting). *)
+    [cache_limit] bounds retained plans (default 65536 — at the bound the
+    cache evicts its oldest resident to admit the new plan, counted in
+    [engine.cache_evictions]); [shards] is the cache's shard count
+    (default {!Shard_cache.default_shards}, rounded up to a power of
+    two). *)
+
+val reader : t -> t
+(** A domain-private handle on the same instance and the {e same shared
+    plan caches}: fresh solver ctx, scratch masks and {!stats}; cache
+    hits, splices and inserts flow through the shared sharded tables.
+    [K] readers on [K] domains may solve concurrently — this is how the
+    [gdpd] daemon's worker domains serve one warm cache in parallel.
+    The parent and its readers must not be used from two domains at
+    once {e individually}; sharing is only through the caches. *)
 
 val instance : t -> Gdpn_core.Instance.t
 val budget : t -> int
@@ -85,7 +103,33 @@ val solve_model :
     counters, zero extra cost). *)
 
 val stats : t -> stats
+
 val cache_size : t -> int
+(** Residents in the node-model plan table. *)
+
+val cache_total : t -> int
+(** Residents across every plan table (node model + generalized
+    models). *)
+
+val cache_capacity : t -> int
+(** Total bound of the node-model table (per-shard capacity × shards;
+    each model table has the same bound). *)
+
+val cache_evictions : t -> int
+(** Evictions performed by this engine's tables since creation (the
+    process-wide twin is the [engine.cache_evictions] counter). *)
+
+val cache_shard_stats : t -> (int * int) array
+(** Per-shard [(residents, evictions)] of the node-model table — the
+    occupancy map shown by [gdp stats] and the daemon's stats
+    response. *)
+
+val cache_trim : t -> keep:int -> unit
+(** Evict oldest-first until every plan table holds at most [keep]
+    entries; removals count as evictions.  The chaos harness's
+    mid-storm cache-eviction event.  [~keep:0] forces a full
+    eviction-path flush (unlike {!crash_restart}, which models losing
+    the tables wholesale). *)
 
 val reset : t -> unit
 (** Drop all cached plans and zero the counters. *)

@@ -1,0 +1,167 @@
+module Bitset = Gdpn_graph.Bitset
+module Metrics = Gdpn_obs.Metrics
+
+(* Probe counters are shard-level (they include the splice probe's
+   predecessor lookups), distinct from the engine's solve-level
+   cache_hits/cache_misses.  The gauge tracks residents across every
+   cache in the process — the engine's node table, its model tables and
+   any daemon fleet all feed the same occupancy figure. *)
+let m_shard_hits = Metrics.counter "engine.cache_shard_hits"
+let m_shard_misses = Metrics.counter "engine.cache_shard_misses"
+let m_evictions = Metrics.counter "engine.cache_evictions"
+let g_cache_size = Metrics.gauge "engine.cache_size"
+let global_size = Atomic.make 0
+
+let size_delta d =
+  if d <> 0 then Metrics.set g_cache_size (Atomic.fetch_and_add global_size d + d)
+
+type ('a, 'b) shard = {
+  buckets : ('a * 'b) list Atomic.t array;
+      (* immutable assoc lists; mutated only under [lock], read by
+         anyone — Atomic publication is the whole synchronisation
+         story for the lock-free probe *)
+  bmask : int;
+  lock : Mutex.t;
+  ring : 'a option array;  (* resident keys, insertion order, circular *)
+  mutable head : int;  (* next ring slot (= oldest when full) *)
+  mutable count : int;
+  mutable evicted : int;
+}
+
+type 'a t = {
+  shards : (Bitset.t, 'a) shard array;
+  smask : int;
+  sbits : int;
+  per_shard : int;  (* capacity of each shard's ring *)
+}
+
+let default_shards = 16
+
+let rec pow2_at_least n p = if p >= n then p else pow2_at_least n (p * 2)
+
+let create ?(shards = default_shards) ~capacity () =
+  if capacity < 1 then invalid_arg "Shard_cache.create: capacity < 1";
+  if shards < 1 then invalid_arg "Shard_cache.create: shards < 1";
+  let nshards = pow2_at_least shards 1 in
+  let per_shard = max 1 (capacity / nshards) in
+  let nbuckets = pow2_at_least (max 8 (2 * per_shard)) 8 in
+  let mk_shard _ =
+    {
+      buckets = Array.init nbuckets (fun _ -> Atomic.make []);
+      bmask = nbuckets - 1;
+      lock = Mutex.create ();
+      ring = Array.make per_shard None;
+      head = 0;
+      count = 0;
+      evicted = 0;
+    }
+  in
+  {
+    shards = Array.init nshards mk_shard;
+    smask = nshards - 1;
+    sbits = (* log2 nshards *)
+      (let rec bits n acc = if n <= 1 then acc else bits (n lsr 1) (acc + 1) in
+       bits nshards 0);
+    per_shard;
+  }
+
+let shards t = Array.length t.shards
+let capacity t = t.per_shard * Array.length t.shards
+
+(* Shard selection uses the low hash bits, bucket selection the next
+   ones, so the two indices stay independent. *)
+let shard_of t h = t.shards.(h land t.smask)
+let bucket_of t sh h = sh.buckets.((h lsr t.sbits) land sh.bmask)
+
+let rec assq_find key = function
+  | [] -> None
+  | (k, v) :: rest -> if Bitset.equal k key then Some v else assq_find key rest
+
+let find_opt t key =
+  let h = Bitset.hash key in
+  let sh = shard_of t h in
+  match assq_find key (Atomic.get (bucket_of t sh h)) with
+  | Some _ as r ->
+    Metrics.incr m_shard_hits;
+    r
+  | None ->
+    Metrics.incr m_shard_misses;
+    None
+
+(* Remove [key]'s binding from its bucket.  Caller holds the shard
+   lock; only the lock holder ever mutates a shard's cells, so a plain
+   set publishes correctly to the lock-free readers. *)
+let bucket_remove t sh key =
+  let h = Bitset.hash key in
+  let cell = bucket_of t sh h in
+  let rec drop = function
+    | [] -> []
+    | ((k, _) as b) :: rest -> if Bitset.equal k key then rest else b :: drop rest
+  in
+  Atomic.set cell (drop (Atomic.get cell))
+
+(* Evict the shard's oldest resident (the ring slot at [head] when the
+   ring is full; otherwise the slot [count] steps behind [head]). *)
+let evict_oldest t sh =
+  if sh.count > 0 then begin
+    let cap = Array.length sh.ring in
+    let idx = (sh.head - sh.count + cap * 2) mod cap in
+    (match sh.ring.(idx) with
+    | Some key ->
+      bucket_remove t sh key;
+      sh.ring.(idx) <- None
+    | None -> assert false);
+    sh.count <- sh.count - 1;
+    sh.evicted <- sh.evicted + 1;
+    Metrics.incr m_evictions;
+    size_delta (-1)
+  end
+
+let add t key v =
+  let h = Bitset.hash key in
+  let sh = shard_of t h in
+  Mutex.lock sh.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sh.lock) @@ fun () ->
+  let cell = bucket_of t sh h in
+  (* First write wins: a racing domain may have inserted this mask
+     between the caller's probe and now. *)
+  if assq_find key (Atomic.get cell) = None then begin
+    if sh.count >= Array.length sh.ring then evict_oldest t sh;
+    let key = Bitset.copy key in
+    Atomic.set cell ((key, v) :: Atomic.get cell);
+    sh.ring.(sh.head) <- Some key;
+    sh.head <- (sh.head + 1) mod Array.length sh.ring;
+    sh.count <- sh.count + 1;
+    size_delta 1
+  end
+
+let length t = Array.fold_left (fun acc sh -> acc + sh.count) 0 t.shards
+
+let locked sh f =
+  Mutex.lock sh.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sh.lock) f
+
+let trim t ~keep =
+  let keep = max 0 keep in
+  let keep_per_shard = keep / Array.length t.shards in
+  Array.iter
+    (fun sh ->
+      locked sh (fun () ->
+          while sh.count > keep_per_shard do
+            evict_oldest t sh
+          done))
+    t.shards
+
+let clear t =
+  Array.iter
+    (fun sh ->
+      locked sh (fun () ->
+          Array.iter (fun cell -> Atomic.set cell []) sh.buckets;
+          Array.fill sh.ring 0 (Array.length sh.ring) None;
+          size_delta (-sh.count);
+          sh.head <- 0;
+          sh.count <- 0))
+    t.shards
+
+let evictions t = Array.fold_left (fun acc sh -> acc + sh.evicted) 0 t.shards
+let shard_stats t = Array.map (fun sh -> (sh.count, sh.evicted)) t.shards

@@ -34,6 +34,7 @@ type rates = {
   multi_burst_ppm : int;
   follow_up_ppm : int;
   crash_restart_ppm : int;
+  cache_evict_ppm : int;
   repair_ppm : int;
 }
 
@@ -50,6 +51,7 @@ let rates_of = function
       multi_burst_ppm = 8;
       follow_up_ppm = 50_000;
       crash_restart_ppm = 15;
+      cache_evict_ppm = 20;
       repair_ppm = 400;
     }
   | Aggressive ->
@@ -61,6 +63,7 @@ let rates_of = function
       multi_burst_ppm = 60;
       follow_up_ppm = 150_000;
       crash_restart_ppm = 80;
+      cache_evict_ppm = 100;
       repair_ppm = 2_000;
     }
   | Chaos ->
@@ -72,6 +75,7 @@ let rates_of = function
       multi_burst_ppm = 300;
       follow_up_ppm = 250_000;
       crash_restart_ppm = 300;
+      cache_evict_ppm = 400;
       repair_ppm = 5_000;
     }
 
@@ -132,6 +136,7 @@ type event =
       lost : bool;
     }
   | Crash_restart
+  | Cache_evict of { before : int; after : int }
   | Repair of { removed : Fault_model.elt list; full : bool; lost : bool }
 
 type entry = { op : int; event : event }
@@ -146,6 +151,7 @@ type run = {
   kinds_covered : kind list;
   repairs : int;
   crashes : int;
+  cache_evicts : int;
   streams : int;
   losses : int;
   digest : int;
@@ -327,6 +333,8 @@ let pp_event ppf = function
           (if applied then "" else " (already down)"))
       (if lost then " LOST" else "")
   | Crash_restart -> Format.fprintf ppf "engine crash/restart"
+  | Cache_evict { before; after } ->
+    Format.fprintf ppf "plan-cache evict %d -> %d entries" before after
   | Repair { removed; full; lost } ->
     Format.fprintf ppf "repair %s [%s]%s"
       (if full then "all" else "oldest")
@@ -338,10 +346,10 @@ let pp_entry ppf { op; event } =
 
 let pp_run ppf r =
   Format.fprintf ppf
-    "%s seed=%d ops=%d events=%d faults=%d repairs=%d crashes=%d streams=%d \
-     losses=%d kinds=%s digest=%016x"
+    "%s seed=%d ops=%d events=%d faults=%d repairs=%d crashes=%d evicts=%d \
+     streams=%d losses=%d kinds=%s digest=%016x"
     (profile_name r.profile) r.seed r.ops (List.length r.events)
-    r.faults_applied r.repairs r.crashes r.streams r.losses
+    r.faults_applied r.repairs r.crashes r.cache_evicts r.streams r.losses
     (match r.kinds_covered with
     | [] -> "-"
     | ks -> String.concat "," (List.map kind_name ks))
@@ -395,6 +403,7 @@ let run ?(config = default_config) ?perturb ~profile ~seed inst =
   let faults_applied = ref 0 in
   let repairs = ref 0 in
   let crashes = ref 0 in
+  let cache_evicts = ref 0 in
   let streams = ref 0 in
   let losses = ref 0 in
   let covered = Array.make (List.length all_kinds) false in
@@ -430,6 +439,10 @@ let run ?(config = default_config) ?perturb ~profile ~seed inst =
       mix_int (Bool.to_int applied);
       mix_int (Bool.to_int lost)
     | Crash_restart -> mix_int 3
+    | Cache_evict { before; after } ->
+      mix_int 5;
+      mix_int before;
+      mix_int after
     | Repair { removed; full; lost } ->
       mix_int 4;
       List.iter (fun e -> mix_int (elt_index e)) removed;
@@ -543,6 +556,21 @@ let run ?(config = default_config) ?perturb ~profile ~seed inst =
     record op Crash_restart;
     check op
   in
+  (* Mid-storm cache pressure: evict plans down to an rng-chosen
+     occupancy (possibly zero) through the eviction path — the splice
+     probe then runs against a partially evicted table, and the
+     coherence/coverage checks after this and every later event must
+     still hold (PR 9's sharded-cache eviction seam). *)
+  let cache_evict op =
+    incr cache_evicts;
+    let eng = Machine.engine !machine in
+    let before = Engine.cache_total eng in
+    let keep = Stream.Prng.int rng (before + 1) in
+    Engine.cache_trim eng ~keep;
+    let after = Engine.cache_total eng in
+    record op (Cache_evict { before; after });
+    check op
+  in
   let repair op =
     match List.rev !shadow with
     | [] -> ()
@@ -593,6 +621,7 @@ let run ?(config = default_config) ?perturb ~profile ~seed inst =
        let g_nbr = hit rates.neighbor_kill_ppm in
        let g_burst = hit rates.multi_burst_ppm in
        let g_crash = hit rates.crash_restart_ppm in
+       let g_evict = hit rates.cache_evict_ppm in
        let g_repair = hit rates.repair_ppm in
        if g_node then inject_burst o Node_death [ Stream.Prng.int rng order ];
        if g_link then stream o ~mid:(Some (order + Stream.Prng.int rng n_links));
@@ -629,6 +658,7 @@ let run ?(config = default_config) ?perturb ~profile ~seed inst =
          inject_burst o Multi_burst (draw_distinct [] m)
        end;
        if g_crash then crash o;
+       if g_evict then cache_evict o;
        if g_repair then repair o;
        if config.stream_every > 0 && o mod config.stream_every = 0 then
          stream o ~mid:None;
@@ -646,6 +676,7 @@ let run ?(config = default_config) ?perturb ~profile ~seed inst =
     kinds_covered = List.filter (fun k -> covered.(kind_code k)) all_kinds;
     repairs = !repairs;
     crashes = !crashes;
+    cache_evicts = !cache_evicts;
     streams = !streams;
     losses = !losses;
     digest = !digest;

@@ -53,6 +53,10 @@ type rates = {
       (** conditional on an applied fault: another fault lands while the
           repair is still in flight *)
   crash_restart_ppm : int;  (** engine crash: plan cache dropped, rebuilt *)
+  cache_evict_ppm : int;
+      (** plan cache trimmed to a random occupancy mid-storm (memory
+          pressure): coherence must survive partial eviction, not just
+          the full drop of a crash *)
   repair_ppm : int;  (** the oldest fault is repaired *)
 }
 (** Probabilities in parts per million per virtual operation (except
@@ -111,6 +115,9 @@ type event =
       lost : bool;
     }
   | Crash_restart  (** {!Machine.restart}: plan cache dropped + rebuilt *)
+  | Cache_evict of { before : int; after : int }
+      (** {!Gdpn_engine.Engine.cache_trim} to a dice-chosen occupancy:
+          entry counts across all shards before and after *)
   | Repair of {
       removed : Fault_model.elt list;
       full : bool;
@@ -138,6 +145,7 @@ type run = {
   kinds_covered : kind list;  (** kinds with at least one applied fault *)
   repairs : int;
   crashes : int;
+  cache_evicts : int;
   streams : int;
   losses : int;  (** beyond-spec events that killed the pipeline *)
   digest : int;

@@ -1,0 +1,89 @@
+(* Blocking client for the gdpd protocol: one connection, lockstep
+   request/response (the server answers frames in order, so that is all
+   a client needs; pipelining happens by batching, not by overlapping
+   frames). *)
+
+module Codec = Gdpn_engine.Codec
+
+exception Server_error of { code : int; message : string }
+exception Protocol_error of string
+
+type t = { ic : in_channel; oc : out_channel }
+
+let connect ?(attempts = 1) ?(retry_delay = 0.05) addr =
+  let sockaddr =
+    match addr with
+    | Server.Unix_sock path -> Unix.ADDR_UNIX path
+    | Server.Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+  in
+  let rec go n =
+    let fd = Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sockaddr with
+    | () ->
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      set_binary_mode_in ic true;
+      set_binary_mode_out oc true;
+      { ic; oc }
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when n > 1 ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf retry_delay;
+      go (n - 1)
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  go (max 1 attempts)
+
+let close t = try close_out t.oc with Sys_error _ | Unix.Unix_error _ -> ()
+
+let request t req =
+  Codec.output_frame t.oc (Protocol.encode_request req);
+  match Codec.input_frame t.ic with
+  | None -> raise (Protocol_error "connection closed mid-request")
+  | Some payload -> Protocol.decode_response payload
+
+let fail_unexpected what resp =
+  let s =
+    match resp with
+    | Protocol.Welcome _ -> "welcome"
+    | Protocol.Outcome _ -> "outcome"
+    | Protocol.Outcomes _ -> "outcomes"
+    | Protocol.Json _ -> "json"
+    | Protocol.Ack -> "ack"
+    | Protocol.Error _ -> "error"
+  in
+  raise (Protocol_error (Printf.sprintf "expected %s, got %s" what s))
+
+let check = function
+  | Protocol.Error { code; message } -> raise (Server_error { code; message })
+  | resp -> resp
+
+let hello t =
+  match check (request t Protocol.Hello) with
+  | Protocol.Welcome { instances; _ } -> instances
+  | resp -> fail_unexpected "welcome" resp
+
+let solve t ~inst faults =
+  match check (request t (Protocol.Solve { inst; faults })) with
+  | Protocol.Outcome o -> o
+  | resp -> fail_unexpected "outcome" resp
+
+let solve_batch t ~inst masks =
+  match check (request t (Protocol.Batch { inst; masks })) with
+  | Protocol.Outcomes os ->
+    if List.length os <> List.length masks then
+      raise (Protocol_error "batch answer count mismatch");
+    os
+  | resp -> fail_unexpected "outcomes" resp
+
+let metrics t =
+  match check (request t Protocol.Metrics_dump) with
+  | Protocol.Json s -> s
+  | resp -> fail_unexpected "json" resp
+
+let shutdown t =
+  match check (request t Protocol.Shutdown) with
+  | Protocol.Ack -> ()
+  | resp -> fail_unexpected "ack" resp

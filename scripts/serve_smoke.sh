@@ -1,0 +1,97 @@
+#!/bin/sh
+# Daemon smoke: start gdpd on a temp Unix socket, fire a burst of
+# bench-client requests with --check (every response is compared against
+# a direct Engine.solve replay of the same seeded pool), require the
+# metrics snapshot to carry the server counters, shut the daemon down
+# over the protocol and require a clean exit.
+#
+# Exit 3 on response divergence (the CI-fatal outcome), 2 on setup
+# failure, 1 if the daemon did not come up or did not exit cleanly.
+set -u
+
+GDP=${GDPN_GDP:-_build/default/bin/gdp.exe}
+GDPD=${GDPN_GDPD:-_build/default/bin/gdpd.exe}
+FLEET=${1:-9:2,6:2}
+REQUESTS=${2:-2048}
+BATCH=${3:-128}
+
+if [ ! -x "$GDP" ] || [ ! -x "$GDPD" ]; then
+  echo "serve-smoke: $GDP / $GDPD not found (dune build first)" >&2
+  exit 2
+fi
+
+TMP=$(mktemp -d)
+SOCK="$TMP/gdpd.sock"
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+"$GDPD" --instances "$FLEET" --socket "$SOCK" --workers 2 \
+  >"$TMP/daemon.out" 2>&1 &
+DAEMON_PID=$!
+
+# Wait for the ready line (bench-client also retries the connect, but a
+# daemon that dies at startup should fail here, with its output).
+i=0
+while ! grep -q '^gdpd: serving' "$TMP/daemon.out" 2>/dev/null; do
+  if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+    echo "serve-smoke: daemon died at startup:" >&2
+    cat "$TMP/daemon.out" >&2
+    exit 1
+  fi
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && { echo "serve-smoke: daemon never became ready" >&2; exit 1; }
+  sleep 0.1
+done
+
+# Burst with crosscheck + stats + protocol shutdown.  bench-client exits
+# 3 itself on divergence; pass that through.
+"$GDP" bench-client --socket "$SOCK" --requests "$REQUESTS" \
+  --batch "$BATCH" --laps 2 --check --stats --shutdown \
+  >"$TMP/client.out" 2>&1
+status=$?
+sed -n '1,4p' "$TMP/client.out"
+if [ "$status" -eq 3 ]; then
+  echo "serve-smoke: DIVERGENCE between daemon responses and direct Engine.solve" >&2
+  grep '^DIVERGENCE' "$TMP/client.out" >&2 || true
+  exit 3
+elif [ "$status" -ne 0 ]; then
+  echo "serve-smoke: bench-client failed (exit $status):" >&2
+  cat "$TMP/client.out" >&2
+  exit 1
+fi
+
+# The snapshot printed by --stats must carry the serving-layer counters.
+for key in server.requests server.connections engine.cache_shard_hits; do
+  if ! grep -q "$key" "$TMP/client.out"; then
+    echo "serve-smoke: metrics snapshot is missing $key" >&2
+    exit 1
+  fi
+done
+
+# The protocol shutdown must take the daemon down cleanly.
+i=0
+while kill -0 "$DAEMON_PID" 2>/dev/null; do
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && { echo "serve-smoke: daemon ignored shutdown" >&2; exit 1; }
+  sleep 0.1
+done
+wait "$DAEMON_PID"
+daemon_status=$?
+DAEMON_PID=""
+if [ "$daemon_status" -ne 0 ]; then
+  echo "serve-smoke: daemon exited $daemon_status:" >&2
+  cat "$TMP/daemon.out" >&2
+  exit 1
+fi
+if ! grep -q '^gdpd: shut down cleanly' "$TMP/daemon.out"; then
+  echo "serve-smoke: daemon did not report a clean shutdown" >&2
+  cat "$TMP/daemon.out" >&2
+  exit 1
+fi
+
+echo "serve-smoke: $REQUESTS requests x2 laps crosschecked, stats present, clean shutdown"
+exit 0
