@@ -1,5 +1,5 @@
 .PHONY: all build test check bench bench-smoke resume-smoke chaos-smoke \
-  serve-smoke clean
+  serve-smoke store-smoke clean
 
 all: build
 
@@ -36,6 +36,7 @@ check: build test
 	$(MAKE) resume-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) store-smoke
 
 # Deterministic chaos smoke: seeded multi-year fault storms on G(9,2)
 # through all three rate profiles.  Exit 1 = invariant violation (the
@@ -62,6 +63,15 @@ resume-smoke: build
 serve-smoke: build
 	sh scripts/serve_smoke.sh 9:2,6:2 2048 128
 
+# Plan-warehouse smoke: compile a G(30,4) store, SIGKILL the compiler
+# mid-run and resume from its journal (the resumed store must be
+# byte-identical to an uninterrupted compile), then cold-start gdpd
+# with a G(9,2) --store and crosscheck a bench-client burst against a
+# store-backed local replay (exit 3 on divergence), requiring the cold
+# lap to show engine.store_hits in the metrics snapshot.
+store-smoke: build
+	sh scripts/store_smoke.sh 30 4 3 0.5
+
 bench:
 	dune exec bench/main.exe
 
@@ -74,6 +84,7 @@ bench-smoke:
 	dune exec bench/main.exe -- --only B14 --json /tmp/gdpn-bench-smoke-splice.json
 	dune exec bench/main.exe -- --only B15 --json /tmp/gdpn-bench-smoke-fault-model.json
 	dune exec bench/main.exe -- --only B17 --json /tmp/gdpn-bench-smoke-server.json
+	dune exec bench/main.exe -- --only B18 --json /tmp/gdpn-bench-smoke-store.json
 
 clean:
 	dune clean

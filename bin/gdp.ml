@@ -1387,13 +1387,25 @@ let stats_cmd =
     Arg.(value & flag & info [ "json" ]
            ~doc:"Emit the snapshot as one JSON object instead of a table.")
   in
-  let run n k rounds inject seed json trace_out =
+  let store_arg =
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"FILE"
+           ~doc:"Attach the precompiled plan store at $(docv) as the \
+                 engine's L2 tier before running the workload, so the \
+                 engine.store_* counters are exercised.")
+  in
+  let run n k rounds inject seed json store trace_out =
     with_trace trace_out @@ fun () ->
     let inst = Family.build ~n ~k in
     (* A representative workload that exercises every instrumented layer:
        an exhaustive verification (solver + verify counters), then a
        fault-injected simulation (engine cache + machine + runner). *)
     let engine = Engine.create inst in
+    (match store with
+    | None -> ()
+    | Some path -> (
+      match Engine.attach_store engine ~path with
+      | Ok () -> ()
+      | Error e -> pf "warning: plan store not attached: %s@." e));
     let report = Engine.verify_exhaustive engine in
     let machine = Faultsim.Machine.create ~engine inst in
     let rng = Faultsim.Stream.Prng.create seed in
@@ -1422,6 +1434,16 @@ let stats_cmd =
         occupied (Engine.cache_capacity engine) (Engine.cache_total engine)
         (Array.length (Engine.cache_shard_stats engine))
         (Engine.cache_evictions engine);
+      (match Engine.plan_store engine with
+      | None -> pf "plan store: none attached@."
+      | Some s ->
+        let module Plan_store = Gdpn_engine.Plan_store in
+        pf "plan store: %d records covering %d fault sets%s, %d bytes \
+            mmap'd@."
+          (Plan_store.records s) (Plan_store.total_sets s)
+          (if Plan_store.orbit_compressed s then " (orbit-compressed)"
+           else "")
+          (Plan_store.mmap_bytes s));
       pf "@.%a@." Metrics.pp_snapshot snap
     end;
     0
@@ -1430,7 +1452,263 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:"Run a representative workload and dump the metrics registry.")
     Term.(const run $ n_arg $ k_arg $ rounds_arg $ inject_arg $ seed_arg
-          $ json_arg $ trace_out_arg)
+          $ json_arg $ store_arg $ trace_out_arg)
+
+(* -------------------- compile-plans -------------------- *)
+
+(* Offline plan-warehouse compiler: enumerate the fault universe (one
+   representative per automorphism orbit when the node model has a
+   nontrivial symmetry group), solve every representative with the plain
+   deterministic solver — no cache, no splice, so an interrupted and
+   resumed compile still emits a byte-identical store — and write the
+   mmap-ready Plan_store file.  Work is journaled per unit in the
+   Checkpoint discipline, so a SIGKILL mid-compile loses at most the
+   units in flight. *)
+let compile_plans_cmd =
+  let module Auto = Gdpn_graph.Auto in
+  let module Bitset = Gdpn_graph.Bitset in
+  let module Combinat = Gdpn_graph.Combinat in
+  let module Plan_store = Gdpn_engine.Plan_store in
+  let module Journal = Gdpn_engine.Plan_store.Journal in
+  let unit_size = 256 in
+  let run n k model_name out max_size flat domains budget ckpt_path
+      resume_path =
+    let inst = build_instance n k false in
+    match model_of_name inst model_name with
+    | Error e ->
+      pf "error: %s@." e;
+      2
+    | Ok _ when ckpt_path <> None && resume_path <> None ->
+      pf "error: --resume already appends to its own file; give one of \
+          --checkpoint/--resume@.";
+      2
+    | Ok model ->
+      let is_node = Fault_model.is_node model in
+      let usize = Fault_model.size model in
+      let order = Instance.order inst in
+      let max_size =
+        match max_size with
+        | Some s -> Stdlib.min s usize
+        | None -> Fault_model.max_faults model
+      in
+      pf "%a@." Instance.pp inst;
+      if not is_node then
+        pf "fault model: %s (universe %d elements)@." (Fault_model.name model)
+          usize;
+      let group =
+        (* Orbit compression covers only the node model: plan transport
+           needs node permutations, which the induced action on a
+           generalized universe has already forgotten. *)
+        if is_node && not flat then begin
+          let g = Instance.symmetry inst in
+          if Auto.is_trivial g then None
+          else begin
+            pf "symmetry: group order %d — storing one plan per orbit@."
+              (Auto.order g);
+            Some g
+          end
+        end
+        else None
+      in
+      let items =
+        match group with
+        | Some g -> Auto.fault_orbits g ~max_size
+        | None ->
+          let acc = ref [] in
+          Combinat.iter_subsets_up_to usize max_size (fun buf len ->
+              acc := { Auto.set = Array.sub buf 0 len; size = 1 } :: !acc);
+          Array.of_list (List.rev !acc)
+      in
+      let nitems = Array.length items in
+      let nunits = Stdlib.max 1 ((nitems + unit_size - 1) / unit_size) in
+      let digest = Certify.digest inst in
+      let header =
+        {
+          Journal.j_digest = digest;
+          j_model = Fault_model.id model;
+          j_orbit = group <> None;
+          j_usize = usize;
+          j_order = order;
+          j_max_size = max_size;
+          j_nunits = nunits;
+        }
+      in
+      let resume_state =
+        match resume_path with
+        | None -> Ok None
+        | Some path -> (
+          match Journal.load ~path with
+          | Error e -> Error e
+          | Ok l -> (
+            match Journal.check_header ~expected:header l.Journal.l_header with
+            | Error e -> Error e
+            | Ok () -> Ok (Some l)))
+      in
+      (match resume_state with
+      | Error e ->
+        pf "error: cannot resume: %s@." e;
+        2
+      | Ok loaded ->
+        let results = Array.make nunits None in
+        Option.iter
+          (fun l ->
+            Hashtbl.iter
+              (fun u outs ->
+                if u >= 0 && u < nunits then results.(u) <- Some outs)
+              l.Journal.l_units;
+            pf "resume: %d/%d units already journaled%s%s@."
+              (Hashtbl.length l.Journal.l_units)
+              nunits
+              (if l.Journal.l_duplicates > 0 then
+                 Printf.sprintf ", %d duplicate records dropped"
+                   l.Journal.l_duplicates
+               else "")
+              (if l.Journal.l_torn_bytes > 0 then
+                 Printf.sprintf ", %d torn trailing bytes discarded"
+                   l.Journal.l_torn_bytes
+               else ""))
+          loaded;
+        let journal =
+          match (ckpt_path, resume_path) with
+          | Some path, _ -> Some (Journal.create ~path header)
+          | None, Some path -> Some (Journal.open_append ~path)
+          | None, None -> None
+        in
+        pf "compiling %d representatives (%d units, %d domains)@." nitems
+          nunits domains;
+        Fun.protect ~finally:(fun () -> Option.iter Journal.close journal)
+        @@ fun () ->
+        let next = Atomic.make 0 in
+        (* Units are drained off one atomic counter; solves are
+           history-free (fresh plain solver per set), so assignment
+           order cannot influence any outcome and the assembled store
+           is deterministic under any domain count. *)
+        let worker () =
+          let ctx = Reconfig.make_ctx inst in
+          let mask = Bitset.create usize in
+          let rec loop () =
+            let u = Atomic.fetch_and_add next 1 in
+            if u < nunits then begin
+              (match results.(u) with
+              | Some _ -> ()
+              | None ->
+                let lo = u * unit_size in
+                let hi = Stdlib.min nitems (lo + unit_size) in
+                let outcomes =
+                  Array.init (hi - lo) (fun i ->
+                      Bitset.clear mask;
+                      Array.iter (Bitset.add mask)
+                        items.(lo + i).Auto.set;
+                      Fault_model.solve ~budget ~ctx model ~faults:mask)
+                in
+                results.(u) <- Some outcomes;
+                Option.iter
+                  (fun w -> Journal.append w ~unit_id:u outcomes)
+                  journal);
+              loop ()
+            end
+          in
+          loop ()
+        in
+        let helpers =
+          List.init (Stdlib.max 0 (domains - 1)) (fun _ ->
+              Domain.spawn worker)
+        in
+        worker ();
+        List.iter Domain.join helpers;
+        let w =
+          Plan_store.writer ~digest ~model_id:(Fault_model.id model)
+            ~orbit:(group <> None) ~usize ~order ~max_size
+        in
+        Array.iteri
+          (fun u outs ->
+            let outs = Option.get outs in
+            Array.iteri
+              (fun i o ->
+                let item = items.((u * unit_size) + i) in
+                Plan_store.add w ~set:item.Auto.set ~count:item.Auto.size o)
+              outs)
+          results;
+        Plan_store.write w ~path:out;
+        (match ckpt_path with
+        | Some p -> pf "journal: %s@." p
+        | None -> ());
+        if Plan_store.gave_up w > 0 then
+          pf "warning: %d representatives hit the solver budget and were \
+              left out of the store (they will re-solve at serve time)@."
+            (Plan_store.gave_up w);
+        (* Self-check: reopen what we just published and audit every
+           slot, so a compile never hands the daemon a store it would
+           refuse or mis-serve. *)
+        (match Plan_store.open_path ~path:out with
+        | Error e ->
+          pf "error: written store fails to open: %s@." e;
+          2
+        | Ok store ->
+          let r = Plan_store.validate store in
+          Plan_store.close store;
+          (match r with
+          | Error e ->
+            pf "error: written store fails validation: %s@." e;
+            2
+          | Ok records ->
+            let total = Plan_store.total_sets store in
+            let bytes = Plan_store.mmap_bytes store in
+            pf "store: %s — %d records covering %d fault sets (%.1fx \
+                compression), %d bytes (%.1f per record)@."
+              out records total
+              (float_of_int total /. float_of_int (Stdlib.max 1 records))
+              bytes
+              (float_of_int bytes /. float_of_int (Stdlib.max 1 records));
+            0)))
+  in
+  let out_arg =
+    Arg.(required & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:"Write the plan store to $(docv).")
+  in
+  let max_size_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-size" ] ~docv:"S"
+             ~doc:"Largest fault-set size to precompile (default: the \
+                   model's fault tolerance).")
+  in
+  let flat_arg =
+    Arg.(value & flag
+         & info [ "flat" ]
+             ~doc:"Disable orbit compression: one record per fault set \
+                   even when the instance has symmetry.")
+  in
+  let domains_arg =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"D"
+             ~doc:"Solve representatives over $(docv) OCaml domains.")
+  in
+  let budget_arg =
+    Arg.(value & opt int 2_000_000
+         & info [ "budget" ] ~docv:"B"
+             ~doc:"Solver expansion budget per fault set (the engine's \
+                   default).")
+  in
+  let ckpt_arg =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Journal each solved unit to $(docv) so an interrupted \
+                   compile can resume.")
+  in
+  let resume_arg =
+    Arg.(value & opt (some string) None
+         & info [ "resume" ] ~docv:"FILE"
+             ~doc:"Resume from (and keep appending to) the journal at \
+                   $(docv); solved units are not re-solved and the final \
+                   store is byte-identical to an uninterrupted run's.")
+  in
+  Cmd.v
+    (Cmd.info "compile-plans"
+       ~doc:"Precompile the fault universe into an mmap-ready plan store \
+             for instant cold-start serving.")
+    Term.(const run $ n_arg $ k_arg $ model_arg $ out_arg $ max_size_arg
+          $ flat_arg $ domains_arg $ budget_arg $ ckpt_arg $ resume_arg)
 
 (* -------------------- serve / bench-client -------------------- *)
 
@@ -1475,5 +1753,6 @@ let () =
             simulate_cmd; chaos_cmd; figure_cmd; impossibility_cmd; links_cmd;
             tolerance_cmd; trace_cmd; save_cmd; check_cmd; survival_cmd;
             draw_cmd; bounds_cmd; console_cmd; plan_cmd; certify_cmd;
-            check_cert_cmd; census_cmd; stats_cmd; serve_cmd; bench_client_cmd;
+            check_cert_cmd; census_cmd; stats_cmd; compile_plans_cmd;
+            serve_cmd; bench_client_cmd;
           ]))

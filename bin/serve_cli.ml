@@ -58,12 +58,12 @@ let pp_listen = function
 (* -------------------- serve -------------------- *)
 
 let serve_run fleet socket port workers queue warm budget cache_limit
-    no_shutdown =
+    no_shutdown store =
   match (parse_fleet fleet, listen_of socket port) with
   | Error (`Msg e), _ | _, Error e ->
     epf "gdpd: %s@." e;
     2
-  | Ok instances, Ok listen ->
+  | Ok instances, Ok listen -> (
     let cfg =
       {
         Server.instances;
@@ -74,13 +74,23 @@ let serve_run fleet socket port workers queue warm budget cache_limit
         budget;
         cache_limit;
         allow_shutdown = not no_shutdown;
+        store;
       }
     in
-    Server.run cfg ~ready:(fun () ->
-        pf "gdpd: serving %d instance(s) on %s with %d worker domain(s)@."
-          (List.length instances) (pp_listen listen) workers);
-    pf "gdpd: shut down cleanly@.";
-    0
+    match
+      Server.run cfg ~ready:(fun () ->
+          pf "gdpd: serving %d instance(s) on %s with %d worker domain(s)%s@."
+            (List.length instances) (pp_listen listen) workers
+            (match store with
+            | [] -> ""
+            | l -> Printf.sprintf " (%d plan store(s) mmap'd)" (List.length l)))
+    with
+    | () ->
+      pf "gdpd: shut down cleanly@.";
+      0
+    | exception Invalid_argument e ->
+      epf "gdpd: %s@." e;
+      2)
 
 let serve_term =
   let workers_arg =
@@ -113,8 +123,17 @@ let serve_term =
              ~doc:"Refuse the protocol's shutdown request (kill the process \
                    to stop).")
   in
+  let store_arg =
+    Arg.(value & opt_all string []
+         & info [ "store" ] ~docv:"FILE"
+             ~doc:"Mmap the precompiled plan store at $(docv) (repeatable) \
+                   and attach it to the fleet engine it was compiled for — \
+                   the L2 tier under the RAM cache, so a cold daemon serves \
+                   its first lap at store speed instead of re-solving.")
+  in
   Term.(const serve_run $ fleet_arg $ socket_arg $ port_arg $ workers_arg
-        $ queue_arg $ warm_arg $ budget_arg $ cache_limit_arg $ no_shutdown_arg)
+        $ queue_arg $ warm_arg $ budget_arg $ cache_limit_arg $ no_shutdown_arg
+        $ store_arg)
 
 let serve_doc = "Serve reconfiguration plans over the gdpd binary protocol."
 
@@ -212,7 +231,7 @@ let run_lap client ~inst ~batch ~lap pool =
     } )
 
 let bench_client_run socket port inst requests batch laps max_faults seed check
-    stats json shutdown =
+    store stats json shutdown =
   match listen_of socket port with
   | Error e ->
     epf "gdp bench-client: %s@." e;
@@ -240,7 +259,11 @@ let bench_client_run socket port inst requests batch laps max_faults seed check
         let pool = make_pool ~seed ~count:requests ~order ~max_faults in
         (* The local oracle replays the identical sequence through a
            fresh engine with default parameters: responses must be
-           byte-identical (same verdicts, same node sequences). *)
+           byte-identical (same verdicts, same node sequences).  When
+           the daemon serves from a plan store, the oracle attaches the
+           same store — orbit-transported plans are deterministic but
+           not the bytes a storeless solve would pick, so byte-identity
+           is against the same L1 -> store -> solve tiering. *)
         let oracle =
           if not check then None
           else
@@ -248,6 +271,20 @@ let bench_client_run socket port inst requests batch laps max_faults seed check
               (Engine.create
                  (Family.build ~n:info.Protocol.i_n ~k:info.Protocol.i_k))
         in
+        let store_err =
+          match (oracle, store) with
+          | Some engine, Some path -> (
+            match Engine.attach_store engine ~path with
+            | Ok () -> None
+            | Error e -> Some e)
+          | _ -> None
+        in
+        match store_err with
+        | Some e ->
+          epf "gdp bench-client: cannot attach oracle store: %s@." e;
+          Client.close client;
+          2
+        | None ->
         let divergences = ref 0 in
         let batch = max 1 batch in
         let stats_list = ref [] in
@@ -328,6 +365,13 @@ let bench_client_term =
              ~doc:"Replay the pool through a local engine and compare every \
                    response; exit 3 on divergence.")
   in
+  let store_arg =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"FILE"
+             ~doc:"With $(b,--check): attach the plan store at $(docv) to \
+                   the local oracle engine, mirroring a daemon started with \
+                   $(b,--store) so responses stay byte-comparable.")
+  in
   let stats_arg =
     Arg.(value & flag
          & info [ "stats" ] ~doc:"Fetch and print the server metrics snapshot.")
@@ -342,7 +386,7 @@ let bench_client_term =
   in
   Term.(const bench_client_run $ socket_arg $ port_arg $ inst_arg
         $ requests_arg $ batch_arg $ laps_arg $ max_faults_arg $ seed_arg
-        $ check_arg $ stats_arg $ json_arg $ shutdown_arg)
+        $ check_arg $ store_arg $ stats_arg $ json_arg $ shutdown_arg)
 
 let bench_client_doc =
   "Load-test a gdpd daemon; optionally crosscheck against direct solves."

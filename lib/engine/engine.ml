@@ -17,6 +17,15 @@ let m_splices = Metrics.counter "engine.splices"
 let m_splice_failures = Metrics.counter "engine.splice_failures"
 let m_full_solves = Metrics.counter "engine.full_solves"
 let m_steals = Metrics.counter "engine.parallel_steals"
+
+(* The L2 plan-store tier (Plan_store): hits served out of the mmap'd
+   warehouse (transports = hits that needed an automorphism
+   relabelling), misses falling through to splice/solve.  The gauge
+   tracks the bytes currently mapped — 0 when no store is attached. *)
+let m_store_hits = Metrics.counter "engine.store_hits"
+let m_store_misses = Metrics.counter "engine.store_misses"
+let m_store_transports = Metrics.counter "engine.store_transports"
+let g_store_mmap_bytes = Metrics.gauge "engine.store_mmap_bytes"
 let h_solve_miss = Metrics.histogram "engine.solve_miss_ns"
 let h_verify = Metrics.histogram "engine.verify_ns"
 let h_shard = Metrics.histogram "engine.parallel_shard_ns"
@@ -63,10 +72,19 @@ let fresh_stats () =
    the effective cache key is [(model id, mask)].  The table registry is
    mutex-guarded; the tables themselves are Shard_cache values, safe for
    lock-free concurrent probes. *)
+(* An attached L2 plan store, plus the transport group for its
+   orbit-compressed keys ([None] for flat stores — their lookups need no
+   canonicalization). *)
+type store_state = {
+  st_store : Plan_store.t;
+  st_group : Auto.group option;
+}
+
 type shared = {
   s_cache : Reconfig.outcome Shard_cache.t;
   s_model_caches : (int, Reconfig.outcome Shard_cache.t) Hashtbl.t;
-  s_lock : Mutex.t;  (* guards [s_model_caches], not the tables *)
+  mutable s_store : store_state option;
+  s_lock : Mutex.t;  (* guards [s_model_caches] and [s_store] writes *)
 }
 
 type t = {
@@ -94,6 +112,7 @@ let create ?(budget = default_budget) ?(cache_limit = default_cache_limit)
       {
         s_cache = Shard_cache.create ?shards ~capacity:cache_limit ();
         s_model_caches = Hashtbl.create 4;
+        s_store = None;
         s_lock = Mutex.create ();
       };
     cache_limit;
@@ -161,6 +180,140 @@ let crash_restart t =
   clear_caches t;
   Metrics.incr m_crash_restarts
 
+(* ------------------------------------------------------------------ *)
+(* L2 plan store: precompiled warehouse under the RAM cache             *)
+(* ------------------------------------------------------------------ *)
+
+let attach_store t ~path =
+  match Plan_store.open_path ~path with
+  | Error _ as e -> e
+  | Ok store ->
+    if Plan_store.digest store <> Certify.digest t.inst then begin
+      Plan_store.close store;
+      Error (path ^ ": store was compiled for a different instance")
+    end
+    else if Plan_store.orbit_compressed store && Plan_store.model_id store <> 0
+    then begin
+      (* The compiler only orbit-compresses the node model: transport
+         needs node permutations, which an induced universe action has
+         already forgotten.  Reject rather than risk wrong lookups. *)
+      Plan_store.close store;
+      Error (path ^ ": orbit-compressed stores cover only the node model")
+    end
+    else begin
+      let group =
+        if Plan_store.orbit_compressed store then begin
+          let g = Instance.symmetry t.inst in
+          if Auto.is_trivial g then None else Some g
+        end
+        else None
+      in
+      Mutex.lock t.shared.s_lock;
+      t.shared.s_store <- Some { st_store = store; st_group = group };
+      Mutex.unlock t.shared.s_lock;
+      Metrics.set g_store_mmap_bytes (Plan_store.mmap_bytes store);
+      Ok ()
+    end
+
+let detach_store t =
+  Mutex.lock t.shared.s_lock;
+  (match t.shared.s_store with
+  | Some st -> Plan_store.close st.st_store
+  | None -> ());
+  t.shared.s_store <- None;
+  Mutex.unlock t.shared.s_lock;
+  Metrics.set g_store_mmap_bytes 0
+
+let plan_store t = Option.map (fun st -> st.st_store) t.shared.s_store
+
+let faults_array faults =
+  let set = Array.make (Bitset.cardinal faults) 0 in
+  let i = ref 0 in
+  Bitset.iter
+    (fun v ->
+      set.(!i) <- v;
+      incr i)
+    faults;
+  set
+
+(* Probe the attached store for a node-model fault set: canonicalize
+   (orbit stores), look up, transport the stored plan back through the
+   automorphism, revalidate.  Anything suspect — a failed record
+   checksum, a decoded [Gave_up] (the compiler never writes one), a
+   plan that does not validate for the queried faults — reads as a
+   miss, so a degraded or tampered store can cost time but never
+   correctness.  Stores for other fault models are skipped silently
+   (they do not cover this universe, so it is not a miss). *)
+let store_probe t ~faults =
+  match t.shared.s_store with
+  | None -> None
+  | Some { st_store = store; st_group } ->
+    if Plan_store.model_id store <> 0 then None
+    else if Bitset.cardinal faults > Plan_store.max_size store then begin
+      Metrics.incr m_store_misses;
+      None
+    end
+    else begin
+      let set = faults_array faults in
+      let key, perm =
+        match st_group with
+        | None -> (set, None)
+        | Some g -> Auto.canonical_with_transport g set
+      in
+      let hit =
+        match Plan_store.lookup store key with
+        | None | Some Reconfig.Gave_up -> None
+        | Some Reconfig.No_pipeline ->
+          (* Solvability is orbit-invariant; nothing to transport. *)
+          Some Reconfig.No_pipeline
+        | Some (Reconfig.Pipeline p) ->
+          let nodes =
+            match perm with
+            | None -> p.Pipeline.nodes
+            | Some perm -> List.map (fun v -> perm.(v)) p.Pipeline.nodes
+          in
+          if Pipeline.is_valid t.inst ~faults nodes then begin
+            if perm <> None then Metrics.incr m_store_transports;
+            Some (Reconfig.Pipeline { Pipeline.nodes })
+          end
+          else None
+      in
+      (match hit with
+      | Some _ -> Metrics.incr m_store_hits
+      | None -> Metrics.incr m_store_misses);
+      hit
+    end
+
+(* The flat-store probe for a generalized fault model (the compiler
+   writes model stores without orbit compression, so no transport). *)
+let store_probe_model t model ~faults =
+  match t.shared.s_store with
+  | None -> None
+  | Some { st_store = store; _ } ->
+    if
+      Plan_store.model_id store <> Fault_model.id model
+      || Plan_store.orbit_compressed store
+    then None
+    else if Bitset.cardinal faults > Plan_store.max_size store then begin
+      Metrics.incr m_store_misses;
+      None
+    end
+    else begin
+      let hit =
+        match Plan_store.lookup store (faults_array faults) with
+        | None | Some Reconfig.Gave_up -> None
+        | Some Reconfig.No_pipeline -> Some Reconfig.No_pipeline
+        | Some (Reconfig.Pipeline p) -> (
+          match Fault_model.validate model ~faults p.Pipeline.nodes with
+          | Ok p -> Some (Reconfig.Pipeline p)
+          | Error _ -> None)
+      in
+      (match hit with
+      | Some _ -> Metrics.incr m_store_hits
+      | None -> Metrics.incr m_store_misses);
+      hit
+    end
+
 (* The caller mutates its mask between calls, so the cache must own its
    keys: Shard_cache.add copies on insert (misses only — hits stay
    allocation-free) and evicts its shard's oldest resident at the
@@ -204,22 +357,30 @@ let solve ?(cache = true) t ~faults =
       t.stats.cache_hits <- t.stats.cache_hits + 1;
       Metrics.incr m_cache_hits;
       outcome
-    | None ->
+    | None -> (
       Metrics.incr m_cache_misses;
-      let start = Mclock.now_ns () in
-      let outcome =
-        match splice_from_cache t ~faults with
-        | Some o -> o
-        | None -> full_solve t ~faults
-      in
-      remember t faults outcome;
-      let dur = Mclock.now_ns () - start in
-      Metrics.observe h_solve_miss dur;
-      if Span.enabled () then
-        Span.emit ~name:"engine.solve"
-          ~attrs:[ ("faults", Span.Int (Bitset.cardinal faults)) ]
-          ~start_ns:start ~dur_ns:dur ();
-      outcome
+      (* L2: the precompiled store, promoted into L1 on a hit so the
+         next probe for this set is a nanosecond-class cache hit.  The
+         store path stays clock-free like L1 hits — B18 measures it. *)
+      match store_probe t ~faults with
+      | Some outcome ->
+        remember t faults outcome;
+        outcome
+      | None ->
+        let start = Mclock.now_ns () in
+        let outcome =
+          match splice_from_cache t ~faults with
+          | Some o -> o
+          | None -> full_solve t ~faults
+        in
+        remember t faults outcome;
+        let dur = Mclock.now_ns () - start in
+        Metrics.observe h_solve_miss dur;
+        if Span.enabled () then
+          Span.emit ~name:"engine.solve"
+            ~attrs:[ ("faults", Span.Int (Bitset.cardinal faults)) ]
+            ~start_ns:start ~dur_ns:dur ();
+        outcome)
   end
 
 let solve_list ?cache t ~faults =
@@ -314,27 +475,32 @@ let solve_model ?(cache = true) t model ~faults =
       t.stats.cache_hits <- t.stats.cache_hits + 1;
       Metrics.incr m_cache_hits;
       outcome
-    | None ->
+    | None -> (
       Metrics.incr m_cache_misses;
-      let start = Mclock.now_ns () in
-      let scratch = model_scratch t model in
-      let outcome =
-        match splice_from_cache_model t tbl scratch model ~faults with
-        | Some o -> o
-        | None -> full_solve_model t model ~faults
-      in
-      Shard_cache.add tbl faults outcome;
-      let dur = Mclock.now_ns () - start in
-      Metrics.observe h_solve_miss dur;
-      if Span.enabled () then
-        Span.emit ~name:"engine.solve"
-          ~attrs:
-            [
-              ("faults", Span.Int (Bitset.cardinal faults));
-              ("model", Span.Int (Fault_model.id model));
-            ]
-          ~start_ns:start ~dur_ns:dur ();
-      outcome
+      match store_probe_model t model ~faults with
+      | Some outcome ->
+        Shard_cache.add tbl faults outcome;
+        outcome
+      | None ->
+        let start = Mclock.now_ns () in
+        let scratch = model_scratch t model in
+        let outcome =
+          match splice_from_cache_model t tbl scratch model ~faults with
+          | Some o -> o
+          | None -> full_solve_model t model ~faults
+        in
+        Shard_cache.add tbl faults outcome;
+        let dur = Mclock.now_ns () - start in
+        Metrics.observe h_solve_miss dur;
+        if Span.enabled () then
+          Span.emit ~name:"engine.solve"
+            ~attrs:
+              [
+                ("faults", Span.Int (Bitset.cardinal faults));
+                ("model", Span.Int (Fault_model.id model));
+              ]
+            ~start_ns:start ~dur_ns:dur ();
+        outcome)
   end
 
 (* ------------------------------------------------------------------ *)

@@ -124,6 +124,26 @@ val cache_shard_stats : t -> (int * int) array
     occupancy map shown by [gdp stats] and the daemon's stats
     response. *)
 
+val attach_store : t -> path:string -> (unit, string) result
+(** Mmap a precompiled {!Plan_store} as the L2 tier: cached solves
+    probe L1 ({!Shard_cache}) first, then the store — canonicalizing the
+    fault set and transporting the stored plan through the automorphism
+    when the store is orbit-compressed — and only then splice/solve; a
+    store hit is promoted into L1.  Fails if the store's digest does not
+    match this engine's instance.  The attachment is shared with every
+    {!reader} of this engine (that is how the daemon's worker domains
+    see it); concurrent lookups are safe, the store is immutable.
+    Transported and stored plans are revalidated before being served, so
+    a corrupt or tampered store degrades to the solve path — it can
+    never produce a wrong plan. *)
+
+val detach_store : t -> unit
+(** Drop the L2 tier (chaos harness: the store file "vanishes"
+    mid-storm).  Subsequent solves fall back to L1/solve.  Idempotent. *)
+
+val plan_store : t -> Plan_store.t option
+(** The attached store, for stats display. *)
+
 val cache_trim : t -> keep:int -> unit
 (** Evict oldest-first until every plan table holds at most [keep]
     entries; removals count as evictions.  The chaos harness's

@@ -1,7 +1,9 @@
 open Gdpn_core
 module Bitset = Gdpn_graph.Bitset
 module Graph = Gdpn_graph.Graph
+module Combinat = Gdpn_graph.Combinat
 module Engine = Gdpn_engine.Engine
+module Plan_store = Gdpn_engine.Plan_store
 module Metrics = Gdpn_obs.Metrics
 
 (* Observability instruments (process-wide, see Gdpn_obs.Metrics). *)
@@ -35,6 +37,7 @@ type rates = {
   follow_up_ppm : int;
   crash_restart_ppm : int;
   cache_evict_ppm : int;
+  store_degrade_ppm : int;
   repair_ppm : int;
 }
 
@@ -52,6 +55,7 @@ let rates_of = function
       follow_up_ppm = 50_000;
       crash_restart_ppm = 15;
       cache_evict_ppm = 20;
+      store_degrade_ppm = 15;
       repair_ppm = 400;
     }
   | Aggressive ->
@@ -64,6 +68,7 @@ let rates_of = function
       follow_up_ppm = 150_000;
       crash_restart_ppm = 80;
       cache_evict_ppm = 100;
+      store_degrade_ppm = 80;
       repair_ppm = 2_000;
     }
   | Chaos ->
@@ -76,6 +81,7 @@ let rates_of = function
       follow_up_ppm = 250_000;
       crash_restart_ppm = 300;
       cache_evict_ppm = 400;
+      store_degrade_ppm = 300;
       repair_ppm = 5_000;
     }
 
@@ -122,6 +128,18 @@ let kind_name = function
 
 let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
 
+type store_mode = Store_attach | Store_detach | Store_corrupt
+
+let store_mode_code = function
+  | Store_attach -> 0
+  | Store_detach -> 1
+  | Store_corrupt -> 2
+
+let store_mode_name = function
+  | Store_attach -> "attach"
+  | Store_detach -> "detach"
+  | Store_corrupt -> "corrupt"
+
 type event =
   | Inject of {
       kind : kind;
@@ -137,6 +155,7 @@ type event =
     }
   | Crash_restart
   | Cache_evict of { before : int; after : int }
+  | Store_degrade of { mode : store_mode; attached : bool }
   | Repair of { removed : Fault_model.elt list; full : bool; lost : bool }
 
 type entry = { op : int; event : event }
@@ -152,6 +171,7 @@ type run = {
   repairs : int;
   crashes : int;
   cache_evicts : int;
+  store_degrades : int;
   streams : int;
   losses : int;
   digest : int;
@@ -335,6 +355,9 @@ let pp_event ppf = function
   | Crash_restart -> Format.fprintf ppf "engine crash/restart"
   | Cache_evict { before; after } ->
     Format.fprintf ppf "plan-cache evict %d -> %d entries" before after
+  | Store_degrade { mode; attached } ->
+    Format.fprintf ppf "plan-store %s (%s)" (store_mode_name mode)
+      (if attached then "store attached" else "no store")
   | Repair { removed; full; lost } ->
     Format.fprintf ppf "repair %s [%s]%s"
       (if full then "all" else "oldest")
@@ -347,9 +370,10 @@ let pp_entry ppf { op; event } =
 let pp_run ppf r =
   Format.fprintf ppf
     "%s seed=%d ops=%d events=%d faults=%d repairs=%d crashes=%d evicts=%d \
-     streams=%d losses=%d kinds=%s digest=%016x"
+     stores=%d streams=%d losses=%d kinds=%s digest=%016x"
     (profile_name r.profile) r.seed r.ops (List.length r.events)
-    r.faults_applied r.repairs r.crashes r.cache_evicts r.streams r.losses
+    r.faults_applied r.repairs r.crashes r.cache_evicts r.store_degrades
+    r.streams r.losses
     (match r.kinds_covered with
     | [] -> "-"
     | ks -> String.concat "," (List.map kind_name ks))
@@ -404,6 +428,7 @@ let run ?(config = default_config) ?perturb ~profile ~seed inst =
   let repairs = ref 0 in
   let crashes = ref 0 in
   let cache_evicts = ref 0 in
+  let store_degrades = ref 0 in
   let streams = ref 0 in
   let losses = ref 0 in
   let covered = Array.make (List.length all_kinds) false in
@@ -443,6 +468,10 @@ let run ?(config = default_config) ?perturb ~profile ~seed inst =
       mix_int 5;
       mix_int before;
       mix_int after
+    | Store_degrade { mode; attached } ->
+      mix_int 6;
+      mix_int (store_mode_code mode);
+      mix_int (Bool.to_int attached)
     | Repair { removed; full; lost } ->
       mix_int 4;
       List.iter (fun e -> mix_int (elt_index e)) removed;
@@ -571,6 +600,90 @@ let run ?(config = default_config) ?perturb ~profile ~seed inst =
     record op (Cache_evict { before; after });
     check op
   in
+  (* L2 plan-store churn (PR 10): the serving tier may gain, lose or
+     mmap a silently corrupted precompiled store at any moment.  The
+     store is compiled lazily — flat, over the machine's mixed model,
+     with the engine's own budget, so stored plans are byte-identical
+     to scratch solves — and the coherence/coverage checks after this
+     and every later event prove corruption fails closed into the solve
+     path rather than surfacing a wrong plan. *)
+  let store_files = ref [] in
+  let pristine_store = ref None in
+  let corrupt_store = ref None in
+  let temp_store_file suffix =
+    let p = Filename.temp_file "gdpn-chaos" suffix in
+    store_files := p :: !store_files;
+    p
+  in
+  let ensure_store () =
+    match !pristine_store with
+    | Some p -> p
+    | None ->
+      let max_size = min 2 (Fault_model.max_faults model) in
+      let budget = Engine.budget engine in
+      let w =
+        Plan_store.writer ~digest:(Certify.digest inst)
+          ~model_id:(Fault_model.id model) ~orbit:false ~usize
+          ~order ~max_size
+      in
+      let mask = Bitset.create usize in
+      Combinat.iter_subsets_up_to usize max_size (fun buf len ->
+          let set = Array.sub buf 0 len in
+          Bitset.clear mask;
+          Array.iter (Bitset.add mask) set;
+          Plan_store.add w ~set ~count:1
+            (Fault_model.solve ~budget ~ctx:scratch_ctx model ~faults:mask));
+      let p = temp_store_file ".store" in
+      Plan_store.write w ~path:p;
+      pristine_store := Some p;
+      p
+  in
+  let store_degrade op =
+    incr store_degrades;
+    let eng = Machine.engine !machine in
+    let pristine = ensure_store () in
+    let mode =
+      match Stream.Prng.int rng 3 with
+      | 0 -> Store_attach
+      | 1 -> Store_detach
+      | _ -> Store_corrupt
+    in
+    (match mode with
+    | Store_attach -> (
+      match Engine.attach_store eng ~path:pristine with
+      | Ok () -> ()
+      | Error e -> fail op "store" ("pristine store rejected: " ^ e))
+    | Store_detach -> Engine.detach_store eng
+    | Store_corrupt ->
+      (* Flip one dice-chosen byte of a copy and serve that: the mmap
+         either refuses to open or every damaged probe reads as a miss. *)
+      let ic = open_in_bin pristine in
+      let bytes =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> Bytes.of_string (really_input_string ic (in_channel_length ic)))
+      in
+      let pos = Stream.Prng.int rng (Bytes.length bytes) in
+      Bytes.set bytes pos
+        (Char.chr (Char.code (Bytes.get bytes pos) lxor 0x5a));
+      let cpath =
+        match !corrupt_store with
+        | Some p -> p
+        | None ->
+          let p = temp_store_file ".badstore" in
+          corrupt_store := Some p;
+          p
+      in
+      let oc = open_out_bin cpath in
+      output_bytes oc bytes;
+      close_out oc;
+      Engine.detach_store eng;
+      (match Engine.attach_store eng ~path:cpath with
+      | Ok () | Error _ -> ()));
+    let attached = Engine.plan_store eng <> None in
+    record op (Store_degrade { mode; attached });
+    check op
+  in
   let repair op =
     match List.rev !shadow with
     | [] -> ()
@@ -622,6 +735,7 @@ let run ?(config = default_config) ?perturb ~profile ~seed inst =
        let g_burst = hit rates.multi_burst_ppm in
        let g_crash = hit rates.crash_restart_ppm in
        let g_evict = hit rates.cache_evict_ppm in
+       let g_store = hit rates.store_degrade_ppm in
        let g_repair = hit rates.repair_ppm in
        if g_node then inject_burst o Node_death [ Stream.Prng.int rng order ];
        if g_link then stream o ~mid:(Some (order + Stream.Prng.int rng n_links));
@@ -659,6 +773,7 @@ let run ?(config = default_config) ?perturb ~profile ~seed inst =
        end;
        if g_crash then crash o;
        if g_evict then cache_evict o;
+       if g_store then store_degrade o;
        if g_repair then repair o;
        if config.stream_every > 0 && o mod config.stream_every = 0 then
          stream o ~mid:None;
@@ -667,6 +782,8 @@ let run ?(config = default_config) ?perturb ~profile ~seed inst =
    with Violation_found v ->
      Metrics.incr m_violations;
      violation := Some v);
+  Engine.detach_store engine;
+  List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) !store_files;
   {
     profile;
     seed;
@@ -677,6 +794,7 @@ let run ?(config = default_config) ?perturb ~profile ~seed inst =
     repairs = !repairs;
     crashes = !crashes;
     cache_evicts = !cache_evicts;
+    store_degrades = !store_degrades;
     streams = !streams;
     losses = !losses;
     digest = !digest;

@@ -57,6 +57,11 @@ type rates = {
       (** plan cache trimmed to a random occupancy mid-storm (memory
           pressure): coherence must survive partial eviction, not just
           the full drop of a crash *)
+  store_degrade_ppm : int;
+      (** the L2 precompiled plan store ({!Gdpn_engine.Plan_store})
+          churns: attached fresh, detached, or replaced by a copy with
+          one flipped byte — corruption must fail closed into the solve
+          path, never surface a wrong plan *)
   repair_ppm : int;  (** the oldest fault is repaired *)
 }
 (** Probabilities in parts per million per virtual operation (except
@@ -100,6 +105,11 @@ val kind_of_name : string -> kind option
 val all_kinds : kind list
 (** Every kind, in a fixed display order. *)
 
+type store_mode = Store_attach | Store_detach | Store_corrupt
+
+val store_mode_name : store_mode -> string
+(** ["attach"], ["detach"], ["corrupt"]. *)
+
 type event =
   | Inject of {
       kind : kind;
@@ -118,6 +128,11 @@ type event =
   | Cache_evict of { before : int; after : int }
       (** {!Gdpn_engine.Engine.cache_trim} to a dice-chosen occupancy:
           entry counts across all shards before and after *)
+  | Store_degrade of { mode : store_mode; attached : bool }
+      (** L2 plan-store churn: a lazily compiled flat store for the
+          machine's fault model is attached, detached, or swapped for a
+          one-byte-corrupted copy ([attached] reports whether a store —
+          possibly the corrupt one — is mmap'd afterwards) *)
   | Repair of {
       removed : Fault_model.elt list;
       full : bool;
@@ -131,8 +146,9 @@ type entry = { op : int; event : event }
 (** {1 Results} *)
 
 type violation = { v_op : int; v_invariant : string; v_detail : string }
-(** [v_invariant] is ["accounting"], ["coverage"], ["coherence"] or
-    ["stream"]. *)
+(** [v_invariant] is ["accounting"], ["coverage"], ["coherence"],
+    ["stream"] or ["store"] (the engine rejected a pristine compiled
+    store — a compiler/attach bug, not an injected corruption). *)
 
 type run = {
   profile : profile;
@@ -146,6 +162,7 @@ type run = {
   repairs : int;
   crashes : int;
   cache_evicts : int;
+  store_degrades : int;  (** plan-store churn events *)
   streams : int;
   losses : int;  (** beyond-spec events that killed the pipeline *)
   digest : int;

@@ -215,6 +215,60 @@ let canonical_set g set =
   | [] -> assert false
   | first :: rest -> List.fold_left min first rest
 
+(* Canonicalization with a transport witness: BFS the orbit as in
+   [orbit_of_set], but carry the composed permutation that maps the
+   input set onto each member (the cert-v2 checker walks orbits the same
+   way).  The inverse of the permutation reaching the lex-least member
+   maps that canonical representative back onto the input, so a plan
+   stored against the canonical key transports to the queried set by a
+   single per-node relabelling. *)
+let canonical_with_transport g set =
+  let start =
+    let s = Array.copy set in
+    Array.sort compare s;
+    s
+  in
+  if is_trivial g then (start, None)
+  else begin
+    let seen = Hashtbl.create 16 in
+    Hashtbl.replace seen (key_of start) ();
+    let best = ref start in
+    let best_perm = ref None in
+    let queue = Queue.create () in
+    (* [None] stands for the identity permutation: the common case where
+       the input is already canonical never allocates a perm. *)
+    Queue.add None queue;
+    while not (Queue.is_empty queue) do
+      let p = Queue.pop queue in
+      List.iter
+        (fun gen ->
+          let composed =
+            match p with
+            | None -> gen
+            | Some p -> Array.map (fun v -> gen.(v)) p
+          in
+          let img = apply_sorted composed start in
+          let key = key_of img in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.replace seen key ();
+            if img < !best then begin
+              best := img;
+              best_perm := Some composed
+            end;
+            Queue.add (Some composed) queue
+          end)
+        g.gens
+    done;
+    match !best_perm with
+    | None -> (start, None)
+    | Some p ->
+      (* [p] maps the input onto the canonical member; invert it so the
+         caller can map a canonical plan's nodes back onto the input. *)
+      let inv = Array.make g.degree 0 in
+      Array.iteri (fun i v -> inv.(v) <- i) p;
+      (!best, Some inv)
+  end
+
 let invariant_universe g univ =
   let inside = Array.make g.degree false in
   Array.iter

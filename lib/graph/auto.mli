@@ -70,6 +70,15 @@ val orbit_of_set : group -> int array -> int array list
 val canonical_set : group -> int array -> int array
 (** Lexicographically least member of the set's orbit. *)
 
+val canonical_with_transport : group -> int array -> int array * int array option
+(** [canonical_with_transport g set] is [(canon, perm)]: [canon] is
+    {!canonical_set}[ g set], and [perm] is [Some p] with [p] a group
+    element (a node permutation) mapping [canon] onto the sorted input
+    set — so a pipeline through [G \ canon] relabelled node-wise by [p]
+    is a pipeline through [G \ set] — or [None] when the input is already
+    its own canonical representative (then the identity transports).
+    Cost is one BFS over the orbit, like {!canonical_set}. *)
+
 val invariant_universe : group -> int array -> bool
 (** Whether the group maps the given vertex set into itself (then orbits
     of its subsets stay inside it). *)

@@ -52,6 +52,10 @@ type config = {
   budget : int option;
   cache_limit : int option;
   allow_shutdown : bool;
+  store : string list;
+      (** precompiled plan stores; each is mmap'd and attached to the
+          fleet engine whose instance digest it was compiled for (at
+          most one store per engine — the last matching path wins) *)
 }
 
 let default_config =
@@ -64,15 +68,37 @@ let default_config =
     budget = None;
     cache_limit = None;
     allow_shutdown = true;
+    store = [];
   }
 
 let build_fleet cfg =
   if cfg.instances = [] then invalid_arg "Server.run: empty fleet";
-  cfg.instances
-  |> List.map (fun (n, k) ->
-         Engine.create ?budget:cfg.budget ?cache_limit:cfg.cache_limit
-           (Family.build ~n ~k))
-  |> Array.of_list
+  let engines =
+    cfg.instances
+    |> List.map (fun (n, k) ->
+           Engine.create ?budget:cfg.budget ?cache_limit:cfg.cache_limit
+             (Family.build ~n ~k))
+    |> Array.of_list
+  in
+  (* Cold-start tier: each store binds to the engine it was compiled
+     for (digest match); a store no fleet member accepts is a startup
+     error — silently serving without it would hide a misdeployment. *)
+  List.iter
+    (fun path ->
+      let rec attach i last_err =
+        if i >= Array.length engines then
+          invalid_arg
+            (Printf.sprintf "Server.run: plan store %s matches no fleet \
+                             engine (%s)"
+               path last_err)
+        else
+          match Engine.attach_store engines.(i) ~path with
+          | Ok () -> ()
+          | Error e -> attach (i + 1) e
+      in
+      attach 0 "empty fleet")
+    cfg.store;
+  engines
 
 (* Pre-solve every fault set of size <= warm so a fresh daemon serves
    its first burst from a hot cache.  Enumeration order matches the

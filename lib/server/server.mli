@@ -26,12 +26,17 @@ type config = {
   budget : int option;  (** per-engine solver budget override *)
   cache_limit : int option;  (** per-engine plan-cache bound override *)
   allow_shutdown : bool;  (** honour the protocol's [Shutdown] request *)
+  store : string list;
+      (** precompiled plan stores ({!Gdpn_engine.Plan_store}); each path
+          is mmap'd and attached as the L2 tier of the fleet engine
+          whose instance digest it was compiled for (at most one store
+          per engine — the last matching path wins) *)
 }
 
 val default_config : config
 (** Empty fleet ([run] rejects it), Unix socket ["gdpd.sock"], 2
     workers, queue bound 64, no warmup, engine defaults, shutdown
-    allowed. *)
+    allowed, no plan stores. *)
 
 val run : ?ready:(unit -> unit) -> config -> unit
 (** Build the fleet, warm it, bind, then serve until a [Shutdown]
@@ -39,5 +44,5 @@ val run : ?ready:(unit -> unit) -> config -> unit
     [run] returns (the Unix socket path is unlinked on the way out).
     [ready] fires once the socket is listening — the daemon prints its
     ready line from it, tests use it to connect without polling.
-    [Invalid_argument] on an empty fleet; [Unix.Unix_error] if the
-    socket cannot be bound. *)
+    [Invalid_argument] on an empty fleet or on a plan store no fleet
+    engine accepts; [Unix.Unix_error] if the socket cannot be bound. *)

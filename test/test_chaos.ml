@@ -35,12 +35,12 @@ let run_seed ?perturb profile seed =
 let frozen_digest_tests =
   let cases =
     [
-      (Scenario.Mild, 7, 0x32648b5ce1ae3983);
-      (Scenario.Mild, 11, 0x1779a94fba8ab56a);
-      (Scenario.Aggressive, 7, 0x38b934ca1f92be3f);
-      (Scenario.Aggressive, 11, 0x2a40fe6d35b1ed8d);
-      (Scenario.Chaos, 7, 0x3477e3538c16acf2);
-      (Scenario.Chaos, 11, 0x67dcb8e213fe893);
+      (Scenario.Mild, 7, 0x18dffe1b6b7ddf7e);
+      (Scenario.Mild, 11, 0x3e9f022718df1633);
+      (Scenario.Aggressive, 7, 0x17862575ccf4c807);
+      (Scenario.Aggressive, 11, 0x26ef9616a41f1761);
+      (Scenario.Chaos, 7, 0xcf111bd1d8a4b2c);
+      (Scenario.Chaos, 11, 0x2b4c74d7c8914a22);
     ]
   in
   List.map

@@ -1,0 +1,517 @@
+(* Tests for the precompiled plan warehouse (Engine.Plan_store) and its
+   L2 seat under the sharded RAM cache: a QCheck oracle proving
+   store-backed solves agree with the plain solver (byte-identical for
+   flat stores, valid-and-verdict-identical for orbit-transported
+   lookups), a corruption gauntlet (every strict truncation and every
+   single-byte flip either fails open/validate or never changes a
+   lookup result — a degraded store can cost time, never correctness),
+   the compile journal's Checkpoint-discipline load semantics, and a
+   multi-domain reader hammer mirroring test_server's with the store
+   attached. *)
+
+open Gdpn_core
+module Bitset = Gdpn_graph.Bitset
+module Auto = Gdpn_graph.Auto
+module Combinat = Gdpn_graph.Combinat
+module Engine = Gdpn_engine.Engine
+module Plan_store = Gdpn_engine.Plan_store
+module Journal = Gdpn_engine.Plan_store.Journal
+module Prng = Gdpn_faultsim.Stream.Prng
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+let budget = 2_000_000 (* the engine default, so outcomes line up *)
+
+let temp_store () = Filename.temp_file "gdpn-store" ".store"
+
+(* In-process compiler: one representative per orbit (or per set when
+   [flat]), solved with the plain deterministic solver — exactly what
+   `gdp compile-plans` does, without the subprocess. *)
+let compile ?(flat = false) ?max_size inst path =
+  let order = Instance.order inst in
+  let max_size = Option.value max_size ~default:inst.Instance.k in
+  let group =
+    if flat then None
+    else
+      let g = Instance.symmetry inst in
+      if Auto.is_trivial g then None else Some g
+  in
+  let items =
+    match group with
+    | Some g -> Auto.fault_orbits g ~max_size
+    | None ->
+      let acc = ref [] in
+      Combinat.iter_subsets_up_to order max_size (fun buf len ->
+          acc := { Auto.set = Array.sub buf 0 len; size = 1 } :: !acc);
+      Array.of_list (List.rev !acc)
+  in
+  let ctx = Reconfig.make_ctx inst in
+  let w =
+    Plan_store.writer ~digest:(Certify.digest inst) ~model_id:0
+      ~orbit:(group <> None) ~usize:order ~order ~max_size
+  in
+  let mask = Bitset.create order in
+  Array.iter
+    (fun { Auto.set; size } ->
+      Bitset.clear mask;
+      Array.iter (Bitset.add mask) set;
+      Plan_store.add w ~set ~count:size
+        (Reconfig.solve ~budget ~ctx inst ~faults:mask))
+    items;
+  Plan_store.write w ~path;
+  Array.length items
+
+let inst6 = Family.build ~n:6 ~k:2
+let inst9 = Family.build ~n:9 ~k:2
+
+let with_store ?flat ?max_size inst f =
+  let path = temp_store () in
+  let nitems = compile ?flat ?max_size inst path in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path nitems)
+
+let random_faults rng inst =
+  let order = Instance.order inst in
+  let faults = Bitset.create order in
+  (* 0..k+1 faults: mostly in-spec, some past the store's bound *)
+  let size = Prng.int rng (inst.Instance.k + 2) in
+  for _ = 1 to size do
+    Bitset.add faults (Prng.int rng order)
+  done;
+  faults
+
+(* ------------------------------------------------------------------ *)
+(* Writer / reader round-trip basics                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip () =
+  with_store ~flat:true inst6 @@ fun path nitems ->
+  match Plan_store.open_path ~path with
+  | Error e -> Alcotest.failf "open: %s" e
+  | Ok s ->
+    check Alcotest.int "records = enumerated sets" nitems
+      (Plan_store.records s);
+    check Alcotest.int "flat: total = records" (Plan_store.records s)
+      (Plan_store.total_sets s);
+    check Alcotest.bool "not orbit compressed" false
+      (Plan_store.orbit_compressed s);
+    check Alcotest.int "model id" 0 (Plan_store.model_id s);
+    (match Plan_store.validate s with
+    | Ok n -> check Alcotest.int "validate counts records" nitems n
+    | Error e -> Alcotest.failf "validate: %s" e);
+    (* the no-fault plan is the cold-start first response *)
+    (match Plan_store.lookup s [||] with
+    | Some (Reconfig.Pipeline _) -> ()
+    | _ -> Alcotest.fail "empty set should hold the fault-free pipeline");
+    check Alcotest.bool "mmap accounted" true (Plan_store.mmap_bytes s > 0);
+    Plan_store.close s
+
+let test_orbit_compresses () =
+  (* G(1,4) has a large symmetry group: the orbit store must hold at
+     least 10x fewer records than one-plan-per-fault-set (the PR's
+     compression acceptance bar, checked at unit scale). *)
+  let inst = Family.build ~n:1 ~k:4 in
+  with_store ~max_size:3 inst @@ fun opath _ ->
+  with_store ~flat:true ~max_size:3 inst @@ fun fpath _ ->
+  match (Plan_store.open_path ~path:opath, Plan_store.open_path ~path:fpath)
+  with
+  | Ok orbit, Ok flat ->
+    check Alcotest.int "same coverage" (Plan_store.total_sets flat)
+      (Plan_store.total_sets orbit);
+    check Alcotest.bool
+      (Printf.sprintf "10x fewer records (%d orbit vs %d flat)"
+         (Plan_store.records orbit) (Plan_store.records flat))
+      true
+      (Plan_store.records flat >= 10 * Plan_store.records orbit);
+    Plan_store.close orbit;
+    Plan_store.close flat
+  | Error e, _ | _, Error e -> Alcotest.failf "open: %s" e
+
+let test_gave_up_not_stored () =
+  let w =
+    Plan_store.writer ~digest:"d" ~model_id:0 ~orbit:false ~usize:8 ~order:8
+      ~max_size:2
+  in
+  Plan_store.add w ~set:[| 1 |] ~count:1 Reconfig.Gave_up;
+  Plan_store.add w ~set:[| 2 |] ~count:1 Reconfig.No_pipeline;
+  check Alcotest.int "gave-up tallied" 1 (Plan_store.gave_up w);
+  let path = temp_store () in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Plan_store.write w ~path;
+  match Plan_store.open_path ~path with
+  | Error e -> Alcotest.failf "open: %s" e
+  | Ok s ->
+    check Alcotest.int "only the decided record stored" 1
+      (Plan_store.records s);
+    (match Plan_store.lookup s [| 1 |] with
+    | None -> ()
+    | Some _ -> Alcotest.fail "a budget Gave_up must read as a store miss");
+    (match Plan_store.lookup s [| 2 |] with
+    | Some Reconfig.No_pipeline -> ()
+    | _ -> Alcotest.fail "decided verdict lost");
+    Plan_store.close s
+
+let test_attach_rejects_wrong_instance () =
+  with_store inst6 @@ fun path _ ->
+  let engine = Engine.create inst9 in
+  (match Engine.attach_store engine ~path with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "store for G(6,2) attached to a G(9,2) engine");
+  check Alcotest.bool "nothing attached" true
+    (Engine.plan_store engine = None)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle: store-backed solves agree with the plain solver             *)
+(* ------------------------------------------------------------------ *)
+
+let same_verdict inst ~faults got want =
+  match (got, want) with
+  | Reconfig.Pipeline p, Reconfig.Pipeline _ ->
+    Pipeline.is_valid inst ~faults p.Pipeline.nodes
+  | Reconfig.No_pipeline, Reconfig.No_pipeline -> true
+  | Reconfig.Gave_up, Reconfig.Gave_up -> true
+  | _ -> false
+
+(* Flat store: every in-bound set is present and holds exactly the plain
+   solver's output, so a store-backed engine must answer byte-identical
+   to an uncached solve there.  Past the bound the store misses and the
+   engine's warmed L1 legitimately enables splice-composed plans, so
+   only the verdict (and plan validity) must agree. *)
+let test_flat_oracle =
+  QCheck.Test.make ~count:30 ~name:"flat store lookup == fresh Engine.solve"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      with_store ~flat:true inst6 @@ fun path _ ->
+      let store_engine = Engine.create inst6 in
+      (match Engine.attach_store store_engine ~path with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "attach: %s" e);
+      let fresh = Engine.create inst6 in
+      let rng = Prng.create seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let faults = random_faults rng inst6 in
+        let got = Engine.solve store_engine ~faults in
+        let want = Engine.solve ~cache:false fresh ~faults in
+        if Bitset.cardinal faults <= inst6.Instance.k then begin
+          if got <> want then ok := false
+        end
+        else if not (same_verdict inst6 ~faults got want) then ok := false
+      done;
+      !ok)
+
+(* Orbit store: a non-representative key canonicalizes and transports.
+   The transported plan is not necessarily the plan a fresh solve would
+   pick, but the verdict must match and every Pipeline must validate;
+   and a key that IS its orbit's representative must come back
+   byte-identical to the fresh solve that compiled it. *)
+let test_orbit_oracle =
+  QCheck.Test.make ~count:30
+    ~name:"orbit store: transported lookups valid, verdicts exact"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      with_store inst6 @@ fun path _ ->
+      let store_engine = Engine.create inst6 in
+      (match Engine.attach_store store_engine ~path with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "attach: %s" e);
+      let group = Instance.symmetry inst6 in
+      let fresh = Engine.create inst6 in
+      let order = Instance.order inst6 in
+      let rng = Prng.create seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let faults = random_faults rng inst6 in
+        let got = Engine.solve store_engine ~faults in
+        let want = Engine.solve ~cache:false fresh ~faults in
+        if not (same_verdict inst6 ~faults got want) then ok := false;
+        (* representative keys inside the bound hit without transport
+           and must come back byte-identical to the solve that compiled
+           them *)
+        if Bitset.cardinal faults <= inst6.Instance.k then begin
+          let canon =
+            Auto.canonical_set group (Array.of_list (Bitset.elements faults))
+          in
+          let cmask = Bitset.of_list order (Array.to_list canon) in
+          if Engine.solve store_engine ~faults:cmask
+             <> Engine.solve ~cache:false fresh ~faults:cmask
+          then ok := false
+        end
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Corruption gauntlet: fail closed, never a wrong plan                *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Reference answers from the intact store, for "never a wrong plan"
+   comparisons on mutants that still open and validate. *)
+let all_sets inst max_size =
+  let order = Instance.order inst in
+  let acc = ref [] in
+  Combinat.iter_subsets_up_to order max_size (fun buf len ->
+      acc := Array.sub buf 0 len :: !acc);
+  List.rev !acc
+
+let lookups_agree reference mutant sets =
+  List.for_all
+    (fun set ->
+      match Plan_store.lookup mutant set with
+      | None -> true (* fail closed: a miss is always safe *)
+      | Some o -> Some o = Plan_store.lookup reference set)
+    sets
+
+let test_truncation_fails_closed () =
+  with_store ~flat:true inst6 @@ fun path _ ->
+  let bytes = read_file path in
+  let len = String.length bytes in
+  let sets = all_sets inst6 inst6.Instance.k in
+  let reference =
+    match Plan_store.open_path ~path with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "open intact: %s" e
+  in
+  let mutant_path = temp_store () in
+  Fun.protect ~finally:(fun () -> Sys.remove mutant_path) @@ fun () ->
+  let survived_intact = ref 0 in
+  for cut = 0 to len - 1 do
+    write_file mutant_path (String.sub bytes 0 cut);
+    match Plan_store.open_path ~path:mutant_path with
+    | Error _ -> ()
+    | Ok s ->
+      (match Plan_store.validate s with
+      | Error _ -> ()
+      | Ok _ -> incr survived_intact);
+      (* whether or not validation caught it, lookups must never lie *)
+      if not (lookups_agree reference s sets) then
+        Alcotest.failf "truncation at %d byte(s) produced a wrong lookup" cut;
+      Plan_store.close s
+  done;
+  check Alcotest.int "every strict truncation fails open_path or validate" 0
+    !survived_intact;
+  Plan_store.close reference
+
+let test_byte_flips_fail_closed () =
+  with_store ~flat:true inst6 @@ fun path _ ->
+  let bytes = Bytes.of_string (read_file path) in
+  let len = Bytes.length bytes in
+  let sets = all_sets inst6 inst6.Instance.k in
+  let reference =
+    match Plan_store.open_path ~path with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "open intact: %s" e
+  in
+  let mutant_path = temp_store () in
+  Fun.protect ~finally:(fun () -> Sys.remove mutant_path) @@ fun () ->
+  for pos = 0 to len - 1 do
+    let orig = Bytes.get bytes pos in
+    Bytes.set bytes pos (Char.chr (Char.code orig lxor 0x41));
+    write_file mutant_path (Bytes.to_string bytes);
+    Bytes.set bytes pos orig;
+    match Plan_store.open_path ~path:mutant_path with
+    | Error _ -> ()
+    | Ok s ->
+      (* some flips (e.g. an index slot redirected to another intact
+         record) can slip past a structural walk; the inviolable
+         property is that no lookup ever returns a plan the intact
+         store would not have returned *)
+      (match Plan_store.validate s with
+      | Error _ -> ()
+      | Ok _ ->
+        if not (lookups_agree reference s sets) then
+          Alcotest.failf "byte flip at %d produced a wrong lookup" pos);
+      Plan_store.close s
+  done;
+  Plan_store.close reference
+
+(* A tampered store attached to an engine must still never surface a
+   wrong plan: the engine revalidates and falls back to solving. *)
+let test_tampered_store_engine_fallback () =
+  with_store ~flat:true inst6 @@ fun path _ ->
+  let bytes = Bytes.of_string (read_file path) in
+  (* smash the record region wholesale, leaving magic + header alone *)
+  let start = String.length "gdpn-plan 1\n" + 64 in
+  for pos = start to Bytes.length bytes - 1 do
+    Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 0xff))
+  done;
+  let mutant_path = temp_store () in
+  Fun.protect ~finally:(fun () -> Sys.remove mutant_path) @@ fun () ->
+  write_file mutant_path (Bytes.to_string bytes);
+  match Plan_store.open_path ~path:mutant_path with
+  | Error _ -> () (* fine: refused outright *)
+  | Ok s ->
+    Plan_store.close s;
+    let engine = Engine.create inst6 in
+    (match Engine.attach_store engine ~path:mutant_path with
+    | Error _ -> ()
+    | Ok () ->
+      let fresh = Engine.create inst6 in
+      let rng = Prng.create 7 in
+      for _ = 1 to 200 do
+        let faults = random_faults rng inst6 in
+        let got = Engine.solve engine ~faults in
+        let want = Engine.solve ~cache:false fresh ~faults in
+        if not (same_verdict inst6 ~faults got want) then
+          Alcotest.fail "tampered store changed a served verdict"
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Compile journal                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let jheader =
+  {
+    Journal.j_digest = "digest";
+    j_model = 0;
+    j_orbit = true;
+    j_usize = 14;
+    j_order = 14;
+    j_max_size = 2;
+    j_nunits = 3;
+  }
+
+let outcomes_a = [| Reconfig.No_pipeline; Reconfig.Gave_up |]
+let outcomes_b = [| Reconfig.Pipeline { Pipeline.nodes = [ 0; 3; 2; 1 ] } |]
+
+let test_journal_roundtrip () =
+  let path = Filename.temp_file "gdpn-journal" ".ckpt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let w = Journal.create ~path jheader in
+  Journal.append w ~unit_id:0 outcomes_a;
+  Journal.append w ~unit_id:2 outcomes_b;
+  Journal.close w;
+  (match Journal.load ~path with
+  | Error e -> Alcotest.failf "load: %s" e
+  | Ok l ->
+    check Alcotest.bool "header pins the spec" true
+      (Journal.check_header ~expected:jheader l.Journal.l_header = Ok ());
+    check Alcotest.int "two units" 2 (Hashtbl.length l.Journal.l_units);
+    check Alcotest.bool "unit 0 outcomes survive" true
+      (Hashtbl.find l.Journal.l_units 0 = outcomes_a);
+    check Alcotest.bool "unit 2 plan survives" true
+      (Hashtbl.find l.Journal.l_units 2 = outcomes_b);
+    check Alcotest.int "no duplicates" 0 l.Journal.l_duplicates;
+    check Alcotest.int "no torn bytes" 0 l.Journal.l_torn_bytes);
+  (* append after reopen, with a duplicate and a torn tail *)
+  let w = Journal.open_append ~path in
+  Journal.append w ~unit_id:0 outcomes_b (* duplicate: first wins *);
+  Journal.append w ~unit_id:1 outcomes_b;
+  Journal.close w;
+  let bytes = read_file path in
+  write_file path (String.sub bytes 0 (String.length bytes - 3));
+  match Journal.load ~path with
+  | Error e -> Alcotest.failf "reload: %s" e
+  | Ok l ->
+    check Alcotest.int "torn tail discarded" 2 (Hashtbl.length l.Journal.l_units);
+    check Alcotest.int "duplicate dropped" 1 l.Journal.l_duplicates;
+    check Alcotest.bool "first record wins" true
+      (Hashtbl.find l.Journal.l_units 0 = outcomes_a);
+    check Alcotest.bool "some torn bytes counted" true (l.Journal.l_torn_bytes > 0)
+
+let test_journal_header_mismatch () =
+  let path = Filename.temp_file "gdpn-journal" ".ckpt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Journal.close (Journal.create ~path jheader);
+  match Journal.load ~path with
+  | Error e -> Alcotest.failf "load: %s" e
+  | Ok l ->
+    List.iter
+      (fun expected ->
+        match Journal.check_header ~expected l.Journal.l_header with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "mismatched journal header accepted")
+      [
+        { jheader with Journal.j_digest = "other" };
+        { jheader with Journal.j_model = 1 };
+        { jheader with Journal.j_orbit = false };
+        { jheader with Journal.j_max_size = 3 };
+        { jheader with Journal.j_nunits = 4 };
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Multi-domain reader hammer over a store-backed engine               *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_reader_hammer =
+  QCheck.Test.make ~count:4
+    ~name:"domain-parallel readers over an L2 store return valid plans"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      with_store inst9 @@ fun path _ ->
+      (* tiny L1 so eviction churns and the store is re-probed often *)
+      let engine = Engine.create ~cache_limit:48 inst9 in
+      (match Engine.attach_store engine ~path with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "attach: %s" e);
+      let order = Instance.order inst9 in
+      let invalid = Atomic.make 0 in
+      let worker d () =
+        let reader = Engine.reader engine in
+        let rng = Prng.create (seed + (101 * d)) in
+        let faults = Bitset.create order in
+        for i = 1 to 400 do
+          Bitset.clear faults;
+          let size = Prng.int rng (inst9.Instance.k + 2) in
+          for _ = 1 to size do
+            Bitset.add faults (Prng.int rng order)
+          done;
+          (* one domain detaches and re-attaches mid-hammer: readers
+             race the swap and must stay correct either way *)
+          if d = 0 && i = 200 then begin
+            Engine.detach_store reader;
+            match Engine.attach_store reader ~path with
+            | Ok () -> ()
+            | Error _ -> Atomic.incr invalid
+          end;
+          match Engine.solve reader ~faults with
+          | Reconfig.Pipeline p ->
+            if not (Pipeline.is_valid inst9 ~faults p.Pipeline.nodes) then
+              Atomic.incr invalid
+          | Reconfig.No_pipeline | Reconfig.Gave_up -> ()
+        done
+      in
+      let domains = Array.init 4 (fun d -> Domain.spawn (worker d)) in
+      Array.iter Domain.join domains;
+      Atomic.get invalid = 0
+      && Engine.cache_size engine <= Engine.cache_capacity engine)
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "warehouse",
+        [
+          tc "write/open/validate/lookup round-trip" test_roundtrip;
+          tc "orbit compression beats flat 10x" test_orbit_compresses;
+          tc "Gave_up is tallied, never stored" test_gave_up_not_stored;
+          tc "attach refuses a foreign instance" test_attach_rejects_wrong_instance;
+        ] );
+      ( "oracle",
+        [
+          QCheck_alcotest.to_alcotest test_flat_oracle;
+          QCheck_alcotest.to_alcotest test_orbit_oracle;
+        ] );
+      ( "corruption",
+        [
+          tc "every truncation fails closed" test_truncation_fails_closed;
+          tc "every byte flip fails closed" test_byte_flips_fail_closed;
+          tc "tampered store falls back to solving"
+            test_tampered_store_engine_fallback;
+        ] );
+      ( "journal",
+        [
+          tc "round-trip, torn tail, duplicate units" test_journal_roundtrip;
+          tc "header mismatches are rejected" test_journal_header_mismatch;
+        ] );
+      ( "readers",
+        [ QCheck_alcotest.to_alcotest test_store_reader_hammer ] );
+    ]
